@@ -1,0 +1,166 @@
+// pixels-cli is the terminal Pixels-Rover: it talks to a running
+// pixels-server to translate questions, submit queries at a service level,
+// poll results, and view the cost report.
+//
+// Usage:
+//
+//	pixels-cli [-server URL] [-db NAME] <command> [args]
+//
+// Commands:
+//
+//	schemas                         show the schema browser
+//	ask <question>                  translate a question to SQL
+//	run <level> <sql>               submit SQL and wait for the result
+//	nlrun <level> <question>        translate, submit and wait
+//	status <query-id>               show a query's status block
+//	cancel <query-id>               cancel a pending query
+//	result <query-id>               show a query's result block
+//	report                          per-level summary + recent queries
+//	prices                          show the service-level price table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/rover"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://localhost:8866", "query server URL")
+		database  = flag.String("db", "tpch", "database")
+		token     = flag.String("token", "", "bearer token")
+		timeout   = flag.Duration("timeout", time.Minute, "wait timeout for run/nlrun")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := rover.NewClient(*serverURL)
+	c.Token = *token
+
+	switch args[0] {
+	case "schemas":
+		schemas, err := c.Schemas()
+		check(err)
+		for _, d := range schemas.Databases {
+			fmt.Printf("%s\n", d.Name)
+			for _, t := range d.Tables {
+				cols := make([]string, len(t.Columns))
+				for i, col := range t.Columns {
+					cols[i] = col.Name + " " + col.Type
+				}
+				fmt.Printf("  %s (%d rows): %s\n", t.Name, t.Rows, strings.Join(cols, ", "))
+			}
+		}
+
+	case "ask":
+		need(args, 2, "ask <question>")
+		tr, err := c.Translate(*database, strings.Join(args[1:], " "))
+		check(err)
+		fmt.Printf("-- %s (confidence %.2f)\n%s\n", tr.Translator, tr.Confidence, tr.SQL)
+
+	case "run":
+		need(args, 3, "run <level> <sql>")
+		runAndPrint(c, *database, args[1], strings.Join(args[2:], " "), *timeout)
+
+	case "nlrun":
+		need(args, 3, "nlrun <level> <question>")
+		tr, err := c.Translate(*database, strings.Join(args[2:], " "))
+		check(err)
+		fmt.Printf("-- translated by %s (confidence %.2f):\n%s\n\n", tr.Translator, tr.Confidence, tr.SQL)
+		runAndPrint(c, *database, args[1], tr.SQL, *timeout)
+
+	case "status":
+		need(args, 2, "status <query-id>")
+		info, err := c.Status(args[1])
+		check(err)
+		fmt.Printf("%s: %s level=%s pending=%dms exec=%dms usedCF=%v coalesced=%v %s\n",
+			info.ID, info.Status, info.Level, info.PendingMs, info.ExecMs, info.UsedCF, info.Coalesced, info.Error)
+
+	case "cancel":
+		need(args, 2, "cancel <query-id>")
+		check(c.Cancel(args[1]))
+		fmt.Printf("%s canceled\n", args[1])
+
+	case "result":
+		need(args, 2, "result <query-id>")
+		res, err := c.Result(args[1])
+		check(err)
+		printResult(res.Columns, res.Rows)
+		fmt.Printf("-- scanned %d bytes, list price $%.9f, resource cost $%.9f\n",
+			res.BytesScanned, res.ListPrice, res.ResourceCost)
+
+	case "report":
+		sum, err := c.ReportSummary()
+		check(err)
+		fmt.Printf("%-14s %8s %8s %8s %14s %14s %12s %12s\n",
+			"level", "queries", "finished", "failed", "list $", "resource $", "avg pending", "max pending")
+		for _, s := range sum {
+			fmt.Printf("%-14s %8d %8d %8d %14.9f %14.9f %11dms %11dms\n",
+				s.Level, s.Queries, s.Finished, s.Failed, s.ListPrice, s.ResourceCost,
+				s.AvgPendingMs, s.MaxPendingMs)
+		}
+		bills, err := c.ReportQueries(time.Now().Add(-time.Hour), time.Now())
+		check(err)
+		fmt.Printf("\nrecent queries: %d in the last hour\n", len(bills))
+
+	case "prices":
+		pb, err := c.PriceBook()
+		check(err)
+		for _, l := range pb.Levels {
+			fmt.Printf("%-14s $%.2f/TB  (%s)\n", l.Level, l.USDPerTB, l.Guarantee)
+		}
+		fmt.Printf("CF vs VM unit price ratio: %.1fx\n", pb.CFvsVMUnitPriceRatio)
+
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func runAndPrint(c *rover.Client, db, level, sqlText string, timeout time.Duration) {
+	resp, err := c.Submit(db, sqlText, level, 0)
+	check(err)
+	fmt.Printf("-- submitted %s at %s\n", resp.ID, resp.Level)
+	info, err := c.WaitFinished(resp.ID, timeout)
+	check(err)
+	if info.Status != "finished" {
+		log.Fatalf("query %s: %s", info.Status, info.Error)
+	}
+	res, err := c.Result(resp.ID)
+	check(err)
+	printResult(res.Columns, res.Rows)
+	fmt.Printf("-- pending %dms, exec %dms, scanned %d bytes, list price $%.9f\n",
+		res.PendingMs, res.ExecMs, res.BytesScanned, res.ListPrice)
+}
+
+func printResult(columns []string, rows [][]string) {
+	fmt.Println(strings.Join(columns, " | "))
+	fmt.Println(strings.Repeat("-", len(strings.Join(columns, " | "))))
+	for i, row := range rows {
+		if i == 50 {
+			fmt.Printf("... (%d more rows)\n", len(rows)-50)
+			break
+		}
+		fmt.Println(strings.Join(row, " | "))
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("usage: pixels-cli %s", usage)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+// pixels-datagen generates the TPC-H-derived sample dataset into a data
+// directory that pixels-server can serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataDir  = flag.String("data", "./pixels-data", "output data directory")
+		database = flag.String("db", "tpch", "database name")
+		sf       = flag.Float64("sf", 0.05, "scale factor (1.0 = 15k customers, 150k orders)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	disk, err := objstore.NewDisk(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := catalog.New()
+	if err := cat.Load(disk); err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(cat, disk)
+
+	sz := workload.SizesAt(*sf)
+	fmt.Printf("generating %s at SF %.3f (%d customers, %d orders, ~%d lineitems)...\n",
+		*database, *sf, sz.Customers, sz.Orders, sz.Orders*4)
+	if err := workload.Load(eng, *database, workload.LoadOptions{SF: *sf, Seed: *seed}); err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.Save(disk); err != nil {
+		log.Fatal(err)
+	}
+
+	tables, err := cat.ListTables(*database)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var totalBytes, totalRows int64
+	for _, tn := range tables {
+		t, err := cat.GetTable(*database, tn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %10d rows %12d bytes %3d files\n", tn, t.RowCount(), t.TotalBytes(), len(t.Files))
+		totalBytes += t.TotalBytes()
+		totalRows += t.RowCount()
+	}
+	fmt.Printf("done: %d rows, %.2f MB in %s\n", totalRows, float64(totalBytes)/1e6, *dataDir)
+}

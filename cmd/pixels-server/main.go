@@ -1,0 +1,52 @@
+// pixels-server runs the PixelsDB Query Server: the REST API that
+// Pixels-Rover clients talk to (translate questions, submit queries at a
+// service level, poll status/results, read the cost-visibility report).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	pixelsdb "repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8866", "listen address")
+		dataDir  = flag.String("data", "", "data directory (empty = in-memory)")
+		database = flag.String("db", "tpch", "default database")
+		sf       = flag.Float64("sf", 0.01, "sample-data scale factor (0 = don't load)")
+		token    = flag.String("token", "", "require this bearer token")
+		grace    = flag.Duration("grace", 5*time.Minute, "relaxed grace period")
+		vms      = flag.Int("vms", 2, "initial warm VMs")
+		scaleInt = flag.Duration("autoscale", 15*time.Second, "autoscaler interval (0 = off)")
+	)
+	flag.Parse()
+
+	db, err := pixelsdb.Open(pixelsdb.Options{
+		DataDir:           *dataDir,
+		InitialVMs:        *vms,
+		GracePeriod:       *grace,
+		AutoscaleInterval: *scaleInt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if *sf > 0 && !db.Engine().Catalog().HasDatabase(*database) {
+		log.Printf("loading sample data into %q at SF %.3f ...", *database, *sf)
+		if err := db.LoadSampleData(*database, *sf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	p := db.PriceBook()
+	fmt.Printf("PixelsDB query server on %s (db=%s)\n", *addr, *database)
+	fmt.Printf("service levels: immediate $%.2f/TB | relaxed $%.2f/TB (grace %s) | best-of-effort $%.2f/TB\n",
+		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),
+		*grace, p.ScanPricePerTBAt(pixelsdb.BestEffort))
+	log.Fatal(db.Serve(*addr, *database, *token))
+}

@@ -1,0 +1,82 @@
+// Cost visibility (the demo's Use Case 2, Sec. IV-B): run a session of
+// queries at mixed service levels, then render the Report tab — the query
+// count timeline, per-query performance (pending/execution time) and cost,
+// and a brushed range selection — "just like checking the monthly credit
+// card bills".
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	pixelsdb "repro"
+	"repro/internal/billing"
+	"repro/internal/workload"
+)
+
+func main() {
+	db, err := pixelsdb.Open(pixelsdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadSampleData("tpch", 0.01); err != nil {
+		log.Fatal(err)
+	}
+
+	// A session of analytic work at mixed levels.
+	gen := workload.NewQueryGen(11, 0.01)
+	mix := workload.DefaultMix()
+	levels := workload.NewLevelMix(nil, 11)
+	start := time.Now()
+	fmt.Println("Running a 24-query session at mixed service levels...")
+	for i := 0; i < 24; i++ {
+		kind := gen.Pick(mix)
+		q, err := db.Submit("tpch", gen.Generate(kind), levels.Pick())
+		if err != nil {
+			log.Fatal(err)
+		}
+		<-q.Done()
+	}
+
+	ledger := db.Ledger()
+
+	// Chart 1: query count per time bucket.
+	fmt.Println("\n-- Report: query count timeline --")
+	for _, p := range ledger.Timeline(start, time.Now(), 2*time.Second) {
+		bar := strings.Repeat("#", p.Total)
+		fmt.Printf("  %s | %-2d %s\n", p.Start.Format("15:04:05"), p.Total, bar)
+	}
+
+	// Chart 2+3: per-query performance and cost.
+	fmt.Println("\n-- Report: per-query performance and cost --")
+	fmt.Printf("  %-10s %-14s %-9s %10s %10s %12s %14s\n",
+		"query", "level", "status", "pending", "exec", "scannedKB", "list price")
+	for _, b := range ledger.All() {
+		fmt.Printf("  %-10s %-14s %-9s %10s %10s %12.1f %14.9f\n",
+			b.QueryID, b.Level, b.Status,
+			b.PendingTime().Round(time.Millisecond), b.ExecTime().Round(time.Millisecond),
+			float64(b.BytesScanned)/1e3, b.ListPrice)
+	}
+
+	// Brush a range on the timeline: the first half of the session.
+	mid := start.Add(time.Since(start) / 2)
+	brushed := ledger.Between(start, mid)
+	fmt.Printf("\n-- Brushed range [session start, +%s): %d queries --\n",
+		mid.Sub(start).Round(time.Millisecond), len(brushed))
+
+	// Per-level summary: the monthly bill.
+	fmt.Println("\n-- Per-level summary --")
+	sum := ledger.Summary()
+	for _, lev := range billing.Levels() {
+		s, ok := sum[lev]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-14s queries=%-3d scanned=%8.1fKB list=$%.9f resource=$%.9f avgPending=%s maxPending=%s\n",
+			lev, s.Queries, float64(s.BytesScanned)/1e3, s.ListPrice, s.ResourceCost,
+			s.AvgPending.Round(time.Millisecond), s.MaxPending.Round(time.Millisecond))
+	}
+}

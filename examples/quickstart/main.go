@@ -1,0 +1,66 @@
+// Quickstart: open an embedded PixelsDB, load the sample dataset, and run
+// the same query at all three service levels, printing results and bills.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	pixelsdb "repro"
+)
+
+func main() {
+	db, err := pixelsdb.Open(pixelsdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Println("Loading TPC-H-lite sample data (SF 0.01)...")
+	if err := db.LoadSampleData("tpch", 0.01); err != nil {
+		log.Fatal(err)
+	}
+
+	// Direct (unscheduled) execution for metadata-style statements.
+	res, err := db.Execute(context.Background(), "tpch", "SHOW TABLES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("Tables:")
+	for _, row := range res.Rows {
+		fmt.Printf(" %s", row[0])
+	}
+	fmt.Println()
+
+	query := `SELECT l_returnflag, COUNT(*) AS orders, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+
+	for _, level := range []pixelsdb.Level{pixelsdb.Immediate, pixelsdb.Relaxed, pixelsdb.BestEffort} {
+		q, err := db.Submit("tpch", query, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		<-q.Done()
+		if q.Err() != nil {
+			log.Fatalf("level %s: %v", level, q.Err())
+		}
+		r := q.Result()
+		fmt.Printf("\n=== level %s ===\n", level)
+		for _, row := range r.Rows {
+			fmt.Printf("  flag=%s orders=%s revenue=%s\n", row[0], row[1], row[2])
+		}
+	}
+
+	fmt.Println("\n=== bills ===")
+	for _, b := range db.Ledger().All() {
+		fmt.Printf("  %s level=%-14s scanned=%8dB list=$%.9f cost=$%.9f pending=%s exec=%s\n",
+			b.QueryID, b.Level, b.BytesScanned, b.ListPrice, b.ResourceCost,
+			b.PendingTime().Round(1e6), b.ExecTime().Round(1e6))
+	}
+
+	p := db.PriceBook()
+	fmt.Printf("\nList prices: immediate $%.2f/TB, relaxed $%.2f/TB, best-of-effort $%.2f/TB (CF:VM unit price ratio %.1fx)\n",
+		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),
+		p.ScanPricePerTBAt(pixelsdb.BestEffort), p.UnitPriceRatio())
+}

@@ -1,0 +1,167 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+)
+
+var t0 = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func metricsOf(cluster *vmsim.Cluster, queued int) func() Metrics {
+	return func() Metrics {
+		s := cluster.Snapshot()
+		return Metrics{
+			Time: s.Time, Running: s.Running, Booting: s.Booting,
+			TotalSlots: s.TotalSlots, BusySlots: s.BusySlots,
+			QueuedDemand: queued, Utilization: s.Utilization,
+		}
+	}
+}
+
+func TestTargetUtilizationScaleOut(t *testing.T) {
+	p := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MaxVMs: 10, HoldTicks: 3}
+	m := Metrics{Running: 1, TotalSlots: 4, BusySlots: 4, QueuedDemand: 10}
+	// demand = 14 slots; 14 / (0.7*4) = 5 VMs.
+	if got := p.Desired(m); got != 5 {
+		t.Fatalf("desired = %d, want 5", got)
+	}
+}
+
+func TestTargetUtilizationRespectsBounds(t *testing.T) {
+	p := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MinVMs: 2, MaxVMs: 6}
+	if got := p.Desired(Metrics{QueuedDemand: 1000}); got != 6 {
+		t.Fatalf("max bound broken: %d", got)
+	}
+	p2 := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MinVMs: 2, MaxVMs: 6}
+	if got := p2.Desired(Metrics{}); got != 2 {
+		t.Fatalf("min bound broken: %d", got)
+	}
+}
+
+func TestLazyScaleInHolds(t *testing.T) {
+	p := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MaxVMs: 10, HoldTicks: 3}
+	// Establish a fleet of 5.
+	busy := Metrics{Running: 5, TotalSlots: 20, BusySlots: 14}
+	if got := p.Desired(busy); got != 5 {
+		t.Fatalf("setup desired = %d", got)
+	}
+	idle := Metrics{Running: 5, TotalSlots: 20, BusySlots: 0}
+	// Two idle ticks: still held at 5.
+	if got := p.Desired(idle); got != 5 {
+		t.Fatalf("tick1 shrank to %d", got)
+	}
+	if got := p.Desired(idle); got != 5 {
+		t.Fatalf("tick2 shrank to %d", got)
+	}
+	// Third consecutive idle tick: shrink.
+	if got := p.Desired(idle); got != 0 {
+		t.Fatalf("tick3 = %d, want 0", got)
+	}
+}
+
+func TestLazyScaleInResetsOnSpike(t *testing.T) {
+	p := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MaxVMs: 10, HoldTicks: 3}
+	idle := Metrics{Running: 5, TotalSlots: 20, BusySlots: 0}
+	busy := Metrics{Running: 5, TotalSlots: 20, BusySlots: 14}
+	p.Desired(busy)
+	p.Desired(idle) // hold 1
+	p.Desired(idle) // hold 2
+	p.Desired(busy) // spike resets the hold counter
+	if got := p.Desired(idle); got != 5 {
+		t.Fatalf("hold counter not reset: %d", got)
+	}
+}
+
+func TestEagerScaleInImmediate(t *testing.T) {
+	p := &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MaxVMs: 10, HoldTicks: 1}
+	p.Desired(Metrics{Running: 5, TotalSlots: 20, BusySlots: 14})
+	if got := p.Desired(Metrics{Running: 5, TotalSlots: 20, BusySlots: 0}); got != 0 {
+		t.Fatalf("eager policy held: %d", got)
+	}
+}
+
+func TestQueueDepthPolicy(t *testing.T) {
+	p := &QueueDepth{SlotsPerVM: 4, PerVM: 4, MaxVMs: 8}
+	m := Metrics{BusySlots: 6, QueuedDemand: 9}
+	// busy needs ceil(6/4)=2, queue needs ceil(9/4)=3.
+	if got := p.Desired(m); got != 5 {
+		t.Fatalf("desired = %d, want 5", got)
+	}
+}
+
+func TestStaticPolicy(t *testing.T) {
+	p := &Static{N: 3}
+	if p.Desired(Metrics{QueuedDemand: 1000}) != 3 {
+		t.Fatalf("static policy moved")
+	}
+}
+
+func TestManagerLaunchesAndTerminates(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 4, BootDelay: time.Minute}, 0)
+	queued := 10
+	mgr := NewManager(clk, cluster, &TargetUtilization{SlotsPerVM: 4, Target: 0.7, MaxVMs: 10, HoldTicks: 2},
+		func() Metrics {
+			s := cluster.Snapshot()
+			return Metrics{Time: s.Time, Running: s.Running, Booting: s.Booting,
+				TotalSlots: s.TotalSlots, BusySlots: s.BusySlots, QueuedDemand: queued}
+		})
+	mgr.Tick()
+	if _, booting := cluster.Size(); booting != 4 { // ceil(10/2.8) = 4
+		t.Fatalf("booting = %d, want 4", booting)
+	}
+	clk.Advance(time.Minute) // boots finish
+	queued = 0
+	mgr.Tick() // hold 1 (desire 0, held)
+	if r, _ := cluster.Size(); r != 4 {
+		t.Fatalf("lazy scale-in fired early: %d", r)
+	}
+	mgr.Tick() // hold 2 -> shrink
+	if r, _ := cluster.Size(); r != 0 {
+		t.Fatalf("scale-in did not fire: running=%d", r)
+	}
+	dec := mgr.Decisions()
+	if len(dec) != 3 || dec[0].Action != 4 || dec[2].Action != -4 {
+		t.Fatalf("decisions = %+v", dec)
+	}
+}
+
+func TestManagerTickerOnClock(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{}, 0)
+	mgr := NewManager(clk, cluster, &Static{N: 2}, metricsOf(cluster, 0))
+	mgr.Start(10 * time.Second)
+	clk.Advance(35 * time.Second)
+	mgr.Stop()
+	clk.Advance(time.Minute)
+	if got := len(mgr.Decisions()); got != 3 {
+		t.Fatalf("ticks = %d, want 3", got)
+	}
+	if _, booting := cluster.Size(); booting == 0 {
+		// Static policy should have launched 2 VMs on the first tick.
+		r, b := cluster.Size()
+		t.Fatalf("no launches recorded: run=%d boot=%d", r, b)
+	}
+}
+
+func TestManagerTerminateOnlyIdle(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 1}, 3)
+	lease, ok := cluster.TryAcquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	mgr := NewManager(clk, cluster, &Static{N: 0}, metricsOf(cluster, 0))
+	mgr.Tick()
+	if r, _ := cluster.Size(); r != 1 {
+		t.Fatalf("busy VM terminated: running=%d", r)
+	}
+	lease.Release()
+	mgr.Tick()
+	if r, _ := cluster.Size(); r != 0 {
+		t.Fatalf("idle VM survived: running=%d", r)
+	}
+}

@@ -1,0 +1,65 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+)
+
+// TestManagerRecoversFromBootFailures verifies that the control loop
+// converges to the desired fleet size even when a large fraction of VM
+// launches fail: failed boots disappear, the next tick sees the deficit
+// and relaunches.
+func TestManagerRecoversFromBootFailures(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{
+		SlotsPerVM:      4,
+		BootDelay:       time.Minute,
+		BootFailureProb: 0.5,
+		Seed:            7,
+	}, 0)
+	mgr := NewManager(clk, cluster, &Static{N: 6}, metricsOf(cluster, 0))
+	mgr.Start(30 * time.Second)
+	defer mgr.Stop()
+
+	// With p=0.5 failures, convergence needs several launch rounds.
+	clk.Advance(30 * time.Minute)
+	running, booting := cluster.Size()
+	if running != 6 {
+		t.Fatalf("fleet did not converge: running=%d booting=%d (boots failed: %d)",
+			running, booting, cluster.Snapshot().BootsFailed)
+	}
+	if cluster.Snapshot().BootsFailed == 0 {
+		t.Fatalf("failure injection inactive")
+	}
+}
+
+// TestManagerConvergesUnderTotalFailureWindow verifies the loop keeps
+// retrying (and never over-launches) while every boot fails.
+func TestManagerConvergesUnderTotalFailureWindow(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{
+		SlotsPerVM:      4,
+		BootDelay:       time.Minute,
+		BootFailureProb: 1.0,
+		Seed:            1,
+	}, 0)
+	mgr := NewManager(clk, cluster, &Static{N: 3}, metricsOf(cluster, 0))
+	mgr.Start(30 * time.Second)
+	defer mgr.Stop()
+
+	clk.Advance(10 * time.Minute)
+	running, booting := cluster.Size()
+	if running != 0 {
+		t.Fatalf("impossible: %d running with 100%% boot failures", running)
+	}
+	// The manager must never stack more than the deficit in boot attempts.
+	if booting > 3 {
+		t.Fatalf("over-launching: %d booting for a target of 3", booting)
+	}
+	if failed := cluster.Snapshot().BootsFailed; failed < 5 {
+		t.Fatalf("expected sustained retries, got %d failed boots", failed)
+	}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// sqlSelect/sqlParse keep experiments.go free of a direct sql import knot.
+type sqlSelect = sql.Select
+
+func sqlParse(q string) (*sql.Select, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("bench: %q is not a SELECT", q)
+	}
+	return sel, nil
+}
+
+// Render prints a result as an aligned table.
+func Render(w io.Writer, r Result) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(w, "paper: %s\n", r.Paper)
+
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	verdict := "MATCHES"
+	if !r.ShapeOK {
+		verdict = "DIVERGES"
+	}
+	fmt.Fprintf(w, "shape %s: %s\n\n", verdict, r.Shape)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,311 @@
+// Package catalog implements the metadata service that the paper's
+// Coordinator consults ("managing metadata ... fetch database schema").
+//
+// The catalog tracks databases, tables, column schemas and the table
+// layouts (which pixfile objects hold which rows). It can persist itself
+// as JSON into the object store so a restarted server finds its tables.
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/col"
+	"repro/internal/objstore"
+)
+
+// Well-known errors. Callers match with errors.Is.
+var (
+	ErrNotFound = errors.New("catalog: not found")
+	ErrExists   = errors.New("catalog: already exists")
+)
+
+// FileMeta locates one pixfile object of a table.
+type FileMeta struct {
+	Key  string `json:"key"`  // object-store key
+	Size int64  `json:"size"` // bytes
+	Rows int64  `json:"rows"`
+}
+
+// Table is a table's metadata: schema plus physical layout.
+type Table struct {
+	Name    string     `json:"name"`
+	Columns []Column   `json:"columns"`
+	Files   []FileMeta `json:"files"`
+	Comment string     `json:"comment,omitempty"`
+}
+
+// Column describes one column.
+type Column struct {
+	Name     string   `json:"name"`
+	Type     col.Type `json:"type"`
+	Nullable bool     `json:"nullable,omitempty"`
+	Comment  string   `json:"comment,omitempty"`
+}
+
+// Schema converts the column list to the execution schema type.
+func (t *Table) Schema() *col.Schema {
+	fields := make([]col.Field, len(t.Columns))
+	for i, c := range t.Columns {
+		fields[i] = col.Field{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	return col.NewSchema(fields...)
+}
+
+// RowCount sums rows across files.
+func (t *Table) RowCount() int64 {
+	var n int64
+	for _, f := range t.Files {
+		n += f.Rows
+	}
+	return n
+}
+
+// TotalBytes sums bytes across files.
+func (t *Table) TotalBytes() int64 {
+	var n int64
+	for _, f := range t.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string            `json:"name"`
+	Tables map[string]*Table `json:"tables"`
+}
+
+// Catalog is the in-memory metadata store. All methods are safe for
+// concurrent use. Names are case-insensitive and stored lower-cased,
+// matching common SQL engines.
+type Catalog struct {
+	mu  sync.RWMutex
+	dbs map[string]*Database
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{dbs: make(map[string]*Database)}
+}
+
+func norm(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// CreateDatabase adds a database.
+func (c *Catalog) CreateDatabase(name string) error {
+	n := norm(name)
+	if n == "" {
+		return fmt.Errorf("catalog: empty database name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.dbs[n]; ok {
+		return fmt.Errorf("%w: database %s", ErrExists, n)
+	}
+	c.dbs[n] = &Database{Name: n, Tables: make(map[string]*Table)}
+	return nil
+}
+
+// DropDatabase removes a database and its tables.
+func (c *Catalog) DropDatabase(name string) error {
+	n := norm(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.dbs[n]; !ok {
+		return fmt.Errorf("%w: database %s", ErrNotFound, n)
+	}
+	delete(c.dbs, n)
+	return nil
+}
+
+// ListDatabases returns database names, sorted.
+func (c *Catalog) ListDatabases() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.dbs))
+	for n := range c.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasDatabase reports whether the database exists.
+func (c *Catalog) HasDatabase(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.dbs[norm(name)]
+	return ok
+}
+
+// CreateTable adds a table to a database.
+func (c *Catalog) CreateTable(db string, t *Table) error {
+	dn, tn := norm(db), norm(t.Name)
+	if tn == "" {
+		return fmt.Errorf("catalog: empty table name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %s has no columns", tn)
+	}
+	seen := make(map[string]bool)
+	for i := range t.Columns {
+		cn := norm(t.Columns[i].Name)
+		if cn == "" {
+			return fmt.Errorf("catalog: table %s has an unnamed column", tn)
+		}
+		if seen[cn] {
+			return fmt.Errorf("catalog: table %s has duplicate column %s", tn, cn)
+		}
+		seen[cn] = true
+		t.Columns[i].Name = cn
+		if t.Columns[i].Type == col.UNKNOWN {
+			return fmt.Errorf("catalog: column %s.%s has unknown type", tn, cn)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return fmt.Errorf("%w: database %s", ErrNotFound, dn)
+	}
+	if _, ok := d.Tables[tn]; ok {
+		return fmt.Errorf("%w: table %s.%s", ErrExists, dn, tn)
+	}
+	cp := *t
+	cp.Name = tn
+	d.Tables[tn] = &cp
+	return nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(db, table string) error {
+	dn, tn := norm(db), norm(table)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return fmt.Errorf("%w: database %s", ErrNotFound, dn)
+	}
+	if _, ok := d.Tables[tn]; !ok {
+		return fmt.Errorf("%w: table %s.%s", ErrNotFound, dn, tn)
+	}
+	delete(d.Tables, tn)
+	return nil
+}
+
+// GetTable returns a copy of the table metadata. Mutating the copy does not
+// affect the catalog; use AddFiles to change layout.
+func (c *Catalog) GetTable(db, table string) (*Table, error) {
+	dn, tn := norm(db), norm(table)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNotFound, dn)
+	}
+	t, ok := d.Tables[tn]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %s.%s", ErrNotFound, dn, tn)
+	}
+	cp := *t
+	cp.Columns = append([]Column(nil), t.Columns...)
+	cp.Files = append([]FileMeta(nil), t.Files...)
+	return &cp, nil
+}
+
+// ListTables returns table names in a database, sorted.
+func (c *Catalog) ListTables(db string) ([]string, error) {
+	dn := norm(db)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return nil, fmt.Errorf("%w: database %s", ErrNotFound, dn)
+	}
+	names := make([]string, 0, len(d.Tables))
+	for n := range d.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// AddFiles appends file metadata to a table's layout.
+func (c *Catalog) AddFiles(db, table string, files ...FileMeta) error {
+	dn, tn := norm(db), norm(table)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return fmt.Errorf("%w: database %s", ErrNotFound, dn)
+	}
+	t, ok := d.Tables[tn]
+	if !ok {
+		return fmt.Errorf("%w: table %s.%s", ErrNotFound, dn, tn)
+	}
+	t.Files = append(t.Files, files...)
+	return nil
+}
+
+// snapshot is the JSON persistence layout.
+type snapshot struct {
+	Version   int         `json:"version"`
+	Databases []*Database `json:"databases"`
+}
+
+// MetaKey is the object-store key the catalog persists itself under.
+const MetaKey = "_catalog/meta.json"
+
+// Save persists the catalog to the object store.
+func (c *Catalog) Save(store objstore.Store) error {
+	c.mu.RLock()
+	snap := snapshot{Version: 1}
+	names := make([]string, 0, len(c.dbs))
+	for n := range c.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		snap.Databases = append(snap.Databases, c.dbs[n])
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	c.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("catalog: marshal: %w", err)
+	}
+	return store.Put(MetaKey, data)
+}
+
+// Load replaces the catalog contents from the object store. A missing
+// snapshot loads an empty catalog.
+func (c *Catalog) Load(store objstore.Store) error {
+	data, err := store.Get(MetaKey)
+	if errors.Is(err, objstore.ErrNotFound) {
+		c.mu.Lock()
+		c.dbs = make(map[string]*Database)
+		c.mu.Unlock()
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("catalog: unmarshal: %w", err)
+	}
+	dbs := make(map[string]*Database, len(snap.Databases))
+	for _, d := range snap.Databases {
+		if d.Tables == nil {
+			d.Tables = make(map[string]*Table)
+		}
+		dbs[d.Name] = d
+	}
+	c.mu.Lock()
+	c.dbs = dbs
+	c.mu.Unlock()
+	return nil
+}

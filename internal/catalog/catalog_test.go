@@ -1,0 +1,236 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/col"
+	"repro/internal/objstore"
+)
+
+func demoTable() *Table {
+	return &Table{
+		Name: "Orders",
+		Columns: []Column{
+			{Name: "o_orderkey", Type: col.INT64},
+			{Name: "o_totalprice", Type: col.FLOAT64},
+			{Name: "o_orderdate", Type: col.DATE},
+		},
+	}
+}
+
+func TestDatabaseLifecycle(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("TPCH"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase("tpch"); !errors.Is(err, ErrExists) {
+		t.Fatalf("case-insensitive duplicate accepted: %v", err)
+	}
+	if !c.HasDatabase("TpCh") {
+		t.Fatalf("HasDatabase case-insensitivity broken")
+	}
+	if got := c.ListDatabases(); len(got) != 1 || got[0] != "tpch" {
+		t.Fatalf("ListDatabases = %v", got)
+	}
+	if err := c.DropDatabase("tpch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropDatabase("tpch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if err := c.CreateDatabase(""); err == nil {
+		t.Fatalf("empty name accepted")
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	c := New()
+	if err := c.CreateTable("nodb", demoTable()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("create in missing db: %v", err)
+	}
+	if err := c.CreateDatabase("tpch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("tpch", demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("tpch", demoTable()); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate table: %v", err)
+	}
+	got, err := c.GetTable("TPCH", "ORDERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "orders" || len(got.Columns) != 3 || got.Columns[0].Name != "o_orderkey" {
+		t.Fatalf("GetTable = %+v", got)
+	}
+	names, err := c.ListTables("tpch")
+	if err != nil || len(names) != 1 || names[0] != "orders" {
+		t.Fatalf("ListTables = %v, %v", names, err)
+	}
+	if err := c.DropTable("tpch", "orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetTable("tpch", "orders"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped table still visible: %v", err)
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("d"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Table{
+		{Name: "t"}, // no columns
+		{Name: "", Columns: []Column{{Name: "a", Type: col.INT64}}},                                // no name
+		{Name: "t", Columns: []Column{{Name: "", Type: col.INT64}}},                                // unnamed col
+		{Name: "t", Columns: []Column{{Name: "a", Type: col.INT64}, {Name: "A", Type: col.INT64}}}, // dup col
+		{Name: "t", Columns: []Column{{Name: "a"}}},                                                // unknown type
+	}
+	for i, tb := range cases {
+		if err := c.CreateTable("d", tb); err == nil {
+			t.Errorf("case %d accepted: %+v", i, tb)
+		}
+	}
+}
+
+func TestGetTableReturnsCopy(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("d", demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.GetTable("d", "orders")
+	got.Columns[0].Name = "mutated"
+	got.Files = append(got.Files, FileMeta{Key: "x"})
+	again, _ := c.GetTable("d", "orders")
+	if again.Columns[0].Name != "o_orderkey" || len(again.Files) != 0 {
+		t.Fatalf("catalog mutated through copy: %+v", again)
+	}
+}
+
+func TestAddFilesAndStats(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("d", demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFiles("d", "orders",
+		FileMeta{Key: "d/orders/0.pxl", Size: 1000, Rows: 10},
+		FileMeta{Key: "d/orders/1.pxl", Size: 2000, Rows: 20},
+	); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.GetTable("d", "orders")
+	if got.RowCount() != 30 || got.TotalBytes() != 3000 || len(got.Files) != 2 {
+		t.Fatalf("stats wrong: rows=%d bytes=%d files=%d", got.RowCount(), got.TotalBytes(), len(got.Files))
+	}
+	if err := c.AddFiles("d", "nope", FileMeta{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("AddFiles to missing table: %v", err)
+	}
+}
+
+func TestSchemaConversion(t *testing.T) {
+	tb := demoTable()
+	s := tb.Schema()
+	if s.Len() != 3 || s.Fields[2].Type != col.DATE {
+		t.Fatalf("Schema() = %v", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store := objstore.NewMemory()
+	c := New()
+	if err := c.CreateDatabase("tpch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("tpch", demoTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFiles("tpch", "orders", FileMeta{Key: "k", Size: 5, Rows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(store); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New()
+	if err := c2.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.GetTable("tpch", "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowCount() != 1 || got.Columns[1].Type != col.FLOAT64 {
+		t.Fatalf("loaded table wrong: %+v", got)
+	}
+}
+
+func TestLoadMissingSnapshotIsEmpty(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(objstore.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ListDatabases()) != 0 {
+		t.Fatalf("Load of empty store should clear catalog")
+	}
+}
+
+func TestLoadRejectsCorruptSnapshot(t *testing.T) {
+	store := objstore.NewMemory()
+	if err := store.Put(MetaKey, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().Load(store); err == nil {
+		t.Fatalf("corrupt snapshot accepted")
+	}
+}
+
+func TestConcurrentCatalogUse(t *testing.T) {
+	c := New()
+	if err := c.CreateDatabase("d"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tb := &Table{
+				Name:    fmt.Sprintf("t%d", i),
+				Columns: []Column{{Name: "a", Type: col.INT64}},
+			}
+			if err := c.CreateTable("d", tb); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 20; j++ {
+				if err := c.AddFiles("d", tb.Name, FileMeta{Key: fmt.Sprintf("f%d", j), Rows: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.GetTable("d", tb.Name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	names, err := c.ListTables("d")
+	if err != nil || len(names) != 8 {
+		t.Fatalf("tables after concurrency: %v %v", names, err)
+	}
+}

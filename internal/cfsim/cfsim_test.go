@@ -1,0 +1,188 @@
+package cfsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+var t0 = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestColdStartLatency(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{ColdStart: 800 * time.Millisecond})
+	var readyAt time.Time
+	s.Request(func(inv *Invocation) { readyAt = clk.Now() })
+	clk.Advance(time.Second)
+	if got := readyAt.Sub(t0); got != 800*time.Millisecond {
+		t.Fatalf("cold start took %v", got)
+	}
+}
+
+func TestWarmReuse(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{ColdStart: time.Second, WarmStart: 20 * time.Millisecond, WarmIdleTTL: time.Minute})
+	var first *Invocation
+	s.Request(func(inv *Invocation) { first = inv })
+	clk.Advance(time.Second)
+	first.Finish()
+	if s.WarmPool() != 1 {
+		t.Fatalf("warm pool = %d", s.WarmPool())
+	}
+	start := clk.Now()
+	var second *Invocation
+	s.Request(func(inv *Invocation) { second = inv })
+	clk.Advance(time.Second)
+	if second.Cold {
+		t.Fatalf("second invocation was cold")
+	}
+	if got := second.Started.Sub(start); got != 20*time.Millisecond {
+		t.Fatalf("warm start took %v", got)
+	}
+	u := s.Usage()
+	if u.ColdStarts != 1 || u.WarmStarts != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestWarmExpiry(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{WarmIdleTTL: time.Minute})
+	var inv *Invocation
+	s.Request(func(i *Invocation) { inv = i })
+	clk.Advance(time.Second)
+	inv.Finish()
+	clk.Advance(2 * time.Minute)
+	if s.WarmPool() != 0 {
+		t.Fatalf("warm pool should have expired")
+	}
+	var again *Invocation
+	s.Request(func(i *Invocation) { again = i })
+	clk.Advance(time.Second)
+	if !again.Cold {
+		t.Fatalf("expired warm worker was reused")
+	}
+}
+
+func TestHundredWorkersInOneSecond(t *testing.T) {
+	// The paper's elasticity claim: CF can create hundreds of workers in
+	// ~1 second, while the VM cluster needs 1-2 minutes.
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{ColdStart: 800 * time.Millisecond})
+	ready := 0
+	for i := 0; i < 200; i++ {
+		s.Request(func(inv *Invocation) { ready++ })
+	}
+	clk.Advance(time.Second)
+	if ready != 200 {
+		t.Fatalf("%d workers ready after 1s, want 200", ready)
+	}
+	if s.Active() != 200 {
+		t.Fatalf("active = %d", s.Active())
+	}
+}
+
+func TestConcurrencyCeilingQueues(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{MaxConcurrency: 2, ColdStart: 10 * time.Millisecond})
+	var invs []*Invocation
+	started := 0
+	for i := 0; i < 3; i++ {
+		s.Request(func(inv *Invocation) {
+			invs = append(invs, inv)
+			started++
+		})
+	}
+	clk.Advance(time.Second)
+	if started != 2 {
+		t.Fatalf("started %d, want 2 (third throttled)", started)
+	}
+	if s.Usage().Throttles != 1 {
+		t.Fatalf("throttles = %d", s.Usage().Throttles)
+	}
+	invs[0].Finish()
+	clk.Advance(time.Second)
+	if started != 3 {
+		t.Fatalf("queued invocation did not start after capacity freed")
+	}
+}
+
+func TestBilling(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	cfg := Config{MemoryGB: 2, PricePerGBSecond: 0.00001, PricePerInvocation: 0.0000002, ColdStart: time.Second}
+	s := NewService(clk, cfg)
+	var inv *Invocation
+	s.Request(func(i *Invocation) { inv = i })
+	clk.Advance(time.Second)
+	clk.Advance(10 * time.Second) // run for 10s
+	inv.Finish()
+	u := s.Usage()
+	wantGBs := 10.0 * 2
+	if u.GBSeconds < wantGBs-0.1 || u.GBSeconds > wantGBs+0.1 {
+		t.Fatalf("GB-seconds = %f, want ~%f", u.GBSeconds, wantGBs)
+	}
+	wantCost := wantGBs*0.00001 + 0.0000002
+	if u.Cost < wantCost*0.99 || u.Cost > wantCost*1.01 {
+		t.Fatalf("cost = %f, want ~%f", u.Cost, wantCost)
+	}
+}
+
+func TestFailedRunStillBilled(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{MemoryGB: 1, PricePerGBSecond: 0.00001})
+	var inv *Invocation
+	s.Request(func(i *Invocation) { inv = i })
+	clk.Advance(time.Second)
+	clk.Advance(5 * time.Second)
+	inv.Fail()
+	if s.Usage().GBSeconds < 4.9 {
+		t.Fatalf("failed run not billed: %f", s.Usage().GBSeconds)
+	}
+	if s.WarmPool() != 0 {
+		t.Fatalf("failed worker went back to warm pool")
+	}
+	if s.Active() != 0 {
+		t.Fatalf("failed worker still active")
+	}
+}
+
+func TestDoubleFinishIsNoop(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{})
+	var inv *Invocation
+	s.Request(func(i *Invocation) { inv = i })
+	clk.Advance(time.Second)
+	inv.Finish()
+	before := s.Usage()
+	inv.Finish()
+	if s.Usage() != before {
+		t.Fatalf("double finish changed usage")
+	}
+}
+
+func TestFailureInjectionMarksInvocations(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	s := NewService(clk, Config{FailureProb: 1.0, Seed: 1})
+	var inv *Invocation
+	s.Request(func(i *Invocation) { inv = i })
+	clk.Advance(time.Second)
+	if !inv.WillFail {
+		t.Fatalf("WillFail not set with FailureProb=1")
+	}
+	s2 := NewService(clk, Config{FailureProb: 0, Seed: 1})
+	var inv2 *Invocation
+	s2.Request(func(i *Invocation) { inv2 = i })
+	clk.Advance(time.Second)
+	if inv2.WillFail {
+		t.Fatalf("WillFail set with FailureProb=0")
+	}
+}
+
+func TestUnitPriceRatioInPaperBand(t *testing.T) {
+	// Defaults must land inside the paper's 9-24x CF:VM unit price band.
+	ratio := UnitPriceRatio(Config{}, 0.096/3600, 4)
+	if ratio < 9 || ratio > 24 {
+		t.Fatalf("unit price ratio %f outside the paper's 9-24x band", ratio)
+	}
+}

@@ -1,0 +1,227 @@
+// Package col defines the columnar value, vector and schema types shared by
+// the storage format, the SQL planner and the vectorized executor.
+//
+// The package is deliberately dependency-free: every layer of the engine
+// (internal/pixfile, internal/plan, internal/exec, internal/engine) speaks
+// col.Batch at its boundaries, so data flows through the system without
+// per-row boxing.
+package col
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Type identifies the physical type of a column or scalar value.
+type Type uint8
+
+// The supported column types. DATE is stored as days since the Unix epoch
+// and TIMESTAMP as microseconds since the Unix epoch, both in int64
+// vectors, matching common columnar formats.
+const (
+	UNKNOWN Type = iota
+	BOOL
+	INT64
+	FLOAT64
+	STRING
+	DATE
+	TIMESTAMP
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case BOOL:
+		return "BOOLEAN"
+	case INT64:
+		return "BIGINT"
+	case FLOAT64:
+		return "DOUBLE"
+	case STRING:
+		return "VARCHAR"
+	case DATE:
+		return "DATE"
+	case TIMESTAMP:
+		return "TIMESTAMP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseType parses a SQL type name (case-insensitive, with common aliases)
+// into a Type. It reports false if the name is not recognized.
+func ParseType(name string) (Type, bool) {
+	switch normalizeType(name) {
+	case "BOOLEAN", "BOOL":
+		return BOOL, true
+	case "BIGINT", "INT", "INTEGER", "LONG", "SMALLINT", "TINYINT":
+		return INT64, true
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return FLOAT64, true
+	case "VARCHAR", "CHAR", "STRING", "TEXT":
+		return STRING, true
+	case "DATE":
+		return DATE, true
+	case "TIMESTAMP", "DATETIME":
+		return TIMESTAMP, true
+	default:
+		return UNKNOWN, false
+	}
+}
+
+func normalizeType(name string) string {
+	// Strip a parenthesized length such as VARCHAR(32).
+	for i := 0; i < len(name); i++ {
+		if name[i] == '(' {
+			name = name[:i]
+			break
+		}
+	}
+	up := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up[i] = c
+	}
+	return string(up)
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool { return t == INT64 || t == FLOAT64 }
+
+// Orderable reports whether values of the type can be compared with < and >.
+func (t Type) Orderable() bool {
+	switch t {
+	case INT64, FLOAT64, STRING, DATE, TIMESTAMP, BOOL:
+		return true
+	}
+	return false
+}
+
+// Field is one column of a schema.
+type Field struct {
+	Name     string
+	Type     Type
+	Nullable bool
+}
+
+// Schema is an ordered list of fields.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.Fields) }
+
+// Index returns the position of the named field, or -1.
+func (s *Schema) Index(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the field names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	fields := make([]Field, len(s.Fields))
+	copy(fields, s.Fields)
+	return &Schema{Fields: fields}
+}
+
+// Project returns a new schema containing the fields at the given indexes.
+func (s *Schema) Project(idx []int) *Schema {
+	fields := make([]Field, len(idx))
+	for i, j := range idx {
+		fields[i] = s.Fields[j]
+	}
+	return &Schema{Fields: fields}
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	out := "("
+	for i, f := range s.Fields {
+		if i > 0 {
+			out += ", "
+		}
+		out += f.Name + " " + f.Type.String()
+		if f.Nullable {
+			out += " NULL"
+		}
+	}
+	return out + ")"
+}
+
+// Equal reports whether two schemas have identical fields.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DateToDays converts a civil date to the DATE storage representation.
+func DateToDays(year int, month time.Month, day int) int64 {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return t.Unix() / 86400
+}
+
+// DaysToDate converts the DATE storage representation back to a civil date.
+func DaysToDate(days int64) time.Time {
+	return time.Unix(days*86400, 0).UTC()
+}
+
+// ParseDate parses "YYYY-MM-DD" into the DATE representation.
+func ParseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("col: invalid date %q: %w", s, err)
+	}
+	return t.Unix() / 86400, nil
+}
+
+// FormatDate renders the DATE representation as "YYYY-MM-DD".
+func FormatDate(days int64) string {
+	return DaysToDate(days).Format("2006-01-02")
+}
+
+// ParseTimestamp parses "YYYY-MM-DD HH:MM:SS" into microseconds since epoch.
+func ParseTimestamp(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02 15:04:05", s)
+	if err != nil {
+		return 0, fmt.Errorf("col: invalid timestamp %q: %w", s, err)
+	}
+	return t.UnixMicro(), nil
+}
+
+// FormatTimestamp renders microseconds since epoch as "YYYY-MM-DD HH:MM:SS".
+func FormatTimestamp(micros int64) string {
+	return time.UnixMicro(micros).UTC().Format("2006-01-02 15:04:05")
+}
+
+// FormatFloat renders a float64 the way query results print it.
+func FormatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/cfsim"
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+)
+
+// newCoalesceRig builds a rig with coalescing enabled.
+func newCoalesceRig(t *testing.T, vms int) *testRig {
+	t.Helper()
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 1}, vms)
+	cf := cfsim.NewService(clk, cfsim.Config{})
+	ledger := billing.NewLedger()
+	ex := NewSimExecutor(clk, SimExecutorConfig{})
+	coord := NewCoordinator(clk, Config{CoalesceIdentical: true, GracePeriod: 10 * time.Minute},
+		cluster, cf, ex, ledger)
+	return &testRig{clk: clk, cluster: cluster, cf: cf, coord: coord, ledger: ledger}
+}
+
+func (r *testRig) submitKeyed(level billing.Level, bytes int64, key string) *Query {
+	return r.coord.SubmitKeyed("sim", level, SimPayload{Bytes: bytes}, key)
+}
+
+func TestCoalesceIdenticalQueries(t *testing.T) {
+	r := newCoalesceRig(t, 1)
+	leader := r.submitKeyed(billing.Immediate, 2500*mb, "tpch\x00SELECT 1")
+	f1 := r.submitKeyed(billing.Immediate, 2500*mb, "tpch\x00SELECT 1")
+	f2 := r.submitKeyed(billing.Relaxed, 2500*mb, "tpch\x00SELECT 1")
+	other := r.submitKeyed(billing.Immediate, 2500*mb, "tpch\x00SELECT 2")
+
+	if leader.Coalesced() || !f1.Coalesced() || !f2.Coalesced() || other.Coalesced() {
+		t.Fatalf("coalesce flags wrong: %v %v %v %v",
+			leader.Coalesced(), f1.Coalesced(), f2.Coalesced(), other.Coalesced())
+	}
+	r.clk.Advance(5 * time.Minute)
+	for _, q := range []*Query{leader, f1, f2, other} {
+		if q.Status() != StatusFinished {
+			t.Fatalf("%s status = %s", q.ID, q.Status())
+		}
+	}
+	// One VM execution for the trio, one for `other`: the identical pair
+	// of followers must not have consumed resources.
+	bills := map[string]billing.QueryBill{}
+	for _, b := range r.ledger.All() {
+		bills[b.QueryID] = b
+	}
+	if bills[leader.ID].Coalesced || bills[leader.ID].Usage.VMSeconds == 0 {
+		t.Fatalf("leader bill wrong: %+v", bills[leader.ID])
+	}
+	for _, f := range []*Query{f1, f2} {
+		b := bills[f.ID]
+		if !b.Coalesced {
+			t.Fatalf("follower %s not marked coalesced", f.ID)
+		}
+		if b.Usage.VMSeconds != 0 || b.Usage.CFGBSeconds != 0 {
+			t.Fatalf("follower %s consumed resources: %+v", f.ID, b.Usage)
+		}
+		if b.BytesScanned != bills[leader.ID].BytesScanned {
+			t.Fatalf("follower stats differ: %d vs %d", b.BytesScanned, bills[leader.ID].BytesScanned)
+		}
+		if b.ListPrice <= 0 {
+			t.Fatalf("follower not billed a list price")
+		}
+	}
+	// Relaxed follower pays the relaxed rate on the same bytes.
+	if bills[f2.ID].ListPrice >= bills[f1.ID].ListPrice {
+		t.Fatalf("level multiplier lost on follower: %f vs %f", bills[f2.ID].ListPrice, bills[f1.ID].ListPrice)
+	}
+	if got := r.coord.CoalescedCount(); got != 2 {
+		t.Fatalf("coalesced count = %d", got)
+	}
+}
+
+func TestCoalesceDisabledByDefault(t *testing.T) {
+	r := newRig(t, 2, Config{}, vmsim.Config{SlotsPerVM: 2}, cfsim.Config{})
+	a := r.coord.SubmitKeyed("q", billing.Immediate, SimPayload{Bytes: 250 * mb}, "k")
+	b := r.coord.SubmitKeyed("q", billing.Immediate, SimPayload{Bytes: 250 * mb}, "k")
+	if a.Coalesced() || b.Coalesced() {
+		t.Fatalf("coalesced without opt-in")
+	}
+	r.clk.Advance(time.Minute)
+	bills := r.ledger.All()
+	if bills[0].Usage.VMSeconds == 0 || bills[1].Usage.VMSeconds == 0 {
+		t.Fatalf("both queries should have executed")
+	}
+}
+
+func TestCoalesceNotAppliedAfterLeaderFinishes(t *testing.T) {
+	r := newCoalesceRig(t, 1)
+	leader := r.submitKeyed(billing.Immediate, 250*mb, "k")
+	r.clk.Advance(time.Minute)
+	if leader.Status() != StatusFinished {
+		t.Fatalf("leader status = %s", leader.Status())
+	}
+	late := r.submitKeyed(billing.Immediate, 250*mb, "k")
+	if late.Coalesced() {
+		t.Fatalf("coalesced with a finished query")
+	}
+	r.clk.Advance(time.Minute)
+	if late.Status() != StatusFinished {
+		t.Fatalf("late query stuck: %s", late.Status())
+	}
+}
+
+func TestCancelPendingQuery(t *testing.T) {
+	r := newRig(t, 1, Config{GracePeriod: 10 * time.Minute}, vmsim.Config{SlotsPerVM: 1}, cfsim.Config{})
+	r.submit(billing.Immediate, 25_000*mb) // occupy the only slot (~100s)
+	q := r.submit(billing.Relaxed, 250*mb)
+	if q.Status() != StatusPending {
+		t.Fatalf("setup: %s", q.Status())
+	}
+	if err := r.coord.Cancel(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if q.Status() != StatusFailed || q.Err() == nil {
+		t.Fatalf("canceled query: %s %v", q.Status(), q.Err())
+	}
+	// The grace timer must not resurrect it on CF.
+	r.clk.Advance(20 * time.Minute)
+	if q.UsedCF() {
+		t.Fatalf("canceled query ran on CF")
+	}
+	if u := r.cf.Usage(); u.Invocations != 0 {
+		t.Fatalf("CF invoked for canceled query")
+	}
+}
+
+func TestCancelRunningQueryRefused(t *testing.T) {
+	r := newRig(t, 1, Config{}, vmsim.Config{SlotsPerVM: 1}, cfsim.Config{})
+	q := r.submit(billing.Immediate, 2500*mb)
+	if q.Status() != StatusRunning {
+		t.Fatalf("setup: %s", q.Status())
+	}
+	if err := r.coord.Cancel(q.ID); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("cancel running = %v", err)
+	}
+	if err := r.coord.Cancel("nope"); err == nil {
+		t.Fatalf("cancel missing query succeeded")
+	}
+}
+
+func TestCancelLeaderPromotesFollower(t *testing.T) {
+	r := newCoalesceRig(t, 1)
+	blocker := r.submitKeyed(billing.Immediate, 25_000*mb, "blocker")
+	_ = blocker
+	// Leader queues as relaxed (slot busy); follower coalesces.
+	leader := r.submitKeyed(billing.Relaxed, 2500*mb, "k")
+	follower := r.submitKeyed(billing.Relaxed, 2500*mb, "k")
+	if !follower.Coalesced() {
+		t.Fatalf("setup: follower not coalesced")
+	}
+	if err := r.coord.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	if leader.Status() != StatusFailed {
+		t.Fatalf("leader status = %s", leader.Status())
+	}
+	// The follower is promoted and eventually completes on its own.
+	r.clk.Advance(30 * time.Minute)
+	if follower.Status() != StatusFinished {
+		t.Fatalf("promoted follower status = %s (%v)", follower.Status(), follower.Err())
+	}
+	bills := map[string]billing.QueryBill{}
+	for _, b := range r.ledger.All() {
+		bills[b.QueryID] = b
+	}
+	if bills[follower.ID].Coalesced {
+		t.Fatalf("promoted follower still marked coalesced")
+	}
+	if bills[follower.ID].Usage.VMSeconds == 0 && bills[follower.ID].Usage.CFGBSeconds == 0 {
+		t.Fatalf("promoted follower consumed nothing: %+v", bills[follower.ID].Usage)
+	}
+}
+
+func TestCancelFollowerLeavesLeader(t *testing.T) {
+	r := newCoalesceRig(t, 1)
+	r.submitKeyed(billing.Immediate, 25_000*mb, "blocker")
+	leader := r.submitKeyed(billing.Relaxed, 2500*mb, "k")
+	follower := r.submitKeyed(billing.Relaxed, 2500*mb, "k")
+	if err := r.coord.Cancel(follower.ID); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Status() != StatusFailed {
+		t.Fatalf("follower status = %s", follower.Status())
+	}
+	r.clk.Advance(30 * time.Minute)
+	if leader.Status() != StatusFinished {
+		t.Fatalf("leader harmed by follower cancel: %s", leader.Status())
+	}
+}
+
+func TestFollowerSharesFailure(t *testing.T) {
+	// Leader fails on CF; followers share the failure.
+	clk := vclock.NewVirtual(t0)
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 1}, 0)
+	cf := cfsim.NewService(clk, cfsim.Config{FailureProb: 1.0, Seed: 3})
+	ledger := billing.NewLedger()
+	coord := NewCoordinator(clk, Config{CoalesceIdentical: true, CFMaxParts: 2, CFTaskRetries: 1},
+		cluster, cf, NewSimExecutor(clk, SimExecutorConfig{}), ledger)
+	leader := coord.SubmitKeyed("q", billing.Immediate, SimPayload{Bytes: 600 * mb}, "k")
+	follower := coord.SubmitKeyed("q", billing.Immediate, SimPayload{Bytes: 600 * mb}, "k")
+	clk.Advance(10 * time.Minute)
+	if leader.Status() != StatusFailed || follower.Status() != StatusFailed {
+		t.Fatalf("statuses = %s / %s", leader.Status(), follower.Status())
+	}
+	if follower.Err() == nil {
+		t.Fatalf("follower has no error")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// RealPayload is the Query.Payload understood by RealExecutor.
+type RealPayload struct {
+	DB     string
+	Select *sql.Select
+}
+
+// RealExecutor runs queries on the actual engine: VM execution is a local
+// plan run; CF execution uses the engine's sub-plan splitting, with worker
+// tasks writing intermediates to the object store. Completions arrive from
+// goroutines, so it is meant for the real clock (the live server path).
+type RealExecutor struct {
+	Engine *engine.Engine
+}
+
+// VMRun implements Executor.
+func (r *RealExecutor) VMRun(q *Query, done func(Outcome)) {
+	payload, ok := q.Payload.(RealPayload)
+	if !ok {
+		done(Outcome{Err: fmt.Errorf("core: query %s has no SQL payload", q.ID)})
+		return
+	}
+	go func() {
+		node, err := r.Engine.PlanQuery(payload.DB, payload.Select)
+		if err != nil {
+			done(Outcome{Err: err})
+			return
+		}
+		res, err := r.Engine.RunPlan(context.Background(), node)
+		if err != nil {
+			done(Outcome{Err: err})
+			return
+		}
+		done(Outcome{Result: res, Stats: res.Stats})
+	}()
+}
+
+// CFPlan implements Executor.
+func (r *RealExecutor) CFPlan(q *Query, maxParts int) (CFJob, error) {
+	payload, ok := q.Payload.(RealPayload)
+	if !ok {
+		return nil, fmt.Errorf("core: query %s has no SQL payload", q.ID)
+	}
+	node, err := r.Engine.PlanQuery(payload.DB, payload.Select)
+	if err != nil {
+		return nil, err
+	}
+	split, err := r.Engine.SplitForCF(node, q.ID, maxParts)
+	if err != nil {
+		return nil, err
+	}
+	return &realCFJob{engine: r.Engine, split: split, interms: make([]catalog.FileMeta, len(split.Tasks))}, nil
+}
+
+type realCFJob struct {
+	engine  *engine.Engine
+	split   *engine.CFSplit
+	interms []catalog.FileMeta
+}
+
+// NumTasks implements CFJob.
+func (j *realCFJob) NumTasks() int { return len(j.split.Tasks) }
+
+// RunTask implements CFJob.
+func (j *realCFJob) RunTask(i int, done func(TaskOutcome)) {
+	go func() {
+		meta, stats, err := j.engine.RunWorker(context.Background(), j.split, i)
+		if err == nil {
+			j.interms[i] = meta
+		}
+		done(TaskOutcome{Err: err, Stats: stats})
+	}()
+}
+
+// Merge implements CFJob.
+func (j *realCFJob) Merge(done func(Outcome)) {
+	go func() {
+		res, err := j.engine.MergeResults(context.Background(), j.split, j.interms)
+		if err != nil {
+			done(Outcome{Err: err})
+			return
+		}
+		done(Outcome{Result: res, Stats: res.Stats})
+	}()
+}
+
+var _ Executor = (*RealExecutor)(nil)
+var _ CFJob = (*realCFJob)(nil)
+
+// PlanPayload lets callers submit an already-bound plan (used by the REST
+// server to report plan errors at submission time rather than
+// asynchronously).
+type PlanPayload struct {
+	Node plan.Node
+}
+
+// PlannedExecutor is a RealExecutor variant for pre-bound plans.
+type PlannedExecutor struct {
+	Engine *engine.Engine
+}
+
+// VMRun implements Executor.
+func (r *PlannedExecutor) VMRun(q *Query, done func(Outcome)) {
+	payload, ok := q.Payload.(PlanPayload)
+	if !ok {
+		done(Outcome{Err: fmt.Errorf("core: query %s has no plan payload", q.ID)})
+		return
+	}
+	go func() {
+		res, err := r.Engine.RunPlan(context.Background(), payload.Node)
+		if err != nil {
+			done(Outcome{Err: err})
+			return
+		}
+		done(Outcome{Result: res, Stats: res.Stats})
+	}()
+}
+
+// CFPlan implements Executor.
+func (r *PlannedExecutor) CFPlan(q *Query, maxParts int) (CFJob, error) {
+	payload, ok := q.Payload.(PlanPayload)
+	if !ok {
+		return nil, fmt.Errorf("core: query %s has no plan payload", q.ID)
+	}
+	split, err := r.Engine.SplitForCF(payload.Node, q.ID, maxParts)
+	if err != nil {
+		return nil, err
+	}
+	return &realCFJob{engine: r.Engine, split: split, interms: make([]catalog.FileMeta, len(split.Tasks))}, nil
+}
+
+var _ Executor = (*PlannedExecutor)(nil)

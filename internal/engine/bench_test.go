@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/objstore"
+	"repro/internal/pixfile"
+	"repro/internal/sql"
+)
+
+// benchEngine loads a 100k-row fact table once per benchmark binary.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e := New(catalog.New(), objstore.NewMemory())
+	ctx := context.Background()
+	for _, q := range []string{
+		"CREATE DATABASE db",
+		"CREATE TABLE dim (d_key BIGINT NOT NULL, d_name VARCHAR NOT NULL)",
+		"CREATE TABLE fact (f_key BIGINT NOT NULL, f_dim BIGINT NOT NULL, f_val DOUBLE NOT NULL, f_cat VARCHAR NOT NULL)",
+	} {
+		if _, err := e.Execute(ctx, "db", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for d := 0; d < 16; d++ {
+		if _, err := e.Execute(ctx, "db", fmt.Sprintf("INSERT INTO dim VALUES (%d, 'dim-%d')", d, d)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const n = 100_000
+	k := col.NewVector(col.INT64, n)
+	dm := col.NewVector(col.INT64, n)
+	v := col.NewVector(col.FLOAT64, n)
+	c := col.NewVector(col.STRING, n)
+	cats := []string{"x", "y", "z", "w"}
+	for i := 0; i < n; i++ {
+		k.Ints[i] = int64(i)
+		dm.Ints[i] = int64(i % 16)
+		v.Floats[i] = float64(i%1000) / 10
+		c.Strs[i] = cats[i%4]
+	}
+	if err := e.LoadBatch("db", "fact", col.NewBatch(k, dm, v, c), pixfile.WriterOptions{RowGroupSize: 8192}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchQuery(b *testing.B, e *Engine, q string) {
+	b.Helper()
+	ctx := context.Background()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*sql.Select)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		node, err := e.PlanQuery("db", sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.RunPlan(ctx, node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += res.Stats.BytesScanned
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkEngineScan measures a full single-column scan.
+func BenchmarkEngineScan(b *testing.B) {
+	benchQuery(b, benchEngine(b), "SELECT SUM(f_val) FROM fact")
+}
+
+// BenchmarkEngineFilterAgg measures filter + grouped aggregation.
+func BenchmarkEngineFilterAgg(b *testing.B) {
+	benchQuery(b, benchEngine(b), "SELECT f_cat, COUNT(*), AVG(f_val) FROM fact WHERE f_val > 50 GROUP BY f_cat")
+}
+
+// BenchmarkEngineZoneMapPointLookup measures a pruned point query.
+func BenchmarkEngineZoneMapPointLookup(b *testing.B) {
+	benchQuery(b, benchEngine(b), "SELECT f_val FROM fact WHERE f_key = 77777")
+}
+
+// BenchmarkEngineHashJoin measures a fact-dim join with aggregation.
+func BenchmarkEngineHashJoin(b *testing.B) {
+	benchQuery(b, benchEngine(b), `SELECT d.d_name, SUM(f.f_val) FROM fact f, dim d
+		WHERE f.f_dim = d.d_key GROUP BY d.d_name ORDER BY d.d_name`)
+}
+
+// BenchmarkEngineTopN measures sort + limit.
+func BenchmarkEngineTopN(b *testing.B) {
+	benchQuery(b, benchEngine(b), "SELECT f_key, f_val FROM fact ORDER BY f_val DESC LIMIT 10")
+}
+
+// BenchmarkEngineCFSplit measures the full CF path: split, 4 workers,
+// merge.
+func BenchmarkEngineCFSplit(b *testing.B) {
+	e := benchEngine(b)
+	ctx := context.Background()
+	stmt, _ := sql.Parse("SELECT f_cat, COUNT(*), SUM(f_val) FROM fact GROUP BY f_cat")
+	sel := stmt.(*sql.Select)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node, err := e.PlanQuery("db", sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, err := e.SplitForCF(node, fmt.Sprintf("bench-%d", i), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var interms []catalog.FileMeta
+		for t := range split.Tasks {
+			meta, _, err := e.RunWorker(ctx, split, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			interms = append(interms, meta)
+		}
+		if _, err := e.MergeResults(ctx, split, interms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPixfileWrite measures columnar encoding throughput.
+func BenchmarkPixfileWrite(b *testing.B) {
+	const n = 50_000
+	k := col.NewVector(col.INT64, n)
+	v := col.NewVector(col.FLOAT64, n)
+	s := col.NewVector(col.STRING, n)
+	for i := 0; i < n; i++ {
+		k.Ints[i] = int64(i)
+		v.Floats[i] = float64(i) * 1.5
+		s.Strs[i] = []string{"AIR", "RAIL", "SHIP"}[i%3]
+	}
+	batch := col.NewBatch(k, v, s)
+	schema := col.NewSchema(
+		col.Field{Name: "k", Type: col.INT64},
+		col.Field{Name: "v", Type: col.FLOAT64},
+		col.Field{Name: "s", Type: col.STRING},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := pixfile.NewWriter(schema, pixfile.WriterOptions{})
+		if err := w.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+		data, err := w.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}

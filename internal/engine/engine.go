@@ -1,0 +1,321 @@
+// Package engine glues the SQL front-end, planner, executor, catalog,
+// columnar format and object store into a runnable query engine. It is the
+// execution substrate that both the "VM side" and the CF workers of
+// Pixels-Turbo run; internal/core schedules onto it.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/objstore"
+	"repro/internal/pixfile"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Engine executes SQL over tables stored as pixfiles in an object store.
+// It is safe for concurrent use.
+type Engine struct {
+	cat   *catalog.Catalog
+	store objstore.Store
+
+	mu      sync.Mutex
+	fileSeq map[string]int // per-table file sequence for unique keys
+}
+
+// New builds an engine over a catalog and store.
+func New(cat *catalog.Catalog, store objstore.Store) *Engine {
+	return &Engine{cat: cat, store: store, fileSeq: make(map[string]int)}
+}
+
+// Catalog exposes the metadata service.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Store exposes the object store.
+func (e *Engine) Store() objstore.Store { return e.store }
+
+// Stats describes the physical work a query performed. BytesScanned counts
+// base-table bytes — the billing unit the $/TB-scan prices of Section
+// III-B apply to; BytesIntermediate counts reads of CF worker
+// intermediates, which are infrastructure cost but not "data scanned".
+type Stats struct {
+	RowsReturned      int64
+	RowsScanned       int64
+	BytesScanned      int64
+	BytesIntermediate int64
+	RowGroupsRead     int
+	RowGroupsPruned   int
+}
+
+// Add merges two stats.
+func (s *Stats) Add(o Stats) {
+	s.RowsReturned += o.RowsReturned
+	s.RowsScanned += o.RowsScanned
+	s.BytesScanned += o.BytesScanned
+	s.BytesIntermediate += o.BytesIntermediate
+	s.RowGroupsRead += o.RowGroupsRead
+	s.RowGroupsPruned += o.RowGroupsPruned
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Types   []col.Type
+	Rows    [][]col.Value
+	Stats   Stats
+}
+
+// resultFromBatch converts an output batch.
+func resultFromBatch(schema *col.Schema, b *col.Batch, stats Stats) *Result {
+	r := &Result{Stats: stats}
+	for _, f := range schema.Fields {
+		r.Columns = append(r.Columns, f.Name)
+		r.Types = append(r.Types, f.Type)
+	}
+	for i := 0; i < b.N; i++ {
+		r.Rows = append(r.Rows, b.Row(i))
+	}
+	r.Stats.RowsReturned = int64(b.N)
+	return r
+}
+
+// PlanQuery parses nothing: it binds an already-parsed SELECT into an
+// executable plan.
+func (e *Engine) PlanQuery(db string, sel *sql.Select) (plan.Node, error) {
+	return plan.NewBinder(e.cat, db).BindSelect(sel)
+}
+
+// Execute parses and runs any single statement against db. USE statements
+// are rejected here: session state belongs to the caller.
+func (e *Engine) Execute(ctx context.Context, db, text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(ctx, db, stmt)
+}
+
+// ExecuteStmt runs a parsed statement.
+func (e *Engine) ExecuteStmt(ctx context.Context, db string, stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		node, err := e.PlanQuery(db, s)
+		if err != nil {
+			return nil, err
+		}
+		return e.RunPlan(ctx, node)
+	case *sql.Explain:
+		inner, ok := s.Stmt.(*sql.Select)
+		if !ok {
+			return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
+		}
+		node, err := e.PlanQuery(db, inner)
+		if err != nil {
+			return nil, err
+		}
+		return explainResult(node), nil
+	case *sql.CreateDatabase:
+		return statusResult("CREATE DATABASE"), e.cat.CreateDatabase(s.Name)
+	case *sql.DropDatabase:
+		return statusResult("DROP DATABASE"), e.cat.DropDatabase(s.Name)
+	case *sql.CreateTable:
+		return statusResult("CREATE TABLE"), e.createTable(db, s)
+	case *sql.DropTable:
+		return statusResult("DROP TABLE"), e.dropTable(db, s)
+	case *sql.Insert:
+		n, err := e.insert(db, s)
+		if err != nil {
+			return nil, err
+		}
+		r := statusResult(fmt.Sprintf("INSERT %d", n))
+		return r, nil
+	case *sql.ShowDatabases:
+		return e.showDatabases(), nil
+	case *sql.ShowTables:
+		return e.showTables(db)
+	case *sql.Describe:
+		return e.describe(db, s.Table)
+	case *sql.Use:
+		return nil, fmt.Errorf("engine: USE is handled by the client session")
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func statusResult(msg string) *Result {
+	return &Result{
+		Columns: []string{"status"},
+		Types:   []col.Type{col.STRING},
+		Rows:    [][]col.Value{{col.Str(msg)}},
+	}
+}
+
+func explainResult(node plan.Node) *Result {
+	r := &Result{Columns: []string{"plan"}, Types: []col.Type{col.STRING}}
+	text := plan.Explain(node)
+	for _, line := range splitLines(text) {
+		r.Rows = append(r.Rows, []col.Value{col.Str(line)})
+	}
+	return r
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// RunPlan executes a plan locally (single process — the "VM side" path)
+// and materializes the result.
+func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
+	stats := &Stats{}
+	op, err := exec.Build(node, e.scanFactory(ctx, stats, nil))
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromBatch(node.Schema(), out, *stats), nil
+}
+
+// scanFactory builds per-scan batch iterators. overrides maps a ScanNode to
+// a replacement file list (used for CF partitioning and intermediate
+// reads); nil means the table's own files.
+func (e *Engine) scanFactory(ctx context.Context, stats *Stats, overrides map[*plan.ScanNode]scanOverride) func(*plan.ScanNode) func() (exec.BatchIterator, error) {
+	return func(node *plan.ScanNode) func() (exec.BatchIterator, error) {
+		return func() (exec.BatchIterator, error) {
+			files := node.Table.Files
+			interm := false
+			if ov, ok := overrides[node]; ok {
+				files = ov.files
+				interm = ov.interm
+			}
+			return e.newFileIterator(ctx, files, node.Cols, node.ZonePreds, stats, interm), nil
+		}
+	}
+}
+
+type scanOverride struct {
+	files  []catalog.FileMeta
+	interm bool // files are CF worker intermediates, not base-table data
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// newFileIterator streams row groups of a list of pixfiles, applying
+// zone-map pruning and projection, and accounting scanned bytes.
+func (e *Engine) newFileIterator(ctx context.Context, files []catalog.FileMeta, cols []int, preds []pixfile.ColPredicate, stats *Stats, interm bool) exec.BatchIterator {
+	fileIdx := 0
+	var f *pixfile.File
+	rg := 0
+	account := func(n int64) {
+		if interm {
+			stats.BytesIntermediate += n
+		} else {
+			stats.BytesScanned += n
+		}
+	}
+	return func() (*col.Batch, error) {
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if f == nil {
+				if fileIdx >= len(files) {
+					return nil, nil
+				}
+				meta := files[fileIdx]
+				fileIdx++
+				opened, err := pixfile.Open(func(off, length int64) ([]byte, error) {
+					return e.store.GetRange(meta.Key, off, length)
+				}, meta.Size)
+				if err != nil {
+					return nil, fmt.Errorf("engine: open %s: %w", meta.Key, err)
+				}
+				account(opened.BytesRead()) // footer
+				f = opened
+				rg = 0
+			}
+			if rg >= f.NumRowGroups() {
+				f = nil
+				continue
+			}
+			g := rg
+			rg++
+			if len(preds) > 0 && f.PruneRowGroup(g, preds) {
+				stats.RowGroupsPruned++
+				continue
+			}
+			before := f.BytesRead()
+			b, err := f.ReadColumns(g, cols)
+			if err != nil {
+				return nil, err
+			}
+			account(f.BytesRead() - before)
+			stats.RowsScanned += int64(b.N)
+			stats.RowGroupsRead++
+			return b, nil
+		}
+	}
+}
+
+// tableKeyPrefix is the object-store layout of a table.
+func tableKeyPrefix(db, table string) string { return db + "/" + table + "/" }
+
+// nextFileKey allocates a unique object key for a new table file.
+func (e *Engine) nextFileKey(db, table string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prefix := tableKeyPrefix(db, table)
+	seq := e.fileSeq[prefix]
+	e.fileSeq[prefix] = seq + 1
+	return fmt.Sprintf("%sdata-%06d.pxl", prefix, seq)
+}
+
+// LoadBatch writes a batch as a new file of the table and registers it in
+// the catalog. It is the bulk-load path used by the workload generator.
+func (e *Engine) LoadBatch(db, table string, batch *col.Batch, opts pixfile.WriterOptions) error {
+	t, err := e.cat.GetTable(db, table)
+	if err != nil {
+		return err
+	}
+	w := pixfile.NewWriter(t.Schema(), opts)
+	if err := w.Append(batch); err != nil {
+		return err
+	}
+	data, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	key := e.nextFileKey(db, table)
+	if err := e.store.Put(key, data); err != nil {
+		return err
+	}
+	return e.cat.AddFiles(db, table, catalog.FileMeta{
+		Key: key, Size: int64(len(data)), Rows: int64(batch.N),
+	})
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// TestCFSplitEquivalenceProperty: for randomized aggregate queries, the CF
+// path (split -> workers -> merge) must produce exactly the local result.
+func TestCFSplitEquivalenceProperty(t *testing.T) {
+	e := newSplitEngine(t)
+	ctx := context.Background()
+	groupCols := []string{"f_cat", "f_dim"}
+	aggs := []string{"COUNT(*)", "SUM(f_val)", "AVG(f_val)", "MIN(f_key)", "MAX(f_val)"}
+
+	runID := 0
+	f := func(groupPick, aggPick, threshold uint8, partsPick uint8) bool {
+		runID++
+		group := groupCols[int(groupPick)%len(groupCols)]
+		agg := aggs[int(aggPick)%len(aggs)]
+		parts := 1 + int(partsPick)%6
+		q := fmt.Sprintf("SELECT %s, %s AS a FROM fact WHERE f_val > %d GROUP BY %s ORDER BY %s",
+			group, agg, int(threshold)%10, group, group)
+
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return false
+		}
+		sel := stmt.(*sql.Select)
+		localPlan, err := e.PlanQuery("db", sel)
+		if err != nil {
+			return false
+		}
+		local, err := e.RunPlan(ctx, localPlan)
+		if err != nil {
+			return false
+		}
+
+		cfPlan, err := e.PlanQuery("db", sel)
+		if err != nil {
+			return false
+		}
+		split, err := e.SplitForCF(cfPlan, fmt.Sprintf("prop-%d", runID), parts)
+		if err != nil {
+			return false
+		}
+		var interms []catalog.FileMeta
+		for i := range split.Tasks {
+			meta, _, err := e.RunWorker(ctx, split, i)
+			if err != nil {
+				return false
+			}
+			interms = append(interms, meta)
+		}
+		merged, err := e.MergeResults(ctx, split, interms)
+		if err != nil {
+			return false
+		}
+		// Partial aggregation reorders float additions, so float cells are
+		// compared with a relative tolerance; everything else exactly.
+		if len(local.Rows) != len(merged.Rows) {
+			return false
+		}
+		for i := range local.Rows {
+			for c := range local.Rows[i] {
+				a, b := local.Rows[i][c], merged.Rows[i][c]
+				if a.Null != b.Null {
+					return false
+				}
+				if a.Null {
+					continue
+				}
+				if a.Type.Numeric() && b.Type.Numeric() {
+					af, bf := a.AsFloat(), b.AsFloat()
+					diff := af - bf
+					if diff < 0 {
+						diff = -diff
+					}
+					scale := 1.0
+					if af > scale {
+						scale = af
+					}
+					if -af > scale {
+						scale = -af
+					}
+					if diff > 1e-9*scale {
+						t.Logf("query %q parts=%d row %d col %d: local %v vs cf %v", q, parts, i, c, a, b)
+						return false
+					}
+					continue
+				}
+				if !a.Equal(b) {
+					t.Logf("query %q parts=%d row %d col %d: local %v vs cf %v", q, parts, i, c, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZoneMapEquivalenceProperty: stripping zone-map predicates (disabling
+// pruning) must never change query results — pruning is purely a physical
+// optimization.
+func TestZoneMapEquivalenceProperty(t *testing.T) {
+	e := newSplitEngine(t)
+	ctx := context.Background()
+	ops := []string{"=", "<", "<=", ">", ">=", "<>"}
+
+	f := func(opPick uint8, key uint16) bool {
+		op := ops[int(opPick)%len(ops)]
+		q := fmt.Sprintf("SELECT COUNT(*), SUM(f_val) FROM fact WHERE f_key %s %d", op, int(key)%3500)
+
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return false
+		}
+		sel := stmt.(*sql.Select)
+
+		pruned, err := e.PlanQuery("db", sel)
+		if err != nil {
+			return false
+		}
+		prunedRes, err := e.RunPlan(ctx, pruned)
+		if err != nil {
+			return false
+		}
+
+		unpruned, err := e.PlanQuery("db", sel)
+		if err != nil {
+			return false
+		}
+		for _, scan := range plan.Scans(unpruned) {
+			scan.ZonePreds = nil
+		}
+		unprunedRes, err := e.RunPlan(ctx, unpruned)
+		if err != nil {
+			return false
+		}
+
+		lg, mg := rowsAsStrings(prunedRes), rowsAsStrings(unprunedRes)
+		if len(lg) != len(mg) {
+			return false
+		}
+		for i := range lg {
+			if lg[i] != mg[i] {
+				t.Logf("query %q: pruned %q vs unpruned %q", q, lg[i], mg[i])
+				return false
+			}
+		}
+		// Equality predicates on the clustered key must actually prune.
+		if op == "=" && prunedRes.Stats.RowGroupsPruned == 0 {
+			t.Logf("query %q pruned nothing", q)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortedOutputProperty: ORDER BY output must be sorted regardless of
+// filter selectivity.
+func TestSortedOutputProperty(t *testing.T) {
+	e := newSplitEngine(t)
+	ctx := context.Background()
+	f := func(threshold uint8) bool {
+		q := fmt.Sprintf("SELECT f_key, f_val FROM fact WHERE f_val > %d ORDER BY f_val DESC, f_key ASC LIMIT 50", int(threshold)%10)
+		res, err := e.Execute(ctx, "db", q)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			prev, cur := res.Rows[i-1], res.Rows[i]
+			if prev[1].F < cur[1].F {
+				return false
+			}
+			if prev[1].F == cur[1].F && prev[0].I > cur[0].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

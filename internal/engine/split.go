@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/pixfile"
+	"repro/internal/plan"
+)
+
+// SplitMode says how a plan was decomposed for CF execution.
+type SplitMode uint8
+
+// Split modes. PartialAgg pushes scan+filter+partial aggregation into the
+// workers and merges on the coordinator (the common analytic case);
+// ScanPushdown pushes scan+filter of the largest table and leaves joins
+// and aggregation to the coordinator-side top-level plan — exactly the
+// "push down the expensive operators into a sub-plan" flow of Sec. III-A.
+const (
+	SplitPartialAgg SplitMode = iota
+	SplitScanPushdown
+)
+
+func (m SplitMode) String() string {
+	if m == SplitPartialAgg {
+		return "partial-agg"
+	}
+	return "scan-pushdown"
+}
+
+// WorkerTask is the unit of work one CF worker executes: the shared
+// fragment plan over this task's file partition.
+type WorkerTask struct {
+	Part  int
+	Files []catalog.FileMeta
+}
+
+// CFSplit is a plan decomposed into CF worker tasks plus a coordinator
+// merge plan.
+type CFSplit struct {
+	Mode    SplitMode
+	QueryID string
+	Tasks   []WorkerTask
+
+	workerPlan plan.Node      // fragment executed by each worker
+	partScan   *plan.ScanNode // the partitioned scan inside workerPlan
+	interm     *plan.ScanNode // synthetic scan over intermediates
+	mergePlan  plan.Node
+}
+
+// WorkerSchema is the schema of worker intermediate files.
+func (s *CFSplit) WorkerSchema() *col.Schema { return s.workerPlan.Schema() }
+
+// SplitForCF decomposes a bound plan into `parts` CF worker tasks. It
+// returns an error only on internal inconsistencies; any plan with at
+// least one scannable file can be split.
+func (e *Engine) SplitForCF(node plan.Node, queryID string, parts int) (*CFSplit, error) {
+	if parts < 1 {
+		parts = 1
+	}
+	split := &CFSplit{QueryID: queryID}
+
+	agg, joins, aggCount := analyze(node)
+	scans := plan.Scans(node)
+	if len(scans) == 0 {
+		return nil, fmt.Errorf("engine: plan has no scans to push down")
+	}
+
+	if agg != nil && aggCount == 1 && joins == 0 && !hasDistinctAgg(agg) && singleScanBelow(agg) != nil {
+		if err := e.splitPartialAgg(split, node, agg); err != nil {
+			return nil, err
+		}
+	} else {
+		e.splitScanPushdown(split, node, scans)
+	}
+
+	// Partition the chosen scan's files.
+	files := split.partScan.Table.Files
+	if len(files) == 0 {
+		return nil, fmt.Errorf("engine: table %s has no files", split.partScan.Table.Name)
+	}
+	if parts > len(files) {
+		parts = len(files)
+	}
+	for p := 0; p < parts; p++ {
+		var mine []catalog.FileMeta
+		for i := p; i < len(files); i += parts {
+			mine = append(mine, files[i])
+		}
+		split.Tasks = append(split.Tasks, WorkerTask{Part: p, Files: mine})
+	}
+	return split, nil
+}
+
+// analyze finds the unique AggNode (if any), the join count and agg count.
+func analyze(node plan.Node) (*plan.AggNode, int, int) {
+	var agg *plan.AggNode
+	joins, aggs := 0, 0
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.AggNode:
+			agg = x
+			aggs++
+		case *plan.JoinNode:
+			joins++
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(node)
+	return agg, joins, aggs
+}
+
+func hasDistinctAgg(a *plan.AggNode) bool {
+	for _, sp := range a.Aggs {
+		if sp.Distinct {
+			return true
+		}
+	}
+	// A pure group-by-all node (DISTINCT) merges correctly (dedup of
+	// dedups), so it does not disqualify.
+	return false
+}
+
+// singleScanBelow returns the unique scan under the agg, or nil.
+func singleScanBelow(a *plan.AggNode) *plan.ScanNode {
+	scans := plan.Scans(a.Child)
+	if len(scans) == 1 {
+		return scans[0]
+	}
+	return nil
+}
+
+// splitPartialAgg builds worker partial aggregation plus coordinator final
+// aggregation.
+func (e *Engine) splitPartialAgg(split *CFSplit, root plan.Node, agg *plan.AggNode) error {
+	split.Mode = SplitPartialAgg
+	split.partScan = singleScanBelow(agg)
+
+	ng := len(agg.GroupBy)
+	var partial []plan.AggSpec
+	// fromPartial[i] lists the partial-output positions feeding original
+	// agg i (two entries for AVG: sum then count).
+	fromPartial := make([][]int, len(agg.Aggs))
+	for i, sp := range agg.Aggs {
+		switch sp.Func {
+		case plan.AggCountStar, plan.AggCount:
+			fromPartial[i] = []int{len(partial)}
+			partial = append(partial, sp) // output INT64 count
+		case plan.AggSum, plan.AggMin, plan.AggMax:
+			fromPartial[i] = []int{len(partial)}
+			partial = append(partial, sp)
+		case plan.AggAvg:
+			sum := plan.AggSpec{Func: plan.AggSum, Arg: sp.Arg, Name: sp.Name + "_sum", Ty: sumType(sp.Arg.Type())}
+			cnt := plan.AggSpec{Func: plan.AggCount, Arg: sp.Arg, Name: sp.Name + "_count", Ty: col.INT64}
+			fromPartial[i] = []int{len(partial), len(partial) + 1}
+			partial = append(partial, sum, cnt)
+		default:
+			return fmt.Errorf("engine: cannot split aggregate %s", sp)
+		}
+	}
+
+	split.workerPlan = &plan.AggNode{
+		Child:      agg.Child,
+		GroupBy:    agg.GroupBy,
+		GroupNames: agg.GroupNames,
+		Aggs:       partial,
+	}
+	wSchema := split.workerPlan.Schema()
+
+	// Synthetic scan over worker intermediates.
+	split.interm = intermScan(split.QueryID, wSchema)
+
+	// Final aggregation over the intermediates.
+	finalAgg := &plan.AggNode{Child: split.interm}
+	for i := 0; i < ng; i++ {
+		f := wSchema.Fields[i]
+		finalAgg.GroupBy = append(finalAgg.GroupBy, derived(i, f))
+		finalAgg.GroupNames = append(finalAgg.GroupNames, f.Name)
+	}
+	for j, sp := range partial {
+		f := wSchema.Fields[ng+j]
+		arg := derived(ng+j, f)
+		var fn plan.AggFunc
+		switch sp.Func {
+		case plan.AggCountStar, plan.AggCount, plan.AggSum:
+			fn = plan.AggSum
+		case plan.AggMin:
+			fn = plan.AggMin
+		case plan.AggMax:
+			fn = plan.AggMax
+		}
+		finalAgg.Aggs = append(finalAgg.Aggs, plan.AggSpec{
+			Func: fn, Arg: arg, Name: sp.Name, Ty: f.Type,
+		})
+	}
+	fSchema := finalAgg.Schema()
+
+	// Mapping projection reconstructing the original aggregate output.
+	mapping := &plan.ProjectNode{Child: finalAgg}
+	origSchema := agg.Schema()
+	for i := 0; i < ng; i++ {
+		mapping.Exprs = append(mapping.Exprs, derived(i, fSchema.Fields[i]))
+		mapping.Names = append(mapping.Names, origSchema.Fields[i].Name)
+	}
+	for i, sp := range agg.Aggs {
+		var ex plan.BoundExpr
+		if sp.Func == plan.AggAvg {
+			sumPos, cntPos := ng+fromPartial[i][0], ng+fromPartial[i][1]
+			ex = &plan.BBinary{
+				Op: "/",
+				L:  derived(sumPos, fSchema.Fields[sumPos]),
+				R:  derived(cntPos, fSchema.Fields[cntPos]),
+				Ty: col.FLOAT64,
+			}
+		} else {
+			// COUNT merged via SUM can yield NULL only if no partials
+			// exist, which cannot happen (workers always emit).
+			pos := ng + fromPartial[i][0]
+			ex = derived(pos, fSchema.Fields[pos])
+		}
+		mapping.Exprs = append(mapping.Exprs, ex)
+		mapping.Names = append(mapping.Names, origSchema.Fields[ng+i].Name)
+	}
+
+	split.mergePlan = replaceNode(root, agg, mapping)
+	return nil
+}
+
+func sumType(t col.Type) col.Type {
+	if t == col.FLOAT64 {
+		return col.FLOAT64
+	}
+	return col.INT64
+}
+
+func derived(ordinal int, f col.Field) *plan.BCol {
+	return &plan.BCol{
+		Rel: plan.DerivedRel, Ordinal: ordinal,
+		Name: f.Name, Ty: f.Type, Nullable: f.Nullable,
+	}
+}
+
+// splitScanPushdown pushes the largest scan into workers.
+func (e *Engine) splitScanPushdown(split *CFSplit, root plan.Node, scans []*plan.ScanNode) {
+	split.Mode = SplitScanPushdown
+	largest := scans[0]
+	for _, s := range scans[1:] {
+		if s.Table.TotalBytes() > largest.Table.TotalBytes() {
+			largest = s
+		}
+	}
+	split.partScan = largest
+	split.workerPlan = largest
+	split.interm = intermScan(split.QueryID, largest.Schema())
+	split.mergePlan = replaceNode(root, largest, split.interm)
+}
+
+// intermScan builds a synthetic scan node over worker output files.
+func intermScan(queryID string, schema *col.Schema) *plan.ScanNode {
+	t := &catalog.Table{Name: "_interm_" + queryID}
+	for _, f := range schema.Fields {
+		t.Columns = append(t.Columns, catalog.Column{Name: f.Name, Type: f.Type, Nullable: true})
+	}
+	return &plan.ScanNode{
+		DB:      "_intermediate",
+		Table:   t,
+		Binding: t.Name,
+		Rel:     0,
+		Cols:    identity(schema.Len()),
+	}
+}
+
+// replaceNode returns a copy of the tree with old swapped for repl. Nodes
+// outside the root→old path are shared.
+func replaceNode(n, old, repl plan.Node) plan.Node {
+	if n == old {
+		return repl
+	}
+	switch x := n.(type) {
+	case *plan.ScanNode:
+		return x
+	case *plan.FilterNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
+	case *plan.ProjectNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
+	case *plan.JoinNode:
+		cp := *x
+		cp.Left = replaceNode(x.Left, old, repl)
+		cp.Right = replaceNode(x.Right, old, repl)
+		return &cp
+	case *plan.AggNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
+	case *plan.SortNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
+	case *plan.LimitNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
+	default:
+		panic(fmt.Sprintf("engine: replaceNode unknown node %T", n))
+	}
+}
+
+// intermKey is the object key of one worker's intermediate output.
+func intermKey(queryID string, part int) string {
+	return fmt.Sprintf("_intermediate/%s/part-%05d.pxl", queryID, part)
+}
+
+// RunWorker executes one worker task: the fragment over the task's file
+// partition, writing the result as an intermediate pixfile. It returns the
+// intermediate's metadata plus the worker's scan statistics.
+func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catalog.FileMeta, Stats, error) {
+	if task < 0 || task >= len(split.Tasks) {
+		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: task %d out of range %d", task, len(split.Tasks))
+	}
+	stats := &Stats{}
+	overrides := map[*plan.ScanNode]scanOverride{
+		split.partScan: {files: split.Tasks[task].Files},
+	}
+	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides))
+	if err != nil {
+		return catalog.FileMeta{}, Stats{}, err
+	}
+	out, err := exec.Collect(op)
+	if err != nil {
+		return catalog.FileMeta{}, Stats{}, err
+	}
+
+	w := pixfile.NewWriter(split.workerPlan.Schema(), pixfile.WriterOptions{})
+	if err := w.Append(out); err != nil {
+		return catalog.FileMeta{}, Stats{}, err
+	}
+	data, err := w.Finish()
+	if err != nil {
+		return catalog.FileMeta{}, Stats{}, err
+	}
+	key := intermKey(split.QueryID, task)
+	if err := e.store.Put(key, data); err != nil {
+		return catalog.FileMeta{}, Stats{}, err
+	}
+	return catalog.FileMeta{Key: key, Size: int64(len(data)), Rows: int64(out.N)}, *stats, nil
+}
+
+// MergeResults runs the coordinator-side merge plan over the worker
+// intermediates and cleans them up.
+func (e *Engine) MergeResults(ctx context.Context, split *CFSplit, interms []catalog.FileMeta) (*Result, error) {
+	stats := &Stats{}
+	overrides := map[*plan.ScanNode]scanOverride{
+		split.interm: {files: interms, interm: true},
+	}
+	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides))
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range interms {
+		_ = e.store.Delete(m.Key)
+	}
+	return resultFromBatch(split.mergePlan.Schema(), out, *stats), nil
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/objstore"
+	"repro/internal/pixfile"
+	"repro/internal/sql"
+)
+
+// newSplitEngine loads a multi-file fact table so CF partitioning has
+// something to chew on.
+func newSplitEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(catalog.New(), objstore.NewMemory())
+	ctx := context.Background()
+	for _, q := range []string{
+		"CREATE DATABASE db",
+		"CREATE TABLE dim (d_key BIGINT NOT NULL, d_name VARCHAR NOT NULL)",
+		"CREATE TABLE fact (f_key BIGINT NOT NULL, f_dim BIGINT NOT NULL, f_val DOUBLE NOT NULL, f_cat VARCHAR NOT NULL)",
+	} {
+		if _, err := e.Execute(ctx, "db", q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		q := fmt.Sprintf("INSERT INTO dim VALUES (%d, 'dim-%d')", d, d)
+		if _, err := e.Execute(ctx, "db", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 files x 500 rows.
+	for f := 0; f < 6; f++ {
+		k := col.NewVector(col.INT64, 500)
+		dm := col.NewVector(col.INT64, 500)
+		v := col.NewVector(col.FLOAT64, 500)
+		c := col.NewVector(col.STRING, 500)
+		for i := 0; i < 500; i++ {
+			id := f*500 + i
+			k.Ints[i] = int64(id)
+			dm.Ints[i] = int64(id % 4)
+			v.Floats[i] = float64(id%100) / 10
+			c.Strs[i] = []string{"x", "y", "z"}[id%3]
+		}
+		if err := e.LoadBatch("db", "fact", col.NewBatch(k, dm, v, c), pixfile.WriterOptions{RowGroupSize: 128}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// runBothWays executes q locally and through the CF split path with the
+// given worker count, asserting identical results.
+func runBothWays(t *testing.T, e *Engine, q string, parts int) (SplitMode, Stats) {
+	t.Helper()
+	ctx := context.Background()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel := stmt.(*sql.Select)
+
+	localPlan, err := e.PlanQuery("db", sel)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	local, err := e.RunPlan(ctx, localPlan)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	cfPlan, err := e.PlanQuery("db", sel)
+	if err != nil {
+		t.Fatalf("plan2: %v", err)
+	}
+	split, err := e.SplitForCF(cfPlan, fmt.Sprintf("q-%d", parts), parts)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	var interms []catalog.FileMeta
+	var workerStats Stats
+	for i := range split.Tasks {
+		meta, st, err := e.RunWorker(ctx, split, i)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workerStats.Add(st)
+		interms = append(interms, meta)
+	}
+	merged, err := e.MergeResults(ctx, split, interms)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	lg, mg := rowsAsStrings(local), rowsAsStrings(merged)
+	if len(lg) != len(mg) {
+		t.Fatalf("row counts differ: local %d vs cf %d\nlocal: %v\ncf: %v", len(lg), len(mg), lg, mg)
+	}
+	for i := range lg {
+		if lg[i] != mg[i] {
+			t.Fatalf("row %d differs:\nlocal: %q\ncf:    %q", i, lg[i], mg[i])
+		}
+	}
+	workerStats.Add(merged.Stats)
+	return split.Mode, workerStats
+}
+
+func TestSplitPartialAggGlobal(t *testing.T) {
+	e := newSplitEngine(t)
+	mode, _ := runBothWays(t, e, "SELECT COUNT(*), SUM(f_val), AVG(f_val), MIN(f_key), MAX(f_key) FROM fact WHERE f_val > 2", 4)
+	if mode != SplitPartialAgg {
+		t.Fatalf("mode = %s, want partial-agg", mode)
+	}
+}
+
+func TestSplitPartialAggGrouped(t *testing.T) {
+	e := newSplitEngine(t)
+	mode, _ := runBothWays(t, e, `SELECT f_cat, COUNT(*) AS cnt, SUM(f_val) AS total, AVG(f_val) AS mean
+		FROM fact GROUP BY f_cat ORDER BY f_cat`, 3)
+	if mode != SplitPartialAgg {
+		t.Fatalf("mode = %s", mode)
+	}
+}
+
+func TestSplitPartialAggHavingAndLimit(t *testing.T) {
+	e := newSplitEngine(t)
+	runBothWays(t, e, `SELECT f_dim, COUNT(*) AS cnt FROM fact
+		GROUP BY f_dim HAVING COUNT(*) > 10 ORDER BY cnt DESC, f_dim LIMIT 3`, 5)
+}
+
+func TestSplitScanPushdownJoin(t *testing.T) {
+	e := newSplitEngine(t)
+	mode, _ := runBothWays(t, e, `SELECT d.d_name, COUNT(*) AS cnt, SUM(f.f_val) AS total
+		FROM fact f, dim d WHERE f.f_dim = d.d_key AND f.f_val > 1
+		GROUP BY d.d_name ORDER BY d.d_name`, 4)
+	if mode != SplitScanPushdown {
+		t.Fatalf("mode = %s, want scan-pushdown", mode)
+	}
+}
+
+func TestSplitScanPushdownNoAgg(t *testing.T) {
+	e := newSplitEngine(t)
+	mode, _ := runBothWays(t, e, "SELECT f_key, f_val FROM fact WHERE f_key >= 1490 AND f_key < 1505 ORDER BY f_key", 6)
+	if mode != SplitScanPushdown {
+		t.Fatalf("mode = %s", mode)
+	}
+}
+
+func TestSplitCountDistinctFallsBackToScanMode(t *testing.T) {
+	e := newSplitEngine(t)
+	mode, _ := runBothWays(t, e, "SELECT COUNT(DISTINCT f_cat) FROM fact", 4)
+	if mode != SplitScanPushdown {
+		t.Fatalf("mode = %s, want scan-pushdown for COUNT DISTINCT", mode)
+	}
+}
+
+func TestSplitSingleWorker(t *testing.T) {
+	e := newSplitEngine(t)
+	runBothWays(t, e, "SELECT f_cat, SUM(f_val) FROM fact GROUP BY f_cat ORDER BY f_cat", 1)
+}
+
+func TestSplitMoreWorkersThanFiles(t *testing.T) {
+	e := newSplitEngine(t)
+	ctx := context.Background()
+	stmt, _ := sql.Parse("SELECT COUNT(*) FROM fact")
+	node, err := e.PlanQuery("db", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := e.SplitForCF(node, "q-many", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Tasks) != 6 { // clamped to file count
+		t.Fatalf("tasks = %d, want 6", len(split.Tasks))
+	}
+	var interms []catalog.FileMeta
+	for i := range split.Tasks {
+		m, _, err := e.RunWorker(ctx, split, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interms = append(interms, m)
+	}
+	r, err := e.MergeResults(ctx, split, interms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 3000 {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+}
+
+func TestSplitStatsSeparateIntermediates(t *testing.T) {
+	e := newSplitEngine(t)
+	_, stats := runBothWays(t, e, "SELECT f_cat, COUNT(*) FROM fact GROUP BY f_cat ORDER BY f_cat", 3)
+	if stats.BytesScanned <= 0 {
+		t.Fatalf("no base bytes accounted")
+	}
+	if stats.BytesIntermediate <= 0 {
+		t.Fatalf("no intermediate bytes accounted")
+	}
+	if stats.BytesIntermediate >= stats.BytesScanned {
+		t.Fatalf("intermediates (%d) should be far smaller than base scan (%d)", stats.BytesIntermediate, stats.BytesScanned)
+	}
+}
+
+func TestIntermediatesCleanedUp(t *testing.T) {
+	e := newSplitEngine(t)
+	runBothWays(t, e, "SELECT COUNT(*) FROM fact", 4)
+	infos, err := e.Store().List("_intermediate/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("intermediates left behind: %v", infos)
+	}
+}

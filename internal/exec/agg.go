@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// HashAggOp implements grouped and global aggregation.
+type HashAggOp struct {
+	node  *plan.AggNode
+	child Operator
+	ev    *Evaluator
+
+	out  *col.Batch
+	done bool
+}
+
+// NewHashAggOp builds a hash-aggregation operator.
+func NewHashAggOp(node *plan.AggNode, child Operator) *HashAggOp {
+	return &HashAggOp{node: node, child: child, ev: NewEvaluator()}
+}
+
+// Schema implements Operator.
+func (a *HashAggOp) Schema() *col.Schema { return a.node.Schema() }
+
+// aggState is the running state of one aggregate within one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	min, max col.Value
+	hasMM    bool
+	distinct map[string]bool
+}
+
+func (st *aggState) update(spec *plan.AggSpec, v col.Value, keyBuf *strings.Builder) {
+	if spec.Func == plan.AggCountStar {
+		st.count++
+		return
+	}
+	if v.Null {
+		return // aggregates skip NULL inputs
+	}
+	if spec.Distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]bool)
+		}
+		keyBuf.Reset()
+		keyBuf.WriteString(v.Type.String())
+		keyBuf.WriteByte('~')
+		keyBuf.WriteString(v.String())
+		k := keyBuf.String()
+		if st.distinct[k] {
+			return
+		}
+		st.distinct[k] = true
+	}
+	st.count++
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		if v.Type == col.FLOAT64 {
+			st.sumF += v.F
+		} else {
+			st.sumI += v.I
+			st.sumF += float64(v.I)
+		}
+	case plan.AggMin, plan.AggMax:
+		if !st.hasMM {
+			st.min, st.max, st.hasMM = v, v, true
+			return
+		}
+		if v.Compare(st.min) < 0 {
+			st.min = v
+		}
+		if v.Compare(st.max) > 0 {
+			st.max = v
+		}
+	}
+}
+
+func (st *aggState) result(spec *plan.AggSpec) col.Value {
+	switch spec.Func {
+	case plan.AggCountStar, plan.AggCount:
+		return col.Int(st.count)
+	case plan.AggSum:
+		if st.count == 0 {
+			return col.NullValue(spec.Ty)
+		}
+		if spec.Ty == col.INT64 {
+			return col.Int(st.sumI)
+		}
+		return col.Float(st.sumF)
+	case plan.AggAvg:
+		if st.count == 0 {
+			return col.NullValue(col.FLOAT64)
+		}
+		return col.Float(st.sumF / float64(st.count))
+	case plan.AggMin:
+		if !st.hasMM {
+			return col.NullValue(spec.Ty)
+		}
+		return st.min
+	case plan.AggMax:
+		if !st.hasMM {
+			return col.NullValue(spec.Ty)
+		}
+		return st.max
+	default:
+		return col.NullValue(spec.Ty)
+	}
+}
+
+// Open implements Operator: it drains the child and builds the groups.
+func (a *HashAggOp) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	a.done = false
+
+	type group struct {
+		keyRow []col.Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic output order (first appearance)
+
+	var keyBuf, valBuf strings.Builder
+	for {
+		b, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		// Evaluate group keys and aggregate arguments once per batch.
+		keyVecs := make([]*col.Vector, len(a.node.GroupBy))
+		for i, g := range a.node.GroupBy {
+			v, err := a.ev.Eval(g, b)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		argVecs := make([]*col.Vector, len(a.node.Aggs))
+		for i := range a.node.Aggs {
+			if a.node.Aggs[i].Arg == nil {
+				continue
+			}
+			v, err := a.ev.Eval(a.node.Aggs[i].Arg, b)
+			if err != nil {
+				return err
+			}
+			argVecs[i] = v
+		}
+		for r := 0; r < b.N; r++ {
+			key := groupKey(keyVecs, r, &keyBuf)
+			g, ok := groups[key]
+			if !ok {
+				g = &group{states: make([]aggState, len(a.node.Aggs))}
+				g.keyRow = make([]col.Value, len(keyVecs))
+				for i, kv := range keyVecs {
+					g.keyRow[i] = kv.Value(r)
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i := range a.node.Aggs {
+				spec := &a.node.Aggs[i]
+				var v col.Value
+				if argVecs[i] != nil {
+					v = argVecs[i].Value(r)
+				}
+				g.states[i].update(spec, v, &valBuf)
+			}
+		}
+	}
+
+	// Global aggregation over empty input still emits one row.
+	if len(a.node.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{states: make([]aggState, len(a.node.Aggs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	schema := a.Schema()
+	out := col.EmptyBatch(schema)
+	ng := len(a.node.GroupBy)
+	for _, key := range order {
+		g := groups[key]
+		row := make([]col.Value, schema.Len())
+		copy(row, g.keyRow)
+		for i := range a.node.Aggs {
+			row[ng+i] = g.states[i].result(&a.node.Aggs[i])
+		}
+		for c, v := range row {
+			appendValue(out.Vecs[c], v)
+		}
+		out.N++
+	}
+	a.out = out
+	return nil
+}
+
+// appendValue appends one dynamic value to a vector.
+func appendValue(v *col.Vector, val col.Value) {
+	switch v.Type {
+	case col.BOOL:
+		v.Bools = append(v.Bools, false)
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		v.Ints = append(v.Ints, 0)
+	case col.FLOAT64:
+		v.Floats = append(v.Floats, 0)
+	case col.STRING:
+		v.Strs = append(v.Strs, "")
+	default:
+		panic(fmt.Sprintf("exec: appendValue on %s", v.Type))
+	}
+	if v.Valid != nil {
+		v.Valid = append(v.Valid, true)
+	}
+	v.N++
+	if val.Null {
+		v.SetNull(v.N - 1)
+		return
+	}
+	v.Set(v.N-1, val)
+}
+
+// Next implements Operator.
+func (a *HashAggOp) Next() (*col.Batch, error) {
+	if a.done || a.out == nil {
+		return nil, nil
+	}
+	a.done = true
+	return a.out, nil
+}
+
+// Close implements Operator.
+func (a *HashAggOp) Close() error {
+	a.out = nil
+	return a.child.Close()
+}

@@ -1,0 +1,691 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// Operator is a pull-based executor node. Next returns (nil, nil) at end
+// of stream.
+type Operator interface {
+	Schema() *col.Schema
+	Open() error
+	Next() (*col.Batch, error)
+	Close() error
+}
+
+// BatchIterator yields batches of a base table; it returns (nil, nil) when
+// exhausted. The engine constructs iterators that read pixfiles from the
+// object store (applying projection and zone-map pruning).
+type BatchIterator func() (*col.Batch, error)
+
+// ScanOp reads a base table through a BatchIterator and applies the
+// pushed-down filter.
+type ScanOp struct {
+	node    *plan.ScanNode
+	newIter func() (BatchIterator, error)
+	iter    BatchIterator
+	ev      *Evaluator
+}
+
+// NewScanOp builds a scan operator. newIter is called at Open, so an
+// operator can be re-opened.
+func NewScanOp(node *plan.ScanNode, newIter func() (BatchIterator, error)) *ScanOp {
+	return &ScanOp{node: node, newIter: newIter, ev: NewEvaluator()}
+}
+
+// Schema implements Operator.
+func (s *ScanOp) Schema() *col.Schema { return s.node.Schema() }
+
+// Open implements Operator.
+func (s *ScanOp) Open() error {
+	iter, err := s.newIter()
+	if err != nil {
+		return err
+	}
+	s.iter = iter
+	return nil
+}
+
+// Next implements Operator.
+func (s *ScanOp) Next() (*col.Batch, error) {
+	for {
+		b, err := s.iter()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if s.node.Filter == nil {
+			return b, nil
+		}
+		sel, err := s.ev.EvalBool(s.node.Filter, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == b.N {
+			return b, nil
+		}
+		return b.Gather(sel), nil
+	}
+}
+
+// Close implements Operator.
+func (s *ScanOp) Close() error {
+	s.iter = nil
+	return nil
+}
+
+// FilterOp drops rows whose condition is not TRUE.
+type FilterOp struct {
+	node  *plan.FilterNode
+	child Operator
+	ev    *Evaluator
+}
+
+// NewFilterOp builds a filter operator.
+func NewFilterOp(node *plan.FilterNode, child Operator) *FilterOp {
+	return &FilterOp{node: node, child: child, ev: NewEvaluator()}
+}
+
+// Schema implements Operator.
+func (f *FilterOp) Schema() *col.Schema { return f.node.Schema() }
+
+// Open implements Operator.
+func (f *FilterOp) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *FilterOp) Next() (*col.Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel, err := f.ev.EvalBool(f.node.Cond, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == b.N {
+			return b, nil
+		}
+		return b.Gather(sel), nil
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.child.Close() }
+
+// ProjectOp computes expressions.
+type ProjectOp struct {
+	node  *plan.ProjectNode
+	child Operator
+	ev    *Evaluator
+}
+
+// NewProjectOp builds a projection operator.
+func NewProjectOp(node *plan.ProjectNode, child Operator) *ProjectOp {
+	return &ProjectOp{node: node, child: child, ev: NewEvaluator()}
+}
+
+// Schema implements Operator.
+func (p *ProjectOp) Schema() *col.Schema { return p.node.Schema() }
+
+// Open implements Operator.
+func (p *ProjectOp) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (*col.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	vecs := make([]*col.Vector, len(p.node.Exprs))
+	for i, e := range p.node.Exprs {
+		v, err := p.ev.Eval(e, b)
+		if err != nil {
+			return nil, err
+		}
+		// Projection may widen INT64 expressions into FLOAT64 outputs.
+		if want := p.node.Schema().Fields[i].Type; v.Type != want {
+			v, err = evalCast(v, want)
+			if err != nil {
+				return nil, err
+			}
+		}
+		vecs[i] = v
+	}
+	return col.NewBatch(vecs...), nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.child.Close() }
+
+// hashKey encodes key values of row i into a map key. NULL participation
+// is signalled through the bool result (false = key contains NULL).
+func hashKey(vals []*col.Vector, i int, sb *strings.Builder) (string, bool) {
+	sb.Reset()
+	for _, v := range vals {
+		if v.IsNull(i) {
+			return "", false
+		}
+		switch v.Type {
+		case col.BOOL:
+			if v.Bools[i] {
+				sb.WriteString("t|")
+			} else {
+				sb.WriteString("f|")
+			}
+		case col.INT64, col.DATE, col.TIMESTAMP:
+			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
+			sb.WriteByte('|')
+		case col.FLOAT64:
+			sb.WriteString(strconv.FormatFloat(v.Floats[i], 'x', -1, 64))
+			sb.WriteByte('|')
+		case col.STRING:
+			sb.WriteString(strconv.Itoa(len(v.Strs[i])))
+			sb.WriteByte(':')
+			sb.WriteString(v.Strs[i])
+			sb.WriteByte('|')
+		}
+	}
+	return sb.String(), true
+}
+
+// groupKey is like hashKey but encodes NULLs (group-by treats NULLs as a
+// regular group).
+func groupKey(vals []*col.Vector, i int, sb *strings.Builder) string {
+	sb.Reset()
+	for _, v := range vals {
+		if v.IsNull(i) {
+			sb.WriteString("~|")
+			continue
+		}
+		switch v.Type {
+		case col.BOOL:
+			if v.Bools[i] {
+				sb.WriteString("t|")
+			} else {
+				sb.WriteString("f|")
+			}
+		case col.INT64, col.DATE, col.TIMESTAMP:
+			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
+			sb.WriteByte('|')
+		case col.FLOAT64:
+			sb.WriteString(strconv.FormatFloat(v.Floats[i], 'x', -1, 64))
+			sb.WriteByte('|')
+		case col.STRING:
+			sb.WriteString(strconv.Itoa(len(v.Strs[i])))
+			sb.WriteByte(':')
+			sb.WriteString(v.Strs[i])
+			sb.WriteByte('|')
+		}
+	}
+	return sb.String()
+}
+
+// HashJoinOp implements inner/left hash joins and nested cross joins.
+// The right child is the build side.
+type HashJoinOp struct {
+	node        *plan.JoinNode
+	left, right Operator
+	ev          *Evaluator
+
+	build     *col.Batch // materialized right side
+	buildKeys map[string][]int
+}
+
+// NewHashJoinOp builds a join operator.
+func NewHashJoinOp(node *plan.JoinNode, left, right Operator) *HashJoinOp {
+	return &HashJoinOp{node: node, left: left, right: right, ev: NewEvaluator()}
+}
+
+// Schema implements Operator.
+func (j *HashJoinOp) Schema() *col.Schema { return j.node.Schema() }
+
+// Open implements Operator.
+func (j *HashJoinOp) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	// Materialize and index the build side.
+	j.build = col.EmptyBatch(j.right.Schema())
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		appendBatch(j.build, b)
+	}
+	if len(j.node.RightKeys) > 0 {
+		j.buildKeys = make(map[string][]int, j.build.N)
+		keyVecs := make([]*col.Vector, len(j.node.RightKeys))
+		for i, k := range j.node.RightKeys {
+			v, err := j.ev.Eval(k, j.build)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		var sb strings.Builder
+		for i := 0; i < j.build.N; i++ {
+			key, ok := hashKey(keyVecs, i, &sb)
+			if !ok {
+				continue // NULL keys never join
+			}
+			j.buildKeys[key] = append(j.buildKeys[key], i)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next() (*col.Batch, error) {
+	for {
+		lb, err := j.left.Next()
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		out, err := j.joinBatch(lb)
+		if err != nil {
+			return nil, err
+		}
+		if out.N > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (j *HashJoinOp) joinBatch(lb *col.Batch) (*col.Batch, error) {
+	var leftIdx, rightIdx []int // rightIdx -1 marks a NULL-extended row
+	switch {
+	case len(j.node.LeftKeys) > 0:
+		keyVecs := make([]*col.Vector, len(j.node.LeftKeys))
+		for i, k := range j.node.LeftKeys {
+			v, err := j.ev.Eval(k, lb)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		var sb strings.Builder
+		for i := 0; i < lb.N; i++ {
+			key, ok := hashKey(keyVecs, i, &sb)
+			var matches []int
+			if ok {
+				matches = j.buildKeys[key]
+			}
+			if len(matches) == 0 {
+				if j.node.Kind == plan.JoinLeft {
+					leftIdx = append(leftIdx, i)
+					rightIdx = append(rightIdx, -1)
+				}
+				continue
+			}
+			for _, m := range matches {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, m)
+			}
+		}
+	default: // cross join
+		for i := 0; i < lb.N; i++ {
+			for m := 0; m < j.build.N; m++ {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, m)
+			}
+		}
+	}
+
+	joined := j.materialize(lb, leftIdx, rightIdx)
+	if j.node.Residual == nil || joined.N == 0 {
+		return joined, nil
+	}
+	sel, err := j.ev.EvalBool(j.node.Residual, joined)
+	if err != nil {
+		return nil, err
+	}
+	if j.node.Kind != plan.JoinLeft {
+		if len(sel) == joined.N {
+			return joined, nil
+		}
+		return joined.Gather(sel), nil
+	}
+	// LEFT JOIN residual: rows failing the residual keep the left side
+	// with a NULL right side, once per left row.
+	pass := make(map[int]bool, len(sel))
+	for _, s := range sel {
+		pass[s] = true
+	}
+	matched := make(map[int]bool)
+	for r := 0; r < joined.N; r++ {
+		if pass[r] && rightIdx[r] >= 0 {
+			matched[leftIdx[r]] = true
+		}
+	}
+	var outLeft, outRight []int
+	emitted := make(map[int]bool)
+	for r := 0; r < joined.N; r++ {
+		li := leftIdx[r]
+		switch {
+		case pass[r] && rightIdx[r] >= 0:
+			outLeft = append(outLeft, li)
+			outRight = append(outRight, rightIdx[r])
+		case !matched[li] && !emitted[li]:
+			outLeft = append(outLeft, li)
+			outRight = append(outRight, -1)
+			emitted[li] = true
+		}
+	}
+	return j.materialize(lb, outLeft, outRight), nil
+}
+
+// materialize assembles the joined batch from row-index pairs.
+func (j *HashJoinOp) materialize(lb *col.Batch, leftIdx, rightIdx []int) *col.Batch {
+	schema := j.Schema()
+	n := len(leftIdx)
+	vecs := make([]*col.Vector, schema.Len())
+	lw := len(lb.Vecs)
+	for c := 0; c < lw; c++ {
+		vecs[c] = lb.Vecs[c].Gather(leftIdx)
+	}
+	for c := 0; c < len(j.build.Vecs); c++ {
+		src := j.build.Vecs[c]
+		out := col.NewVector(src.Type, n)
+		for r, m := range rightIdx {
+			if m < 0 {
+				out.SetNull(r)
+				continue
+			}
+			if src.IsNull(m) {
+				out.SetNull(r)
+				continue
+			}
+			out.Set(r, src.Value(m))
+		}
+		vecs[lw+c] = out
+	}
+	return &col.Batch{Vecs: vecs, N: n}
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	j.build, j.buildKeys = nil, nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func appendBatch(dst, src *col.Batch) {
+	for c := range dst.Vecs {
+		for r := 0; r < src.N; r++ {
+			dst.Vecs[c].Append(src.Vecs[c], r)
+		}
+	}
+	dst.N += src.N
+}
+
+// SortOp materializes and totally orders its input. NULLs sort last
+// ascending, first descending.
+type SortOp struct {
+	node  *plan.SortNode
+	child Operator
+	out   *col.Batch
+	done  bool
+}
+
+// NewSortOp builds a sort operator.
+func NewSortOp(node *plan.SortNode, child Operator) *SortOp {
+	return &SortOp{node: node, child: child}
+}
+
+// Schema implements Operator.
+func (s *SortOp) Schema() *col.Schema { return s.node.Schema() }
+
+// Open implements Operator.
+func (s *SortOp) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	all := col.EmptyBatch(s.child.Schema())
+	for {
+		b, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		appendBatch(all, b)
+	}
+	idx := make([]int, all.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, k := range s.node.Keys {
+			v := all.Vecs[k.Ordinal]
+			an, bn := v.IsNull(idx[a]), v.IsNull(idx[b])
+			if an || bn {
+				if an == bn {
+					continue
+				}
+				// NULLS LAST ascending, NULLS FIRST descending.
+				return bn != k.Desc
+			}
+			cc := compareSame(v, idx[a], idx[b])
+			if cc == 0 {
+				continue
+			}
+			if k.Desc {
+				return cc > 0
+			}
+			return cc < 0
+		}
+		return false
+	})
+	s.out = all.Gather(idx)
+	return nil
+}
+
+// compareSame compares rows a and b of one vector (non-null).
+func compareSame(v *col.Vector, a, b int) int {
+	switch v.Type {
+	case col.BOOL:
+		x, y := v.Bools[a], v.Bools[b]
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		default:
+			return 1
+		}
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		x, y := v.Ints[a], v.Ints[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case col.FLOAT64:
+		x, y := v.Floats[a], v.Floats[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case col.STRING:
+		return strings.Compare(v.Strs[a], v.Strs[b])
+	default:
+		return 0
+	}
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (*col.Batch, error) {
+	if s.done || s.out == nil {
+		return nil, nil
+	}
+	s.done = true
+	return s.out, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.out = nil
+	return s.child.Close()
+}
+
+// LimitOp truncates the stream.
+type LimitOp struct {
+	node    *plan.LimitNode
+	child   Operator
+	skipped int64
+	emitted int64
+}
+
+// NewLimitOp builds a limit operator.
+func NewLimitOp(node *plan.LimitNode, child Operator) *LimitOp {
+	return &LimitOp{node: node, child: child}
+}
+
+// Schema implements Operator.
+func (l *LimitOp) Schema() *col.Schema { return l.node.Schema() }
+
+// Open implements Operator.
+func (l *LimitOp) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.child.Open()
+}
+
+// Next implements Operator.
+func (l *LimitOp) Next() (*col.Batch, error) {
+	for {
+		if l.node.Limit >= 0 && l.emitted >= l.node.Limit {
+			return nil, nil
+		}
+		b, err := l.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Apply offset.
+		if l.skipped < l.node.Offset {
+			remain := l.node.Offset - l.skipped
+			if int64(b.N) <= remain {
+				l.skipped += int64(b.N)
+				continue
+			}
+			b = b.Slice(int(remain), b.N)
+			l.skipped = l.node.Offset
+		}
+		if l.node.Limit >= 0 {
+			want := l.node.Limit - l.emitted
+			if int64(b.N) > want {
+				b = b.Slice(0, int(want))
+			}
+		}
+		l.emitted += int64(b.N)
+		if b.N > 0 {
+			return b, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.child.Close() }
+
+// Build constructs the operator tree for a plan. scanFactory supplies the
+// batch iterator for each scan node.
+func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (BatchIterator, error)) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.ScanNode:
+		return NewScanOp(x, scanFactory(x)), nil
+	case *plan.FilterNode:
+		child, err := Build(x.Child, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewFilterOp(x, child), nil
+	case *plan.ProjectNode:
+		child, err := Build(x.Child, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewProjectOp(x, child), nil
+	case *plan.JoinNode:
+		left, err := Build(x.Left, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(x.Right, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashJoinOp(x, left, right), nil
+	case *plan.AggNode:
+		child, err := Build(x.Child, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashAggOp(x, child), nil
+	case *plan.SortNode:
+		child, err := Build(x.Child, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewSortOp(x, child), nil
+	case *plan.LimitNode:
+		child, err := Build(x.Child, scanFactory)
+		if err != nil {
+			return nil, err
+		}
+		return NewLimitOp(x, child), nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// Collect opens, drains and closes an operator, returning all rows.
+func Collect(op Operator) (*col.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := col.EmptyBatch(op.Schema())
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		appendBatch(out, b)
+	}
+}

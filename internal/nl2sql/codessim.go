@@ -1,0 +1,277 @@
+package nl2sql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Example is one (utterance, SQL) pair of the retrieval bank. Slots —
+// {num}, {num2}, {str}, {date}, {year}, {year+1} — appear in both the
+// question and the SQL and are re-bound from the user's question at
+// translation time.
+type Example struct {
+	Question string
+	SQL      string
+}
+
+// CodeSim is the retrieval-based translator standing in for the CodeS
+// fine-tuned language model: it retrieves the nearest example by TF-IDF
+// cosine similarity over slot-normalized tokens and re-binds the slots.
+type CodeSim struct {
+	Examples  []Example
+	Threshold float64 // minimum similarity (default 0.35)
+
+	prepared []preparedExample
+	idf      map[string]float64
+}
+
+type preparedExample struct {
+	tokens []string
+	tf     map[string]float64
+	norm   float64
+	sql    string
+}
+
+// NewCodeSim builds the translator over an example bank (nil uses
+// DefaultExamples).
+func NewCodeSim(examples []Example) *CodeSim {
+	if examples == nil {
+		examples = DefaultExamples()
+	}
+	c := &CodeSim{Examples: examples, Threshold: 0.35}
+	c.prepare()
+	return c
+}
+
+// Name implements Translator.
+func (c *CodeSim) Name() string { return "codes-sim" }
+
+func (c *CodeSim) prepare() {
+	df := map[string]int{}
+	for _, ex := range c.Examples {
+		toks, _ := slotify(normalize(ex.Question))
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if !seen[t] {
+				df[t]++
+				seen[t] = true
+			}
+		}
+	}
+	n := float64(len(c.Examples))
+	c.idf = make(map[string]float64, len(df))
+	for t, d := range df {
+		c.idf[t] = math.Log(1+n/float64(d)) + 1
+	}
+	for _, ex := range c.Examples {
+		toks, _ := slotify(normalize(ex.Question))
+		tf := termFreq(toks)
+		c.prepared = append(c.prepared, preparedExample{
+			tokens: toks, tf: tf, norm: c.vecNorm(tf), sql: ex.SQL,
+		})
+	}
+}
+
+func termFreq(tokens []string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+func (c *CodeSim) vecNorm(tf map[string]float64) float64 {
+	sum := 0.0
+	for t, f := range tf {
+		w := f * c.idfOf(t)
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+func (c *CodeSim) idfOf(t string) float64 {
+	if w, ok := c.idf[t]; ok {
+		return w
+	}
+	return 1
+}
+
+func (c *CodeSim) cosine(a, b map[string]float64, na, nb float64) float64 {
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	dot := 0.0
+	for t, fa := range a {
+		if fb, ok := b[t]; ok {
+			w := c.idfOf(t)
+			dot += fa * w * fb * w
+		}
+	}
+	return dot / (na * nb)
+}
+
+// Translate implements Translator.
+func (c *CodeSim) Translate(req Request) (Translation, error) {
+	qTokens, slots := slotify(normalize(req.Question))
+	tf := termFreq(qTokens)
+	norm := c.vecNorm(tf)
+
+	bestScore := -1.0
+	bestIdx := -1
+	for i, ex := range c.prepared {
+		s := c.cosine(tf, ex.tf, norm, ex.norm)
+		if s > bestScore {
+			bestScore, bestIdx = s, i
+		}
+	}
+	if bestIdx < 0 || bestScore < c.Threshold {
+		return Translation{}, fmt.Errorf("%w: no example close to %q (best %.2f)", ErrNoTranslation, req.Question, bestScore)
+	}
+	sqlText, err := bindSlots(c.prepared[bestIdx].sql, slots)
+	if err != nil {
+		return Translation{}, err
+	}
+	return Translation{SQL: sqlText, Confidence: bestScore, Translator: c.Name()}, nil
+}
+
+// slotValues holds the literals extracted from a question, in order.
+type slotValues struct {
+	nums  []string
+	strs  []string
+	dates []string
+	years []string
+}
+
+// slotify replaces literals with placeholder tokens.
+func slotify(tokens []string) ([]string, slotValues) {
+	out := make([]string, len(tokens))
+	var sv slotValues
+	for i, tok := range tokens {
+		switch {
+		case isDateToken(tok):
+			out[i] = "<date>"
+			sv.dates = append(sv.dates, tok)
+		case isYearToken(tok):
+			out[i] = "<year>"
+			sv.years = append(sv.years, tok)
+		case isNumToken(tok):
+			out[i] = "<num>"
+			sv.nums = append(sv.nums, tok)
+		case strings.HasPrefix(tok, "'"):
+			out[i] = "<str>"
+			sv.strs = append(sv.strs, strings.Trim(tok, "'"))
+		default:
+			out[i] = tok
+		}
+	}
+	return out, sv
+}
+
+func isDateToken(tok string) bool {
+	if len(tok) != 10 || tok[4] != '-' || tok[7] != '-' {
+		return false
+	}
+	for i, r := range tok {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isYearToken(tok string) bool {
+	y, err := strconv.Atoi(tok)
+	return err == nil && len(tok) == 4 && y >= 1900 && y <= 2100
+}
+
+func isNumToken(tok string) bool {
+	_, err := strconv.ParseFloat(tok, 64)
+	return err == nil
+}
+
+// bindSlots substitutes {num}/{num2}/{str}/{date}/{year}/{year+1} in a SQL
+// template with the question's literals.
+func bindSlots(template string, sv slotValues) (string, error) {
+	out := template
+	sub := func(placeholder, value string) error {
+		if !strings.Contains(out, placeholder) {
+			return nil
+		}
+		if value == "" {
+			return fmt.Errorf("%w: question lacks a value for %s", ErrNoTranslation, placeholder)
+		}
+		out = strings.ReplaceAll(out, placeholder, value)
+		return nil
+	}
+	get := func(vals []string, i int) string {
+		if i < len(vals) {
+			return vals[i]
+		}
+		return ""
+	}
+	if err := sub("{num2}", get(sv.nums, 1)); err != nil {
+		return "", err
+	}
+	if err := sub("{num}", get(sv.nums, 0)); err != nil {
+		return "", err
+	}
+	if err := sub("{str2}", strings.ToUpper(get(sv.strs, 1))); err != nil {
+		return "", err
+	}
+	if err := sub("{str}", strings.ToUpper(get(sv.strs, 0))); err != nil {
+		return "", err
+	}
+	if err := sub("{date}", get(sv.dates, 0)); err != nil {
+		return "", err
+	}
+	if strings.Contains(out, "{year+1}") {
+		y := get(sv.years, 0)
+		if y == "" {
+			return "", fmt.Errorf("%w: question lacks a year", ErrNoTranslation)
+		}
+		n, _ := strconv.Atoi(y)
+		out = strings.ReplaceAll(out, "{year+1}", strconv.Itoa(n+1))
+	}
+	if err := sub("{year}", get(sv.years, 0)); err != nil {
+		return "", err
+	}
+	if strings.Contains(out, "{") {
+		return "", fmt.Errorf("%w: unbound slot in template %q", ErrNoTranslation, template)
+	}
+	return out, nil
+}
+
+// DefaultExamples is the built-in bank over the demo (TPC-H-lite) schema.
+func DefaultExamples() []Example {
+	return []Example{
+		{"how many orders are there", "SELECT COUNT(*) FROM orders"},
+		{"how many customers are there", "SELECT COUNT(*) FROM customer"},
+		{"how many lineitems are there", "SELECT COUNT(*) FROM lineitem"},
+		{"how many orders have a total price above {num}", "SELECT COUNT(*) FROM orders WHERE o_totalprice > {num}"},
+		{"how many customers are in the {str} segment", "SELECT COUNT(*) FROM customer WHERE c_mktsegment = '{str}'"},
+		{"average account balance of customers", "SELECT AVG(c_acctbal) FROM customer"},
+		{"average total price of orders", "SELECT AVG(o_totalprice) FROM orders"},
+		{"total revenue of lineitems shipped in {year}", "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE '{year}-01-01' AND l_shipdate < DATE '{year+1}-01-01'"},
+		{"total quantity shipped after {date}", "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate > DATE '{date}'"},
+		{"maximum total price of orders placed in {year}", "SELECT MAX(o_totalprice) FROM orders WHERE o_orderdate >= DATE '{year}-01-01' AND o_orderdate < DATE '{year+1}-01-01'"},
+		{"minimum account balance of customers", "SELECT MIN(c_acctbal) FROM customer"},
+		{"number of orders per order priority", "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority"},
+		{"number of customers per market segment", "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment"},
+		{"average discount per return flag", "SELECT l_returnflag, AVG(l_discount) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"},
+		{"top {num} customers by account balance", "SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT {num}"},
+		{"top {num} orders by total price", "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT {num}"},
+		{"top {num} parts by retail price", "SELECT p_name, p_retailprice FROM part ORDER BY p_retailprice DESC LIMIT {num}"},
+		{"show orders with total price greater than {num}", "SELECT * FROM orders WHERE o_totalprice > {num}"},
+		{"list the names of customers in the {str} segment", "SELECT c_name FROM customer WHERE c_mktsegment = '{str}'"},
+		{"show lineitems with quantity greater than {num}", "SELECT * FROM lineitem WHERE l_quantity > {num}"},
+		{"list all nations", "SELECT * FROM nation"},
+		{"list all regions", "SELECT * FROM region"},
+		{"total order value per customer for the top {num} customers", "SELECT c.c_name, SUM(o.o_totalprice) AS total FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY total DESC LIMIT {num}"},
+		{"revenue per nation", "SELECT n.n_name, SUM(o.o_totalprice) AS total FROM nation n, customer c, orders o WHERE n.n_nationkey = c.c_nationkey AND c.c_custkey = o.o_custkey GROUP BY n.n_name ORDER BY n.n_name"},
+	}
+}

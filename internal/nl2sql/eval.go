@@ -1,0 +1,141 @@
+package nl2sql
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// EvalCase is one (question, gold SQL) pair of the mini benchmark.
+type EvalCase struct {
+	Question string
+	Gold     string
+}
+
+// Benchmark returns the built-in Spider-style suite over the demo schema.
+// It spans the question shapes the demo UI exercises; gold SQL is written
+// in the engine's dialect.
+func Benchmark() []EvalCase {
+	return []EvalCase{
+		{"How many orders are there?", "SELECT COUNT(*) FROM orders"},
+		{"How many customers are there?", "SELECT COUNT(*) FROM customer"},
+		{"How many orders have a total price above 10000?", "SELECT COUNT(*) FROM orders WHERE o_totalprice > 10000"},
+		{"How many orders have a total price greater than 50000?", "SELECT COUNT(*) FROM orders WHERE o_totalprice > 50000"},
+		{"How many customers are in the building segment?", "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING'"},
+		{"How many customers are in the machinery segment?", "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'MACHINERY'"},
+		{"What is the average account balance of customers?", "SELECT AVG(c_acctbal) FROM customer"},
+		{"What is the average total price of orders?", "SELECT AVG(o_totalprice) FROM orders"},
+		{"What is the maximum total price of orders?", "SELECT MAX(o_totalprice) FROM orders"},
+		{"What is the minimum account balance of customers?", "SELECT MIN(c_acctbal) FROM customer"},
+		{"Total quantity of lineitems shipped after 1995-06-01", "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate > DATE '1995-06-01'"},
+		{"What is the total revenue of lineitems shipped in 1995?", "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate < DATE '1996-01-01'"},
+		{"Number of orders per order priority", "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority"},
+		{"Number of customers per market segment", "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment"},
+		{"Average discount per return flag", "SELECT l_returnflag, AVG(l_discount) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"},
+		{"Top 5 customers by account balance", "SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT 5"},
+		{"Top 10 orders by total price", "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 10"},
+		{"Top 3 parts by retail price", "SELECT p_name, p_retailprice FROM part ORDER BY p_retailprice DESC LIMIT 3"},
+		{"Show orders with total price greater than 100000", "SELECT * FROM orders WHERE o_totalprice > 100000"},
+		{"Show lineitems with quantity greater than 45", "SELECT * FROM lineitem WHERE l_quantity > 45"},
+		{"List all nations", "SELECT * FROM nation"},
+		{"List all regions", "SELECT * FROM region"},
+		{"Count the orders placed in 1994", "SELECT COUNT(*) FROM orders WHERE o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'"},
+		{"Average quantity of lineitems shipped before 1994-01-01", "SELECT AVG(l_quantity) FROM lineitem WHERE l_shipdate < DATE '1994-01-01'"},
+		{"Maximum discount of lineitems", "SELECT MAX(l_discount) FROM lineitem"},
+	}
+}
+
+// Score is the evaluation outcome for one translator.
+type Score struct {
+	Translator string
+	Total      int
+	Translated int // produced SQL at all
+	ExactMatch int // canonical AST equality with gold
+	ExecMatch  int // identical result sets on the engine
+}
+
+// ExactPct returns exact-match accuracy in percent.
+func (s Score) ExactPct() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.ExactMatch) / float64(s.Total)
+}
+
+// ExecPct returns execution-match accuracy in percent.
+func (s Score) ExecPct() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.ExecMatch) / float64(s.Total)
+}
+
+// Evaluate scores a translator on the cases. If eng is non-nil, execution
+// match is computed against database db.
+func Evaluate(tr Translator, cases []EvalCase, schema SchemaInfo, eng *engine.Engine, db string) Score {
+	score := Score{Translator: tr.Name(), Total: len(cases)}
+	for _, c := range cases {
+		got, err := tr.Translate(Request{Question: c.Question, Schema: schema})
+		if err != nil {
+			continue
+		}
+		score.Translated++
+		if Canonical(got.SQL) == Canonical(c.Gold) {
+			score.ExactMatch++
+		}
+		if eng != nil && execEqual(eng, db, got.SQL, c.Gold) {
+			score.ExecMatch++
+		}
+	}
+	return score
+}
+
+// Canonical parses and reprints SQL so formatting differences don't affect
+// matching; unparsable SQL canonicalizes to itself.
+func Canonical(text string) string {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return strings.TrimSpace(text)
+	}
+	return stmt.String()
+}
+
+// execEqual runs both queries and compares their result multisets
+// (order-insensitive unless both specify ORDER BY).
+func execEqual(eng *engine.Engine, db, a, b string) bool {
+	ra, err := eng.Execute(context.Background(), db, a)
+	if err != nil {
+		return false
+	}
+	rb, err := eng.Execute(context.Background(), db, b)
+	if err != nil {
+		return false
+	}
+	if len(ra.Rows) != len(rb.Rows) {
+		return false
+	}
+	fa, fb := flatten(ra), flatten(rb)
+	sort.Strings(fa)
+	sort.Strings(fb)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func flatten(r *engine.Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}

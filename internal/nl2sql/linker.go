@@ -1,0 +1,180 @@
+package nl2sql
+
+import (
+	"sort"
+	"strings"
+)
+
+// DefaultSynonyms maps column-name stems to natural-language phrases for
+// the demo schema. Deployments extend this per database (the counterpart
+// of CodeS's schema linking, made explicit).
+var DefaultSynonyms = map[string][]string{
+	"acctbal":       {"account balance", "balance"},
+	"mktsegment":    {"market segment", "segment"},
+	"totalprice":    {"total price", "price", "order value"},
+	"orderdate":     {"order date", "date"},
+	"orderstatus":   {"order status", "status"},
+	"orderpriority": {"order priority", "priority"},
+	"shipdate":      {"ship date", "shipping date"},
+	"shipmode":      {"ship mode", "shipping mode"},
+	"extendedprice": {"extended price", "revenue"},
+	"quantity":      {"quantity", "amount"},
+	"discount":      {"discount"},
+	"tax":           {"tax"},
+	"returnflag":    {"return flag"},
+	"linestatus":    {"line status"},
+	"custkey":       {"customer key", "customer id"},
+	"orderkey":      {"order key", "order id", "order number"},
+	"partkey":       {"part key", "part id"},
+	"suppkey":       {"supplier key", "supplier id"},
+	"nationkey":     {"nation key", "nation id"},
+	"regionkey":     {"region key", "region id"},
+	"retailprice":   {"retail price"},
+	"name":          {"name"},
+	"brand":         {"brand"},
+}
+
+// linkedColumn is a column matched in the question text.
+type linkedColumn struct {
+	Table  string
+	Column string
+	Type   string
+	Phrase string // matched phrase
+	Start  int    // token index of the match
+	Len    int    // phrase length in tokens
+}
+
+// linker resolves natural-language phrases to schema elements.
+type linker struct {
+	schema   SchemaInfo
+	synonyms map[string][]string
+	// phrases[table][column] = candidate phrases, longest first
+	phrases map[string]map[string][]string
+}
+
+func newLinker(schema SchemaInfo, synonyms map[string][]string) *linker {
+	if synonyms == nil {
+		synonyms = DefaultSynonyms
+	}
+	l := &linker{schema: schema, synonyms: synonyms, phrases: make(map[string]map[string][]string)}
+	for _, t := range schema.Tables {
+		cols := make(map[string][]string)
+		for _, c := range t.Columns {
+			cols[c.Name] = l.columnPhrases(c.Name)
+		}
+		l.phrases[t.Name] = cols
+	}
+	return l
+}
+
+// columnPhrases lists phrases that may refer to the column, longest first.
+func (l *linker) columnPhrases(name string) []string {
+	stem := name
+	if i := strings.Index(name, "_"); i >= 0 && i <= 2 {
+		stem = name[i+1:]
+	}
+	set := map[string]bool{
+		strings.ReplaceAll(name, "_", " "): true,
+		strings.ReplaceAll(stem, "_", " "): true,
+		stem:                               true,
+	}
+	for _, syn := range l.synonyms[stem] {
+		set[syn] = true
+	}
+	var out []string
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// findTable locates the table the question refers to: the earliest token
+// matching a table name (allowing plural 's').
+func (l *linker) findTable(tokens []string) (TableInfo, bool) {
+	best := -1
+	var bestTable TableInfo
+	for _, t := range l.schema.Tables {
+		for i, tok := range tokens {
+			if tok == t.Name || tok == t.Name+"s" || (strings.HasSuffix(tok, "s") && tok[:len(tok)-1] == t.Name) {
+				if best == -1 || i < best {
+					best = i
+					bestTable = t
+				}
+				break
+			}
+		}
+	}
+	return bestTable, best >= 0
+}
+
+// findColumn matches the longest column phrase of the table at or after
+// token index `from`. Returns the match and ok.
+func (l *linker) findColumn(table string, tokens []string, from int) (linkedColumn, bool) {
+	cols := l.phrases[table]
+	var typesOf = map[string]string{}
+	for _, t := range l.schema.Tables {
+		if t.Name == table {
+			for _, c := range t.Columns {
+				typesOf[c.Name] = c.Type
+			}
+		}
+	}
+	found := false
+	var best linkedColumn
+	for colName, phrases := range cols {
+		for _, phrase := range phrases {
+			words := strings.Split(phrase, " ")
+			for i := from; i+len(words) <= len(tokens); i++ {
+				if !matchAt(tokens, i, words) {
+					continue
+				}
+				// Prefer the earliest match; at the same position, the
+				// longest phrase; then alphabetically for determinism.
+				better := !found ||
+					i < best.Start ||
+					(i == best.Start && len(words) > best.Len) ||
+					(i == best.Start && len(words) == best.Len && colName < best.Column)
+				if better {
+					found = true
+					best = linkedColumn{
+						Table: table, Column: colName, Type: typesOf[colName],
+						Phrase: phrase, Start: i, Len: len(words),
+					}
+				}
+				break // later positions of this phrase can't beat this one
+			}
+		}
+	}
+	return best, found
+}
+
+func matchAt(tokens []string, at int, words []string) bool {
+	for k, w := range words {
+		if tokens[at+k] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// defaultNameColumn picks the table's "label" column for top-N queries:
+// a column whose stem is "name", else the first string column.
+func (l *linker) defaultNameColumn(t TableInfo) (string, bool) {
+	for _, c := range t.Columns {
+		if strings.HasSuffix(c.Name, "_name") || c.Name == "name" {
+			return c.Name, true
+		}
+	}
+	for _, c := range t.Columns {
+		if c.Type == "VARCHAR" {
+			return c.Name, true
+		}
+	}
+	return "", false
+}

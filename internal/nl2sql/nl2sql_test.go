@@ -1,0 +1,245 @@
+package nl2sql
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/workload"
+)
+
+func noCtx() context.Context { return context.Background() }
+
+// demoSchema builds the request schema from a loaded engine.
+func demoSchema(t *testing.T) (SchemaInfo, *engine.Engine) {
+	t.Helper()
+	e := engine.New(catalog.New(), objstore.NewMemory())
+	if err := workload.Load(e, "tpch", workload.LoadOptions{SF: 0.002, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := SchemaFromCatalog(e.Catalog(), "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema, e
+}
+
+func translate(t *testing.T, tr Translator, schema SchemaInfo, q string) string {
+	t.Helper()
+	got, err := tr.Translate(Request{Question: q, Schema: schema})
+	if err != nil {
+		t.Fatalf("translate %q: %v", q, err)
+	}
+	return got.SQL
+}
+
+func TestSchemaFromCatalog(t *testing.T) {
+	schema, _ := demoSchema(t)
+	if schema.Database != "tpch" || len(schema.Tables) != 7 {
+		t.Fatalf("schema = %+v", schema)
+	}
+	found := false
+	for _, tb := range schema.Tables {
+		if tb.Name == "customer" {
+			found = true
+			if len(tb.Columns) != 5 {
+				t.Fatalf("customer columns = %v", tb.Columns)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("customer table missing")
+	}
+}
+
+func TestTemplateCount(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "How many orders are there?")
+	if Canonical(got) != Canonical("SELECT COUNT(*) FROM orders") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTemplateCountWithFilter(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "How many orders have a total price above 10000?")
+	want := "SELECT COUNT(*) FROM orders WHERE o_totalprice > 10000"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTemplateSegmentFilter(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "How many customers are in the building segment?")
+	want := "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING'"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTemplateAggregates(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	cases := map[string]string{
+		"What is the average account balance of customers?": "SELECT AVG(c_acctbal) FROM customer",
+		"What is the maximum total price of orders?":        "SELECT MAX(o_totalprice) FROM orders",
+		"Minimum account balance of customers":              "SELECT MIN(c_acctbal) FROM customer",
+	}
+	for q, want := range cases {
+		got := translate(t, tr, schema, q)
+		if Canonical(got) != Canonical(want) {
+			t.Errorf("%q -> %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestTemplateGroupBy(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "Number of orders per order priority")
+	want := "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTemplateTopN(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "Top 5 customers by account balance")
+	want := "SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT 5"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTemplateYearFilter(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "What is the total revenue of lineitems shipped in 1995?")
+	if !strings.Contains(got, "SUM(l_extendedprice)") ||
+		!strings.Contains(got, "DATE '1995-01-01'") || !strings.Contains(got, "DATE '1996-01-01'") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTemplateDateComparison(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	got := translate(t, tr, schema, "Total quantity of lineitems shipped after 1995-06-01")
+	want := "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate > DATE '1995-06-01'"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestTemplateUnknownQuestion(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := &Template{}
+	_, err := tr.Translate(Request{Question: "tell me a joke", Schema: schema})
+	if !errors.Is(err, ErrNoTranslation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTemplateGeneratedSQLAlwaysParses(t *testing.T) {
+	schema, eng := demoSchema(t)
+	tr := &Template{}
+	questions := []string{
+		"how many orders", "average discount of lineitems per return flag",
+		"show customers with account balance above 500",
+		"top 3 orders by total price", "count lineitems shipped before 1993-06-01",
+		"list all nations", "how many parts",
+		"sum of quantity of lineitems with discount greater than 0.05",
+	}
+	for _, q := range questions {
+		got, err := tr.Translate(Request{Question: q, Schema: schema})
+		if err != nil {
+			continue // untranslatable is fine; invalid SQL is not
+		}
+		if _, err := eng.Execute(noCtx(), "tpch", got.SQL); err != nil {
+			t.Errorf("%q -> %q failed to execute: %v", q, got.SQL, err)
+		}
+	}
+}
+
+func TestCodeSimRetrieval(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := NewCodeSim(nil)
+	got := translate(t, tr, schema, "How many orders have a total price above 25000?")
+	want := "SELECT COUNT(*) FROM orders WHERE o_totalprice > 25000"
+	if Canonical(got) != Canonical(want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestCodeSimSlotRebinding(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := NewCodeSim(nil)
+	got := translate(t, tr, schema, "top 7 customers by account balance")
+	if !strings.Contains(got, "LIMIT 7") {
+		t.Fatalf("slot not rebound: %q", got)
+	}
+	got = translate(t, tr, schema, "What is the total revenue of lineitems shipped in 1997?")
+	if !strings.Contains(got, "1997-01-01") || !strings.Contains(got, "1998-01-01") {
+		t.Fatalf("year slots not rebound: %q", got)
+	}
+}
+
+func TestCodeSimRejectsFarQuestions(t *testing.T) {
+	schema, _ := demoSchema(t)
+	tr := NewCodeSim(nil)
+	_, err := tr.Translate(Request{Question: "zzz qqq xyzzy", Schema: schema})
+	if !errors.Is(err, ErrNoTranslation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvaluateBothTranslators(t *testing.T) {
+	schema, eng := demoSchema(t)
+	cases := Benchmark()
+
+	tmpl := Evaluate(&Template{}, cases, schema, eng, "tpch")
+	if tmpl.ExactPct() < 70 {
+		t.Errorf("template exact match %.1f%% (%d/%d) below 70%%", tmpl.ExactPct(), tmpl.ExactMatch, tmpl.Total)
+	}
+	if tmpl.ExecPct() < tmpl.ExactPct() {
+		t.Errorf("execution match (%.1f%%) below exact match (%.1f%%)", tmpl.ExecPct(), tmpl.ExactPct())
+	}
+
+	codes := Evaluate(NewCodeSim(nil), cases, schema, eng, "tpch")
+	if codes.ExactPct() < 70 {
+		t.Errorf("codes-sim exact match %.1f%% (%d/%d) below 70%%", codes.ExactPct(), codes.ExactMatch, codes.Total)
+	}
+	t.Logf("template: exact %.1f%% exec %.1f%%; codes-sim: exact %.1f%% exec %.1f%%",
+		tmpl.ExactPct(), tmpl.ExecPct(), codes.ExactPct(), codes.ExecPct())
+}
+
+func TestCanonicalNormalizesFormatting(t *testing.T) {
+	a := Canonical("select   count(*)  from orders")
+	b := Canonical("SELECT COUNT(*) FROM orders")
+	if a != b {
+		t.Fatalf("%q != %q", a, b)
+	}
+}
+
+func TestNormalizeTokenizer(t *testing.T) {
+	toks := normalize("How many orders, shipped after 1995-06-01, cost 'a lot'?")
+	want := []string{"how", "many", "orders", "shipped", "after", "1995-06-01", "cost", "'a lot'"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, toks[i], want[i], toks)
+		}
+	}
+}

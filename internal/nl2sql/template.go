@@ -1,0 +1,495 @@
+package nl2sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/sql"
+)
+
+// Template is the schema-linking semantic-parser translator. It covers the
+// question shapes the demo exercises: counts, aggregates (sum/avg/min/max),
+// comparison and equality filters, year filters on date columns, group-bys
+// ("per X") and top-N.
+type Template struct {
+	// Synonyms extends/overrides DefaultSynonyms.
+	Synonyms map[string][]string
+}
+
+// Name implements Translator.
+func (t *Template) Name() string { return "template" }
+
+type aggIntent struct {
+	fn  string // COUNT, SUM, AVG, MIN, MAX
+	pos int    // token index where the intent was detected
+}
+
+// Translate implements Translator.
+func (t *Template) Translate(req Request) (Translation, error) {
+	tokens := normalize(req.Question)
+	if len(tokens) == 0 {
+		return Translation{}, fmt.Errorf("%w: empty question", ErrNoTranslation)
+	}
+	lk := newLinker(req.Schema, t.Synonyms)
+	table, ok := lk.findTable(tokens)
+	if !ok {
+		return Translation{}, fmt.Errorf("%w: no table mentioned in %q", ErrNoTranslation, req.Question)
+	}
+
+	sel := &sql.Select{From: []sql.FromItem{{Table: sql.TableRef{Name: table.Name}, Join: sql.CrossJoin}}}
+	matches := allColumnMatches(lk, table.Name, tokens)
+	filters := parseFilters(tokens, table, matches)
+	if cond := andFilters(filters); cond != nil {
+		sel.Where = cond
+	}
+
+	// Top-N: "top N [table] by <col>".
+	if n, orderCol, ok := parseTopN(tokens, matches); ok {
+		nameCol, hasName := lk.defaultNameColumn(table)
+		if hasName && nameCol != orderCol {
+			sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.ColumnRef{Name: nameCol}})
+		}
+		sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.ColumnRef{Name: orderCol}})
+		sel.OrderBy = []sql.OrderItem{{Expr: &sql.ColumnRef{Name: orderCol}, Desc: true}}
+		lim := n
+		sel.Limit = &lim
+		return t.finish(sel, 0.9)
+	}
+
+	agg := detectAggregate(tokens)
+	groupCol, hasGroup := parseGroupBy(tokens, matches, agg)
+
+	switch {
+	case agg != nil && agg.fn == "COUNT":
+		if hasGroup {
+			sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.ColumnRef{Name: groupCol}})
+		}
+		sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.FuncCall{Name: "COUNT", Star: true}})
+	case agg != nil:
+		target, ok := aggTarget(tokens, matches, agg)
+		if !ok {
+			return Translation{}, fmt.Errorf("%w: cannot find the column for %s in %q", ErrNoTranslation, agg.fn, req.Question)
+		}
+		if hasGroup {
+			sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.ColumnRef{Name: groupCol}})
+		}
+		sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.FuncCall{Name: agg.fn, Args: []sql.Expr{&sql.ColumnRef{Name: target}}}})
+	default:
+		// Listing query: project the columns mentioned before the table
+		// token, else *.
+		var projected []string
+		seen := map[string]bool{}
+		for _, m := range matches {
+			if !usedInFilter(m, filters) && !seen[m.Column] {
+				projected = append(projected, m.Column)
+				seen[m.Column] = true
+			}
+		}
+		if len(projected) == 0 {
+			sel.Items = append(sel.Items, sql.SelectItem{Star: true})
+		} else {
+			for _, c := range projected {
+				sel.Items = append(sel.Items, sql.SelectItem{Expr: &sql.ColumnRef{Name: c}})
+			}
+		}
+	}
+
+	if hasGroup {
+		sel.GroupBy = append(sel.GroupBy, &sql.ColumnRef{Name: groupCol})
+		sel.OrderBy = append(sel.OrderBy, sql.OrderItem{Expr: &sql.ColumnRef{Name: groupCol}})
+	}
+	conf := 0.85
+	if agg == nil && len(filters) == 0 {
+		conf = 0.5
+	}
+	return t.finish(sel, conf)
+}
+
+func (t *Template) finish(sel *sql.Select, conf float64) (Translation, error) {
+	text := sel.String()
+	// Round-trip through the parser to guarantee syntactic validity.
+	if _, err := sql.Parse(text); err != nil {
+		return Translation{}, fmt.Errorf("nl2sql: internal error: generated invalid SQL %q: %v", text, err)
+	}
+	return Translation{SQL: text, Confidence: conf, Translator: t.Name()}, nil
+}
+
+// allColumnMatches finds every column phrase occurrence, preferring longer
+// phrases at overlapping positions.
+func allColumnMatches(lk *linker, table string, tokens []string) []linkedColumn {
+	var out []linkedColumn
+	from := 0
+	for from < len(tokens) {
+		m, ok := lk.findColumn(table, tokens, from)
+		if !ok {
+			break
+		}
+		out = append(out, m)
+		from = m.Start + m.Len
+	}
+	return out
+}
+
+// filter is one parsed WHERE conjunct.
+type filter struct {
+	col  linkedColumn
+	op   string // = < <= > >=, or "year" for a year range
+	val  sql.Expr
+	val2 sql.Expr // upper bound for year ranges
+}
+
+func andFilters(fs []filter) sql.Expr {
+	var out sql.Expr
+	add := func(e sql.Expr) {
+		if out == nil {
+			out = e
+		} else {
+			out = &sql.Binary{Op: "AND", L: out, R: e}
+		}
+	}
+	for _, f := range fs {
+		ref := &sql.ColumnRef{Name: f.col.Column}
+		if f.op == "year" {
+			add(&sql.Binary{Op: ">=", L: ref, R: f.val})
+			add(&sql.Binary{Op: "<", L: &sql.ColumnRef{Name: f.col.Column}, R: f.val2})
+			continue
+		}
+		add(&sql.Binary{Op: f.op, L: ref, R: f.val})
+	}
+	return out
+}
+
+func usedInFilter(m linkedColumn, fs []filter) bool {
+	for _, f := range fs {
+		if f.col.Start == m.Start && f.col.Column == m.Column {
+			return true
+		}
+	}
+	return false
+}
+
+// comparators, multiword first.
+var comparators = []struct {
+	words []string
+	op    string
+}{
+	{[]string{"greater", "than"}, ">"},
+	{[]string{"more", "than"}, ">"},
+	{[]string{"bigger", "than"}, ">"},
+	{[]string{"higher", "than"}, ">"},
+	{[]string{"larger", "than"}, ">"},
+	{[]string{"less", "than"}, "<"},
+	{[]string{"fewer", "than"}, "<"},
+	{[]string{"lower", "than"}, "<"},
+	{[]string{"smaller", "than"}, "<"},
+	{[]string{"at", "least"}, ">="},
+	{[]string{"at", "most"}, "<="},
+	{[]string{"equal", "to"}, "="},
+	{[]string{"above"}, ">"},
+	{[]string{"over"}, ">"},
+	{[]string{"exceeding"}, ">"},
+	{[]string{"after"}, ">"},
+	{[]string{"below"}, "<"},
+	{[]string{"under"}, "<"},
+	{[]string{"before"}, "<"},
+	{[]string{"equals"}, "="},
+	{[]string{"is"}, "="},
+	{[]string{"="}, "="},
+}
+
+func parseFilters(tokens []string, table TableInfo, matches []linkedColumn) []filter {
+	var out []filter
+	colTypes := map[string]string{}
+	var dateCols []string
+	for _, c := range table.Columns {
+		colTypes[c.Name] = c.Type
+		if c.Type == "DATE" {
+			dateCols = append(dateCols, c.Name)
+		}
+	}
+
+	// Comparator-driven filters.
+	for i := 0; i < len(tokens); i++ {
+		for _, cmp := range comparators {
+			if i+len(cmp.words) > len(tokens) || !matchAt(tokens, i, cmp.words) {
+				continue
+			}
+			vpos := i + len(cmp.words)
+			// Nearest column match ending at or before the comparator.
+			var best *linkedColumn
+			for k := range matches {
+				m := matches[k]
+				if m.Start+m.Len <= i && (best == nil || m.Start > best.Start) {
+					best = &matches[k]
+				}
+			}
+			val, ok := parseValue(tokens, vpos, best, dateCols)
+			if !ok {
+				continue
+			}
+			// Temporal values bind to the date column even when another
+			// column sits closer ("total quantity ... shipped after
+			// 1995-06-01" compares the ship date, not the quantity).
+			if val.isTemporal() && (best == nil || best.Type != "DATE") {
+				if len(dateCols) != 1 {
+					continue
+				}
+				best = &linkedColumn{Table: table.Name, Column: dateCols[0], Type: "DATE"}
+			}
+			if best == nil {
+				continue
+			}
+			if f, ok := buildFilter(*best, cmp.op, val); ok {
+				out = append(out, f)
+				i = vpos // skip past the consumed value
+			}
+			break
+		}
+	}
+
+	// "in <year>" on the unambiguous date column.
+	for i := 0; i+1 < len(tokens); i++ {
+		if tokens[i] != "in" && tokens[i] != "during" {
+			continue
+		}
+		if y, ok := parseYear(tokens[i+1]); ok && len(dateCols) == 1 {
+			lo, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", y))
+			hi, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", y+1))
+			out = append(out, filter{
+				col: linkedColumn{Table: table.Name, Column: dateCols[0], Type: "DATE"},
+				op:  "year",
+				val: &sql.Literal{Val: col.Date(lo)}, val2: &sql.Literal{Val: col.Date(hi)},
+			})
+		}
+	}
+
+	// "in [the] <value> <string-column>" (e.g. "in the building segment").
+	for k := range matches {
+		m := matches[k]
+		if colTypes[m.Column] != "VARCHAR" || m.Start < 2 {
+			continue
+		}
+		vIdx := m.Start - 1
+		pIdx := vIdx - 1
+		if pIdx >= 0 && tokens[pIdx] == "the" {
+			pIdx--
+		}
+		if pIdx < 0 {
+			continue
+		}
+		if tokens[pIdx] == "in" || tokens[pIdx] == "with" || tokens[pIdx] == "from" {
+			raw := strings.Trim(tokens[vIdx], "'")
+			out = append(out, filter{
+				col: m, op: "=",
+				val: &sql.Literal{Val: col.Str(strings.ToUpper(raw))},
+			})
+		}
+	}
+	return out
+}
+
+// parsedValue is a literal extracted from the question.
+type parsedValue struct {
+	expr     sql.Expr
+	temporal bool
+	year     int // non-zero when the value was a bare year
+}
+
+func (v parsedValue) isTemporal() bool { return v.temporal }
+
+func parseValue(tokens []string, at int, target *linkedColumn, dateCols []string) (parsedValue, bool) {
+	if at >= len(tokens) {
+		return parsedValue{}, false
+	}
+	tok := tokens[at]
+	if tok == "the" || tok == "a" || tok == "an" {
+		at++
+		if at >= len(tokens) {
+			return parsedValue{}, false
+		}
+		tok = tokens[at]
+	}
+	// Date literal.
+	if d, err := col.ParseDate(tok); err == nil {
+		return parsedValue{expr: &sql.Literal{Val: col.Date(d)}, temporal: true}, true
+	}
+	// Year (when a date column is plausible).
+	if y, ok := parseYear(tok); ok && (target == nil && len(dateCols) == 1 || target != nil && target.Type == "DATE") {
+		return parsedValue{expr: nil, temporal: true, year: y}, true
+	}
+	// Number.
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return parsedValue{expr: &sql.Literal{Val: col.Int(n)}}, true
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return parsedValue{expr: &sql.Literal{Val: col.Float(f)}}, true
+	}
+	// Quoted string.
+	if strings.HasPrefix(tok, "'") && strings.HasSuffix(tok, "'") {
+		return parsedValue{expr: &sql.Literal{Val: col.Str(strings.Trim(tok, "'"))}}, true
+	}
+	// Bare word for a string-typed column: TPC-H enums are uppercase.
+	if target != nil && target.Type == "VARCHAR" && isWord(tok) {
+		return parsedValue{expr: &sql.Literal{Val: col.Str(strings.ToUpper(tok))}}, true
+	}
+	return parsedValue{}, false
+}
+
+func buildFilter(c linkedColumn, op string, v parsedValue) (filter, bool) {
+	if v.year != 0 {
+		// after YEAR -> >= next Jan 1; before YEAR -> < Jan 1; =/in handled
+		// by the year-range rule.
+		switch op {
+		case ">", ">=":
+			d, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", v.year+1))
+			return filter{col: c, op: ">=", val: &sql.Literal{Val: col.Date(d)}}, true
+		case "<", "<=":
+			d, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", v.year))
+			return filter{col: c, op: "<", val: &sql.Literal{Val: col.Date(d)}}, true
+		case "=":
+			lo, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", v.year))
+			hi, _ := col.ParseDate(fmt.Sprintf("%04d-01-01", v.year+1))
+			return filter{col: c, op: "year",
+				val: &sql.Literal{Val: col.Date(lo)}, val2: &sql.Literal{Val: col.Date(hi)}}, true
+		}
+		return filter{}, false
+	}
+	if v.expr == nil {
+		return filter{}, false
+	}
+	return filter{col: c, op: op, val: v.expr}, true
+}
+
+func parseYear(tok string) (int, bool) {
+	if len(tok) != 4 {
+		return 0, false
+	}
+	y, err := strconv.Atoi(tok)
+	if err != nil || y < 1900 || y > 2100 {
+		return 0, false
+	}
+	return y, true
+}
+
+func isWord(tok string) bool {
+	for _, r := range tok {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '-' || r == '_') {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// detectAggregate finds the first aggregation intent.
+func detectAggregate(tokens []string) *aggIntent {
+	for i, tok := range tokens {
+		switch tok {
+		case "count":
+			return &aggIntent{fn: "COUNT", pos: i}
+		case "how":
+			if i+1 < len(tokens) && tokens[i+1] == "many" {
+				return &aggIntent{fn: "COUNT", pos: i}
+			}
+		case "number":
+			if i+1 < len(tokens) && tokens[i+1] == "of" {
+				return &aggIntent{fn: "COUNT", pos: i}
+			}
+		case "average", "avg", "mean":
+			return &aggIntent{fn: "AVG", pos: i}
+		case "total", "sum":
+			return &aggIntent{fn: "SUM", pos: i}
+		case "maximum", "max", "highest", "largest", "biggest":
+			return &aggIntent{fn: "MAX", pos: i}
+		case "minimum", "min", "lowest", "smallest":
+			return &aggIntent{fn: "MIN", pos: i}
+		}
+	}
+	return nil
+}
+
+// aggTarget picks the column the aggregate applies to: the first column
+// match at/after the intent keyword.
+func aggTarget(tokens []string, matches []linkedColumn, agg *aggIntent) (string, bool) {
+	var best *linkedColumn
+	for k := range matches {
+		m := matches[k]
+		if m.Start >= agg.pos && (best == nil || m.Start < best.Start) {
+			best = &matches[k]
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.Column, true
+}
+
+// parseGroupBy finds "per X" / "for each X" / "grouped by X" / "by X".
+func parseGroupBy(tokens []string, matches []linkedColumn, agg *aggIntent) (string, bool) {
+	for i, tok := range tokens {
+		trigger := false
+		colFrom := i + 1
+		switch tok {
+		case "per":
+			trigger = true
+		case "for":
+			if i+1 < len(tokens) && tokens[i+1] == "each" {
+				trigger = true
+				colFrom = i + 2
+			}
+		case "grouped":
+			if i+1 < len(tokens) && tokens[i+1] == "by" {
+				trigger = true
+				colFrom = i + 2
+			}
+		case "by":
+			// plain "by" groups only for aggregate questions ("top N by"
+			// is handled earlier).
+			trigger = agg != nil
+		}
+		if !trigger {
+			continue
+		}
+		for k := range matches {
+			m := matches[k]
+			if m.Start == colFrom || m.Start == colFrom+1 && tokens[colFrom] == "the" {
+				return m.Column, true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseTopN matches "top N ... by <col>" (falling back to the first
+// numeric column when "by" is absent).
+func parseTopN(tokens []string, matches []linkedColumn) (int64, string, bool) {
+	for i, tok := range tokens {
+		if tok != "top" || i+1 >= len(tokens) {
+			continue
+		}
+		n, err := strconv.ParseInt(tokens[i+1], 10, 64)
+		if err != nil || n <= 0 {
+			continue
+		}
+		// Column after "by".
+		for j := i + 2; j < len(tokens); j++ {
+			if tokens[j] != "by" {
+				continue
+			}
+			for k := range matches {
+				m := matches[k]
+				if m.Start >= j+1 {
+					return n, m.Column, true
+				}
+			}
+		}
+		// No "by": first matched column anywhere.
+		if len(matches) > 0 {
+			return n, matches[0].Column, true
+		}
+	}
+	return 0, "", false
+}
+
+var _ Translator = (*Template)(nil)

@@ -1,0 +1,149 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is a Store backed by a local directory. Keys map to files under the
+// root, with '/' in keys becoming directory separators. It exists so the
+// REST server can persist tables across restarts; the simulators and tests
+// use Memory.
+type Disk struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewDisk returns a store rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: create root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+func (d *Disk) path(key string) (string, error) {
+	if key == "" {
+		return "", errors.New("objstore: empty key")
+	}
+	clean := filepath.Clean(filepath.FromSlash(key))
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("objstore: invalid key %q", key)
+	}
+	return filepath.Join(d.root, clean), nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(key string, data []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// GetRange implements Store.
+func (d *Disk) GetRange(key string, off, length int64) ([]byte, error) {
+	data, err := d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return sliceRange(data, off, length, key)
+}
+
+// Head implements Store.
+func (d *Disk) Head(key string) (ObjectInfo, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	fi, err := os.Stat(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	return ObjectInfo{Key: key, Size: fi.Size(), ModTime: fi.ModTime()}, nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err = os.Remove(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store.
+func (d *Disk) List(prefix string) ([]ObjectInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var infos []ObjectInfo
+	err := filepath.WalkDir(d.root, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if !strings.HasPrefix(key, prefix) || strings.HasSuffix(key, ".tmp") {
+			return nil
+		}
+		fi, err := entry.Info()
+		if err != nil {
+			return err
+		}
+		infos = append(infos, ObjectInfo{Key: key, Size: fi.Size(), ModTime: fi.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Key < infos[j].Key })
+	return infos, nil
+}

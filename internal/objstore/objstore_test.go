@@ -1,0 +1,237 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// storeSuite exercises the Store contract against any implementation.
+func storeSuite(t *testing.T, s Store) {
+	t.Helper()
+
+	// Missing key behaviours.
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Head("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Head(missing) err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("missing"); err != nil {
+		t.Errorf("Delete(missing) err = %v, want nil (S3 semantics)", err)
+	}
+
+	// Put / Get round trip.
+	data := []byte("hello, columnar world")
+	if err := s.Put("db/tbl/file-0.pxl", data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("db/tbl/file-0.pxl")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+
+	// Overwrite.
+	if err := s.Put("db/tbl/file-0.pxl", []byte("v2")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	got, _ = s.Get("db/tbl/file-0.pxl")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite visible = %q", got)
+	}
+	if err := s.Put("db/tbl/file-0.pxl", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Range reads.
+	rng, err := s.GetRange("db/tbl/file-0.pxl", 7, 8)
+	if err != nil || string(rng) != "columnar" {
+		t.Fatalf("GetRange = %q, %v", rng, err)
+	}
+	rng, err = s.GetRange("db/tbl/file-0.pxl", 7, -1)
+	if err != nil || string(rng) != "columnar world" {
+		t.Fatalf("GetRange to end = %q, %v", rng, err)
+	}
+	if _, err := s.GetRange("db/tbl/file-0.pxl", 7, 1000); err == nil {
+		t.Errorf("GetRange past end did not error")
+	}
+	if _, err := s.GetRange("db/tbl/file-0.pxl", -1, 2); err == nil {
+		t.Errorf("GetRange negative offset did not error")
+	}
+
+	// Head.
+	info, err := s.Head("db/tbl/file-0.pxl")
+	if err != nil || info.Size != int64(len(data)) {
+		t.Fatalf("Head = %+v, %v", info, err)
+	}
+
+	// List with prefix, sorted.
+	if err := s.Put("db/tbl/file-1.pxl", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("db/other/file-9.pxl", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.List("db/tbl/")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("List = %v, %v", infos, err)
+	}
+	if infos[0].Key != "db/tbl/file-0.pxl" || infos[1].Key != "db/tbl/file-1.pxl" {
+		t.Fatalf("List order wrong: %v", infos)
+	}
+
+	// Delete removes.
+	if err := s.Delete("db/tbl/file-1.pxl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("db/tbl/file-1.pxl"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key still present")
+	}
+
+	// Empty key rejected.
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Errorf("Put with empty key accepted")
+	}
+
+	// Mutating the returned buffer must not corrupt the store.
+	got, _ = s.Get("db/tbl/file-0.pxl")
+	for i := range got {
+		got[i] = 0
+	}
+	got2, _ := s.Get("db/tbl/file-0.pxl")
+	if !bytes.Equal(got2, data) {
+		t.Errorf("store corrupted by caller mutation")
+	}
+}
+
+func TestMemoryStore(t *testing.T) { storeSuite(t, NewMemory()) }
+
+func TestDiskStore(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeSuite(t, d)
+}
+
+func TestMeteredStore(t *testing.T) {
+	m := NewMetered(NewMemory())
+	storeSuite(t, m)
+}
+
+func TestDiskRejectsTraversal(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("../evil", []byte("x")); err == nil {
+		t.Fatalf("path traversal accepted")
+	}
+	if err := d.Put("/abs", []byte("x")); err == nil {
+		t.Fatalf("absolute key accepted")
+	}
+}
+
+func TestMeteredCounts(t *testing.T) {
+	m := NewMetered(NewMemory())
+	if err := m.Put("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetRange("a", 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Head("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Failed request should not count.
+	if _, err := m.Get("missing"); err == nil {
+		t.Fatal("expected miss")
+	}
+	u := m.Usage()
+	want := Usage{Gets: 2, Puts: 1, Heads: 1, Lists: 1, Deletes: 1, BytesRead: 140, BytesWritten: 100}
+	if u != want {
+		t.Fatalf("Usage = %+v, want %+v", u, want)
+	}
+	m.Reset()
+	if m.Usage() != (Usage{}) {
+		t.Fatalf("Reset did not zero: %+v", m.Usage())
+	}
+}
+
+func TestUsageAddSub(t *testing.T) {
+	a := Usage{Gets: 3, Puts: 1, BytesRead: 100}
+	b := Usage{Gets: 1, BytesRead: 40, BytesWritten: 7}
+	sum := a.Add(b)
+	if sum.Gets != 4 || sum.BytesRead != 140 || sum.BytesWritten != 7 || sum.Puts != 1 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if d := sum.Sub(b); d != a {
+		t.Fatalf("Sub = %+v, want %+v", d, a)
+	}
+}
+
+func TestMemoryConcurrentAccess(t *testing.T) {
+	m := NewMetered(NewMemory())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k/%d/%d", g, i)
+				if err := m.Put(key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	infos, err := m.List("k/")
+	if err != nil || len(infos) != 400 {
+		t.Fatalf("List after concurrency = %d objects, %v", len(infos), err)
+	}
+	u := m.Usage()
+	if u.Puts != 400 || u.Gets != 400 {
+		t.Fatalf("usage after concurrency: %+v", u)
+	}
+}
+
+func TestRangeReadProperty(t *testing.T) {
+	s := NewMemory()
+	blob := make([]byte, 1024)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	if err := s.Put("blob", blob); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off, length uint16) bool {
+		o := int64(off) % 1024
+		l := int64(length) % (1024 - o + 1)
+		got, err := s.GetRange("blob", o, l)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, blob[o:o+l])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

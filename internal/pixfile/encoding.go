@@ -1,0 +1,361 @@
+package pixfile
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"repro/internal/col"
+)
+
+// Encoding identifies how a column chunk's values are encoded.
+type Encoding uint8
+
+// Chunk encodings. The writer picks per chunk: integers try PLAIN, RLE and
+// DELTA and keep the smallest; strings use DICT when the dictionary pays
+// for itself; booleans are always bit-packed.
+const (
+	EncPlain Encoding = iota
+	EncRLE
+	EncDelta
+	EncDict
+	EncBitpack
+)
+
+// String names the encoding for EXPLAIN output and tests.
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "PLAIN"
+	case EncRLE:
+		return "RLE"
+	case EncDelta:
+		return "DELTA"
+	case EncDict:
+		return "DICT"
+	case EncBitpack:
+		return "BITPACK"
+	default:
+		return fmt.Sprintf("ENC(%d)", uint8(e))
+	}
+}
+
+// Compression identifies the optional second-stage chunk compression.
+type Compression uint8
+
+// Supported compressions.
+const (
+	CompNone Compression = iota
+	CompFlate
+)
+
+// encodeInts encodes an int64 slice with the chosen encoding.
+func encodeInts(enc Encoding, vals []int64) []byte {
+	w := &buf{}
+	switch enc {
+	case EncPlain:
+		for _, v := range vals {
+			w.svarint(v)
+		}
+	case EncRLE:
+		i := 0
+		for i < len(vals) {
+			j := i + 1
+			for j < len(vals) && vals[j] == vals[i] {
+				j++
+			}
+			w.svarint(vals[i])
+			w.uvarint(uint64(j - i))
+			i = j
+		}
+	case EncDelta:
+		prev := int64(0)
+		for _, v := range vals {
+			w.svarint(v - prev)
+			prev = v
+		}
+	default:
+		panic("pixfile: bad int encoding " + enc.String())
+	}
+	return w.bytes()
+}
+
+// decodeInts decodes n int64 values.
+func decodeInts(enc Encoding, p []byte, n int) ([]int64, error) {
+	r := newRdr(p)
+	out := make([]int64, 0, n)
+	switch enc {
+	case EncPlain:
+		for len(out) < n {
+			v, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	case EncRLE:
+		for len(out) < n {
+			v, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			run, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || run > uint64(n-len(out)) {
+				return nil, fmt.Errorf("%w: RLE run %d overflows %d remaining", ErrCorrupt, run, n-len(out))
+			}
+			for k := uint64(0); k < run; k++ {
+				out = append(out, v)
+			}
+		}
+	case EncDelta:
+		prev := int64(0)
+		for len(out) < n {
+			d, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			out = append(out, prev)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unexpected int encoding %s", ErrCorrupt, enc)
+	}
+	return out, nil
+}
+
+// pickIntEncoding encodes with each candidate and keeps the smallest.
+func pickIntEncoding(vals []int64) (Encoding, []byte) {
+	best := EncPlain
+	bestBytes := encodeInts(EncPlain, vals)
+	for _, cand := range []Encoding{EncRLE, EncDelta} {
+		b := encodeInts(cand, vals)
+		if len(b) < len(bestBytes) {
+			best, bestBytes = cand, b
+		}
+	}
+	return best, bestBytes
+}
+
+// encodeFloats stores raw IEEE-754 bits.
+func encodeFloats(vals []float64) []byte {
+	w := &buf{}
+	for _, v := range vals {
+		w.f64(v)
+	}
+	return w.bytes()
+}
+
+func decodeFloats(p []byte, n int) ([]float64, error) {
+	r := newRdr(p)
+	out := make([]float64, n)
+	for i := range out {
+		v, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// encodeStringsPlain stores length-prefixed bytes.
+func encodeStringsPlain(vals []string) []byte {
+	w := &buf{}
+	for _, v := range vals {
+		w.str(v)
+	}
+	return w.bytes()
+}
+
+func decodeStringsPlain(p []byte, n int) ([]string, error) {
+	r := newRdr(p)
+	out := make([]string, n)
+	for i := range out {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// encodeStringsDict stores a dictionary followed by indexes.
+func encodeStringsDict(vals []string) ([]byte, bool) {
+	dict := make(map[string]uint64)
+	var order []string
+	for _, v := range vals {
+		if _, ok := dict[v]; !ok {
+			dict[v] = uint64(len(order))
+			order = append(order, v)
+		}
+	}
+	// The dictionary pays off only if it shrinks the chunk; a cheap proxy
+	// is requiring meaningful repetition.
+	if len(vals) == 0 || len(order)*2 > len(vals) {
+		return nil, false
+	}
+	w := &buf{}
+	w.uvarint(uint64(len(order)))
+	for _, s := range order {
+		w.str(s)
+	}
+	for _, v := range vals {
+		w.uvarint(dict[v])
+	}
+	return w.bytes(), true
+}
+
+func decodeStringsDict(p []byte, n int) ([]string, error) {
+	r := newRdr(p)
+	dn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dn > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: dict size %d too large", ErrCorrupt, dn)
+	}
+	dict := make([]string, dn)
+	for i := range dict {
+		dict[i], err = r.str()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, n)
+	for i := range out {
+		idx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= dn {
+			return nil, fmt.Errorf("%w: dict index %d out of range %d", ErrCorrupt, idx, dn)
+		}
+		out[i] = dict[idx]
+	}
+	return out, nil
+}
+
+// compress applies second-stage compression.
+func compress(c Compression, p []byte) ([]byte, error) {
+	switch c {
+	case CompNone:
+		return p, nil
+	case CompFlate:
+		var out bytes.Buffer
+		zw, err := flate.NewWriter(&out, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := zw.Write(p); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("pixfile: unknown compression %d", c)
+	}
+}
+
+func decompress(c Compression, p []byte) ([]byte, error) {
+	switch c {
+	case CompNone:
+		return p, nil
+	case CompFlate:
+		zr := flate.NewReader(bytes.NewReader(p))
+		defer zr.Close()
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown compression %d", ErrCorrupt, c)
+	}
+}
+
+// encodeVector encodes a full vector (validity bitmap + values) and
+// returns the chosen encoding, the encoded payload and the null count.
+func encodeVector(v *col.Vector) (Encoding, []byte, int) {
+	nulls := 0
+	if v.Valid != nil {
+		for _, ok := range v.Valid {
+			if !ok {
+				nulls++
+			}
+		}
+	}
+	w := &buf{}
+	if nulls > 0 {
+		w.raw(packBits(v.Valid))
+	}
+	var enc Encoding
+	var payload []byte
+	switch v.Type {
+	case col.BOOL:
+		enc = EncBitpack
+		payload = packBits(v.Bools)
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		enc, payload = pickIntEncoding(v.Ints)
+	case col.FLOAT64:
+		enc = EncPlain
+		payload = encodeFloats(v.Floats)
+	case col.STRING:
+		if p, ok := encodeStringsDict(v.Strs); ok {
+			enc, payload = EncDict, p
+		} else {
+			enc, payload = EncPlain, encodeStringsPlain(v.Strs)
+		}
+	default:
+		panic("pixfile: cannot encode type " + v.Type.String())
+	}
+	w.raw(payload)
+	return enc, w.bytes(), nulls
+}
+
+// decodeVector decodes a chunk payload back into a vector of n rows.
+func decodeVector(t col.Type, enc Encoding, p []byte, n, nulls int) (*col.Vector, error) {
+	v := &col.Vector{Type: t, N: n}
+	if nulls > 0 {
+		bmLen := (n + 7) / 8
+		if len(p) < bmLen {
+			return nil, fmt.Errorf("%w: chunk shorter than validity bitmap", ErrCorrupt)
+		}
+		valid, err := unpackBits(p[:bmLen], n)
+		if err != nil {
+			return nil, err
+		}
+		v.Valid = valid
+		p = p[bmLen:]
+	}
+	var err error
+	switch t {
+	case col.BOOL:
+		if enc != EncBitpack {
+			return nil, fmt.Errorf("%w: bool chunk with encoding %s", ErrCorrupt, enc)
+		}
+		v.Bools, err = unpackBits(p, n)
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		v.Ints, err = decodeInts(enc, p, n)
+	case col.FLOAT64:
+		v.Floats, err = decodeFloats(p, n)
+	case col.STRING:
+		if enc == EncDict {
+			v.Strs, err = decodeStringsDict(p, n)
+		} else {
+			v.Strs, err = decodeStringsPlain(p, n)
+		}
+	default:
+		return nil, fmt.Errorf("%w: cannot decode type %s", ErrCorrupt, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}

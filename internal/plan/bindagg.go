@@ -1,0 +1,373 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/col"
+	"repro/internal/sql"
+)
+
+// aggSpace tracks the output layout of an AggNode during binding: group
+// expressions first, then aggregate results, addressed by the canonical
+// string of the originating AST expression.
+type aggSpace struct {
+	agg    *AggNode
+	byExpr map[string]int // canonical AST string -> output ordinal
+}
+
+// buildAggregate plans GROUP BY + aggregates: a pre-aggregation child, the
+// AggNode, an optional HAVING filter and the post-aggregation projection.
+// It returns the top node, the projection (for ORDER BY resolution) and the
+// aggregate output space (for hidden ORDER BY keys).
+func (b *Binder) buildAggregate(sel *sql.Select, items []sql.SelectItem, bd *binding, child Node) (Node, *ProjectNode, *aggSpace, error) {
+	space := &aggSpace{
+		agg:    &AggNode{Child: child},
+		byExpr: make(map[string]int),
+	}
+
+	// Group keys.
+	for _, g := range sel.GroupBy {
+		key := canonical(g)
+		if _, ok := space.byExpr[key]; ok {
+			continue
+		}
+		bound, err := b.bindExpr(g, bd, false)
+		if err != nil {
+			// GROUP BY may name a select alias.
+			if ref, isRef := g.(*sql.ColumnRef); isRef && ref.Table == "" {
+				if target := findAlias(items, ref.Name); target != nil {
+					bound, err = b.bindExpr(target, bd, false)
+					if err == nil {
+						key = canonical(target)
+					}
+				}
+			}
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if _, ok := space.byExpr[key]; ok {
+				continue
+			}
+		}
+		name := g.String()
+		if ref, ok := g.(*sql.ColumnRef); ok {
+			name = ref.Name
+		}
+		space.byExpr[key] = len(space.agg.GroupBy)
+		space.agg.GroupBy = append(space.agg.GroupBy, bound)
+		space.agg.GroupNames = append(space.agg.GroupNames, name)
+	}
+
+	// Collect aggregate calls from select items, HAVING and ORDER BY.
+	collect := func(e sql.Expr) error { return b.collectAggs(e, bd, space) }
+	for _, it := range items {
+		if err := collect(it.Expr); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := collect(sel.Having); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, o := range sel.OrderBy {
+		if containsAggAST(o.Expr) {
+			if err := collect(o.Expr); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	if len(space.agg.Aggs) == 0 && len(space.agg.GroupBy) == 0 {
+		return nil, nil, nil, fmt.Errorf("plan: internal error: aggregate path without aggregates")
+	}
+
+	var node Node = space.agg
+
+	// HAVING filters the aggregate output.
+	if sel.Having != nil {
+		cond, err := b.bindOverAgg(sel.Having, space)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if cond.Type() != col.BOOL && cond.Type() != col.UNKNOWN {
+			return nil, nil, nil, fmt.Errorf("plan: HAVING must be boolean, got %s", cond.Type())
+		}
+		node = &FilterNode{Child: node, Cond: cond}
+	}
+
+	// Post-aggregation projection of the select items.
+	proj := &ProjectNode{Child: node}
+	for _, it := range items {
+		e, err := b.bindOverAgg(it.Expr, space)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		proj.Exprs = append(proj.Exprs, e)
+		proj.Names = append(proj.Names, itemName(it))
+	}
+	return proj, proj, space, nil
+}
+
+func findAlias(items []sql.SelectItem, alias string) sql.Expr {
+	for _, it := range items {
+		if it.Alias == alias {
+			return it.Expr
+		}
+	}
+	return nil
+}
+
+// collectAggs registers every aggregate call inside e as an AggSpec.
+func (b *Binder) collectAggs(e sql.Expr, bd *binding, space *aggSpace) error {
+	switch x := e.(type) {
+	case nil, *sql.Literal, *sql.ColumnRef:
+		return nil
+	case *sql.Unary:
+		return b.collectAggs(x.X, bd, space)
+	case *sql.Binary:
+		if err := b.collectAggs(x.L, bd, space); err != nil {
+			return err
+		}
+		return b.collectAggs(x.R, bd, space)
+	case *sql.IsNull:
+		return b.collectAggs(x.X, bd, space)
+	case *sql.In:
+		return b.collectAggs(x.X, bd, space)
+	case *sql.Between:
+		for _, sub := range []sql.Expr{x.X, x.Lo, x.Hi} {
+			if err := b.collectAggs(sub, bd, space); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sql.Cast:
+		return b.collectAggs(x.X, bd, space)
+	case *sql.Case:
+		for _, w := range x.Whens {
+			if err := b.collectAggs(w.Cond, bd, space); err != nil {
+				return err
+			}
+			if err := b.collectAggs(w.Result, bd, space); err != nil {
+				return err
+			}
+		}
+		return b.collectAggs(x.Else, bd, space)
+	case *sql.FuncCall:
+		fn, isAgg := aggFuncs[x.Name]
+		if !isAgg {
+			for _, a := range x.Args {
+				if err := b.collectAggs(a, bd, space); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		key := canonical(x)
+		if _, ok := space.byExpr[key]; ok {
+			return nil
+		}
+		spec := AggSpec{Distinct: x.Distinct, Name: key}
+		if x.Star {
+			if fn != AggCount {
+				return fmt.Errorf("plan: %s(*) is not valid", x.Name)
+			}
+			spec.Func = AggCountStar
+			spec.Ty = col.INT64
+		} else {
+			if len(x.Args) != 1 {
+				return fmt.Errorf("plan: %s takes exactly one argument", x.Name)
+			}
+			if containsAggAST(x.Args[0]) {
+				return fmt.Errorf("plan: nested aggregates are not allowed")
+			}
+			arg, err := b.bindExpr(x.Args[0], bd, true)
+			if err != nil {
+				return err
+			}
+			spec.Func = fn
+			spec.Arg = arg
+			switch fn {
+			case AggCount:
+				spec.Ty = col.INT64
+			case AggSum:
+				if !arg.Type().Numeric() {
+					return fmt.Errorf("plan: SUM requires a number, got %s", arg.Type())
+				}
+				spec.Ty = arg.Type()
+			case AggAvg:
+				if !arg.Type().Numeric() {
+					return fmt.Errorf("plan: AVG requires a number, got %s", arg.Type())
+				}
+				spec.Ty = col.FLOAT64
+			case AggMin, AggMax:
+				if !arg.Type().Orderable() {
+					return fmt.Errorf("plan: %s requires an orderable type, got %s", x.Name, arg.Type())
+				}
+				spec.Ty = arg.Type()
+			}
+		}
+		space.byExpr[key] = len(space.agg.GroupBy) + len(space.agg.Aggs)
+		space.agg.Aggs = append(space.agg.Aggs, spec)
+		return nil
+	default:
+		return fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// bindOverAgg binds an AST expression over the aggregate output space.
+// Group expressions and aggregate calls resolve to derived columns; other
+// structure is recursed into; bare columns must be group keys.
+func (b *Binder) bindOverAgg(e sql.Expr, space *aggSpace) (BoundExpr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if pos, ok := space.byExpr[canonical(e)]; ok {
+		return space.derivedCol(pos), nil
+	}
+	switch x := e.(type) {
+	case *sql.Literal:
+		return &BLit{Val: x.Val}, nil
+	case *sql.ColumnRef:
+		return nil, fmt.Errorf("plan: column %q must appear in GROUP BY or inside an aggregate", x.String())
+	case *sql.Unary:
+		inner, err := b.bindOverAgg(x.X, space)
+		if err != nil {
+			return nil, err
+		}
+		ty := inner.Type()
+		if x.Op == "NOT" {
+			ty = col.BOOL
+		}
+		return &BUnary{Op: x.Op, X: inner, Ty: ty}, nil
+	case *sql.Binary:
+		l, err := b.bindOverAgg(x.L, space)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindOverAgg(x.R, space)
+		if err != nil {
+			return nil, err
+		}
+		return typeBinary(x.Op, l, r)
+	case *sql.IsNull:
+		inner, err := b.bindOverAgg(x.X, space)
+		if err != nil {
+			return nil, err
+		}
+		return &BIsNull{X: inner, Not: x.Not}, nil
+	case *sql.In:
+		inner, err := b.bindOverAgg(x.X, space)
+		if err != nil {
+			return nil, err
+		}
+		var list []col.Value
+		for _, item := range x.List {
+			lit, ok := item.(*sql.Literal)
+			if !ok {
+				return nil, fmt.Errorf("plan: IN list must contain literals")
+			}
+			list = append(list, lit.Val)
+		}
+		return &BIn{X: inner, List: list, Not: x.Not}, nil
+	case *sql.Between:
+		inner, err := b.bindOverAgg(x.X, space)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindOverAgg(x.Lo, space)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindOverAgg(x.Hi, space)
+		if err != nil {
+			return nil, err
+		}
+		ge, err := typeBinary(">=", inner, lo)
+		if err != nil {
+			return nil, err
+		}
+		le, err := typeBinary("<=", cloneExpr(inner), hi)
+		if err != nil {
+			return nil, err
+		}
+		rng := &BBinary{Op: "AND", L: ge, R: le, Ty: col.BOOL}
+		if x.Not {
+			return &BUnary{Op: "NOT", X: rng, Ty: col.BOOL}, nil
+		}
+		return rng, nil
+	case *sql.Cast:
+		inner, err := b.bindOverAgg(x.X, space)
+		if err != nil {
+			return nil, err
+		}
+		if !castAllowed(inner.Type(), x.To) {
+			return nil, fmt.Errorf("plan: cannot CAST %s to %s", inner.Type(), x.To)
+		}
+		return &BCast{X: inner, To: x.To}, nil
+	case *sql.Case:
+		bc := &BCase{}
+		resTy := col.UNKNOWN
+		for _, w := range x.Whens {
+			cond, err := b.bindOverAgg(w.Cond, space)
+			if err != nil {
+				return nil, err
+			}
+			res, err := b.bindOverAgg(w.Result, space)
+			if err != nil {
+				return nil, err
+			}
+			resTy, err = commonType(resTy, res.Type())
+			if err != nil {
+				return nil, err
+			}
+			bc.Whens = append(bc.Whens, BWhen{Cond: cond, Result: res})
+		}
+		if x.Else != nil {
+			els, err := b.bindOverAgg(x.Else, space)
+			if err != nil {
+				return nil, err
+			}
+			resTy, err = commonType(resTy, els.Type())
+			if err != nil {
+				return nil, err
+			}
+			bc.Else = els
+		}
+		if resTy == col.UNKNOWN {
+			resTy = col.STRING
+		}
+		bc.Ty = resTy
+		return bc, nil
+	case *sql.FuncCall:
+		if _, isAgg := aggFuncs[x.Name]; isAgg {
+			return nil, fmt.Errorf("plan: internal error: aggregate %s was not collected", x.Name)
+		}
+		sig, ok := scalarFuncs[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown function %s", x.Name)
+		}
+		if len(x.Args) < sig.minArgs || len(x.Args) > sig.maxArgs {
+			return nil, fmt.Errorf("plan: %s takes %d..%d arguments", x.Name, sig.minArgs, sig.maxArgs)
+		}
+		args := make([]BoundExpr, len(x.Args))
+		for i, a := range x.Args {
+			bound, err := b.bindOverAgg(a, space)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+		}
+		ty, err := sig.check(args)
+		if err != nil {
+			return nil, fmt.Errorf("plan: %v", err)
+		}
+		return &BFunc{Name: x.Name, Args: args, Ty: ty}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// derivedCol builds a reference to aggregate output position pos.
+func (s *aggSpace) derivedCol(pos int) *BCol {
+	schema := s.agg.Schema()
+	f := schema.Fields[pos]
+	return &BCol{Rel: DerivedRel, Ordinal: pos, Name: f.Name, Ty: f.Type, Nullable: f.Nullable}
+}

@@ -1,0 +1,442 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/sql"
+)
+
+// aggFuncs maps SQL aggregate names to AggFunc.
+var aggFuncs = map[string]AggFunc{
+	"COUNT": AggCount,
+	"SUM":   AggSum,
+	"AVG":   AggAvg,
+	"MIN":   AggMin,
+	"MAX":   AggMax,
+}
+
+// containsAggAST reports whether an AST expression contains an aggregate
+// function call.
+func containsAggAST(e sql.Expr) bool {
+	found := false
+	var rec func(sql.Expr)
+	rec = func(x sql.Expr) {
+		if found || x == nil {
+			return
+		}
+		switch n := x.(type) {
+		case *sql.FuncCall:
+			if _, ok := aggFuncs[n.Name]; ok {
+				found = true
+				return
+			}
+			for _, a := range n.Args {
+				rec(a)
+			}
+		case *sql.Unary:
+			rec(n.X)
+		case *sql.Binary:
+			rec(n.L)
+			rec(n.R)
+		case *sql.IsNull:
+			rec(n.X)
+		case *sql.In:
+			rec(n.X)
+		case *sql.Between:
+			rec(n.X)
+			rec(n.Lo)
+			rec(n.Hi)
+		case *sql.Cast:
+			rec(n.X)
+		case *sql.Case:
+			for _, w := range n.Whens {
+				rec(w.Cond)
+				rec(w.Result)
+			}
+			rec(n.Else)
+		}
+	}
+	rec(e)
+	return found
+}
+
+func containsAgg(e sql.Expr) bool { return containsAggAST(e) }
+
+// bindExpr binds an AST expression over the base relations. Aggregate
+// calls are rejected (the aggregate path binds through bindOverAgg).
+func (b *Binder) bindExpr(e sql.Expr, bd *binding, inAgg bool) (BoundExpr, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return &BLit{Val: x.Val}, nil
+
+	case *sql.ColumnRef:
+		rel, ci, err := bd.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		r := bd.rels[rel]
+		pos, ok := r.colPos[ci]
+		if !ok {
+			return nil, fmt.Errorf("plan: internal error: column %s not collected for scan", x.Name)
+		}
+		tc := r.table.Columns[ci]
+		return &BCol{
+			Rel: rel, Idx: pos, Ordinal: -1,
+			Name: tc.Name, Ty: tc.Type,
+			Nullable: tc.Nullable || r.nullable,
+		}, nil
+
+	case *sql.Unary:
+		inner, err := b.bindExpr(x.X, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			if inner.Type() != col.BOOL && inner.Type() != col.UNKNOWN {
+				return nil, fmt.Errorf("plan: NOT requires a boolean, got %s", inner.Type())
+			}
+			return &BUnary{Op: "NOT", X: inner, Ty: col.BOOL}, nil
+		}
+		if !inner.Type().Numeric() && inner.Type() != col.UNKNOWN {
+			return nil, fmt.Errorf("plan: unary - requires a number, got %s", inner.Type())
+		}
+		return &BUnary{Op: "-", X: inner, Ty: inner.Type()}, nil
+
+	case *sql.Binary:
+		l, err := b.bindExpr(x.L, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(x.R, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		return typeBinary(x.Op, l, r)
+
+	case *sql.IsNull:
+		inner, err := b.bindExpr(x.X, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		return &BIsNull{X: inner, Not: x.Not}, nil
+
+	case *sql.In:
+		inner, err := b.bindExpr(x.X, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		var list []col.Value
+		for _, item := range x.List {
+			lit, ok := item.(*sql.Literal)
+			if !ok {
+				return nil, fmt.Errorf("plan: IN list must contain literals, got %s", item)
+			}
+			v := lit.Val
+			if !compatibleCmp(inner.Type(), v.Type) {
+				return nil, fmt.Errorf("plan: IN list type %s incompatible with %s", v.Type, inner.Type())
+			}
+			list = append(list, v)
+		}
+		return &BIn{X: inner, List: list, Not: x.Not}, nil
+
+	case *sql.Between:
+		inner, err := b.bindExpr(x.X, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindExpr(x.Lo, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindExpr(x.Hi, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		ge, err := typeBinary(">=", inner, lo)
+		if err != nil {
+			return nil, err
+		}
+		le, err := typeBinary("<=", cloneExpr(inner), hi)
+		if err != nil {
+			return nil, err
+		}
+		rng := &BBinary{Op: "AND", L: ge, R: le, Ty: col.BOOL}
+		if x.Not {
+			return &BUnary{Op: "NOT", X: rng, Ty: col.BOOL}, nil
+		}
+		return rng, nil
+
+	case *sql.FuncCall:
+		if _, isAgg := aggFuncs[x.Name]; isAgg {
+			return nil, fmt.Errorf("plan: aggregate %s not allowed here", x.Name)
+		}
+		return b.bindScalarFunc(x, bd, inAgg)
+
+	case *sql.Cast:
+		inner, err := b.bindExpr(x.X, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		if !castAllowed(inner.Type(), x.To) {
+			return nil, fmt.Errorf("plan: cannot CAST %s to %s", inner.Type(), x.To)
+		}
+		return &BCast{X: inner, To: x.To}, nil
+
+	case *sql.Case:
+		bc := &BCase{}
+		var resTy col.Type = col.UNKNOWN
+		for _, w := range x.Whens {
+			cond, err := b.bindExpr(w.Cond, bd, inAgg)
+			if err != nil {
+				return nil, err
+			}
+			if cond.Type() != col.BOOL && cond.Type() != col.UNKNOWN {
+				return nil, fmt.Errorf("plan: CASE condition must be boolean, got %s", cond.Type())
+			}
+			res, err := b.bindExpr(w.Result, bd, inAgg)
+			if err != nil {
+				return nil, err
+			}
+			resTy, err = commonType(resTy, res.Type())
+			if err != nil {
+				return nil, err
+			}
+			bc.Whens = append(bc.Whens, BWhen{Cond: cond, Result: res})
+		}
+		if x.Else != nil {
+			els, err := b.bindExpr(x.Else, bd, inAgg)
+			if err != nil {
+				return nil, err
+			}
+			resTy, err = commonType(resTy, els.Type())
+			if err != nil {
+				return nil, err
+			}
+			bc.Else = els
+		}
+		if resTy == col.UNKNOWN {
+			resTy = col.STRING
+		}
+		bc.Ty = resTy
+		return bc, nil
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// scalarSig describes a built-in scalar function.
+type scalarSig struct {
+	minArgs, maxArgs int
+	check            func(args []BoundExpr) (col.Type, error)
+}
+
+var scalarFuncs = map[string]scalarSig{
+	"ABS": {1, 1, func(a []BoundExpr) (col.Type, error) {
+		if !a[0].Type().Numeric() {
+			return 0, fmt.Errorf("ABS requires a number")
+		}
+		return a[0].Type(), nil
+	}},
+	"LOWER":  {1, 1, wantStr(col.STRING)},
+	"UPPER":  {1, 1, wantStr(col.STRING)},
+	"LENGTH": {1, 1, wantStr(col.INT64)},
+	"SUBSTR": {2, 3, func(a []BoundExpr) (col.Type, error) {
+		if a[0].Type() != col.STRING {
+			return 0, fmt.Errorf("SUBSTR requires a string")
+		}
+		for _, x := range a[1:] {
+			if x.Type() != col.INT64 {
+				return 0, fmt.Errorf("SUBSTR positions must be integers")
+			}
+		}
+		return col.STRING, nil
+	}},
+	"CONCAT": {1, 8, func(a []BoundExpr) (col.Type, error) {
+		for _, x := range a {
+			if x.Type() != col.STRING {
+				return 0, fmt.Errorf("CONCAT requires strings")
+			}
+		}
+		return col.STRING, nil
+	}},
+	"COALESCE": {1, 8, func(a []BoundExpr) (col.Type, error) {
+		t := col.UNKNOWN
+		var err error
+		for _, x := range a {
+			t, err = commonType(t, x.Type())
+			if err != nil {
+				return 0, err
+			}
+		}
+		return t, nil
+	}},
+	"YEAR":  {1, 1, wantDate(col.INT64)},
+	"MONTH": {1, 1, wantDate(col.INT64)},
+	"DAY":   {1, 1, wantDate(col.INT64)},
+	"ROUND": {1, 2, func(a []BoundExpr) (col.Type, error) {
+		if !a[0].Type().Numeric() {
+			return 0, fmt.Errorf("ROUND requires a number")
+		}
+		if len(a) == 2 && a[1].Type() != col.INT64 {
+			return 0, fmt.Errorf("ROUND precision must be an integer")
+		}
+		return col.FLOAT64, nil
+	}},
+	"FLOOR": {1, 1, wantNum(col.FLOAT64)},
+	"CEIL":  {1, 1, wantNum(col.FLOAT64)},
+}
+
+func wantStr(out col.Type) func([]BoundExpr) (col.Type, error) {
+	return func(a []BoundExpr) (col.Type, error) {
+		if a[0].Type() != col.STRING {
+			return 0, fmt.Errorf("function requires a string, got %s", a[0].Type())
+		}
+		return out, nil
+	}
+}
+
+func wantNum(out col.Type) func([]BoundExpr) (col.Type, error) {
+	return func(a []BoundExpr) (col.Type, error) {
+		if !a[0].Type().Numeric() {
+			return 0, fmt.Errorf("function requires a number, got %s", a[0].Type())
+		}
+		return out, nil
+	}
+}
+
+func wantDate(out col.Type) func([]BoundExpr) (col.Type, error) {
+	return func(a []BoundExpr) (col.Type, error) {
+		if a[0].Type() != col.DATE && a[0].Type() != col.TIMESTAMP {
+			return 0, fmt.Errorf("function requires a date, got %s", a[0].Type())
+		}
+		return out, nil
+	}
+}
+
+func (b *Binder) bindScalarFunc(x *sql.FuncCall, bd *binding, inAgg bool) (BoundExpr, error) {
+	sig, ok := scalarFuncs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown function %s", x.Name)
+	}
+	if len(x.Args) < sig.minArgs || len(x.Args) > sig.maxArgs {
+		return nil, fmt.Errorf("plan: %s takes %d..%d arguments, got %d", x.Name, sig.minArgs, sig.maxArgs, len(x.Args))
+	}
+	args := make([]BoundExpr, len(x.Args))
+	for i, a := range x.Args {
+		bound, err := b.bindExpr(a, bd, inAgg)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = bound
+	}
+	ty, err := sig.check(args)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %v", err)
+	}
+	return &BFunc{Name: x.Name, Args: args, Ty: ty}, nil
+}
+
+// typeBinary type-checks a binary operator and constructs the node.
+// Division always yields FLOAT64; DATE ± INT64 yields DATE.
+func typeBinary(op string, l, r BoundExpr) (BoundExpr, error) {
+	lt, rt := l.Type(), r.Type()
+	switch op {
+	case "AND", "OR":
+		if (lt != col.BOOL && lt != col.UNKNOWN) || (rt != col.BOOL && rt != col.UNKNOWN) {
+			return nil, fmt.Errorf("plan: %s requires booleans, got %s and %s", op, lt, rt)
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: col.BOOL}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if !compatibleCmp(lt, rt) {
+			return nil, fmt.Errorf("plan: cannot compare %s with %s", lt, rt)
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: col.BOOL}, nil
+	case "LIKE":
+		if (lt != col.STRING && lt != col.UNKNOWN) || (rt != col.STRING && rt != col.UNKNOWN) {
+			return nil, fmt.Errorf("plan: LIKE requires strings, got %s and %s", lt, rt)
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: col.BOOL}, nil
+	case "+", "-":
+		if (lt == col.DATE || lt == col.TIMESTAMP) && (rt == col.INT64 || rt == col.UNKNOWN) {
+			return &BBinary{Op: op, L: l, R: r, Ty: lt}, nil
+		}
+		fallthrough
+	case "*":
+		if !numericOrUnknown(lt) || !numericOrUnknown(rt) {
+			return nil, fmt.Errorf("plan: %s requires numbers, got %s and %s", op, lt, rt)
+		}
+		ty := col.INT64
+		if lt == col.FLOAT64 || rt == col.FLOAT64 {
+			ty = col.FLOAT64
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: ty}, nil
+	case "/":
+		if !numericOrUnknown(lt) || !numericOrUnknown(rt) {
+			return nil, fmt.Errorf("plan: / requires numbers, got %s and %s", lt, rt)
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: col.FLOAT64}, nil
+	case "%":
+		if (lt != col.INT64 && lt != col.UNKNOWN) || (rt != col.INT64 && rt != col.UNKNOWN) {
+			return nil, fmt.Errorf("plan: %% requires integers, got %s and %s", lt, rt)
+		}
+		return &BBinary{Op: op, L: l, R: r, Ty: col.INT64}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown operator %s", op)
+	}
+}
+
+func numericOrUnknown(t col.Type) bool { return t.Numeric() || t == col.UNKNOWN }
+
+// compatibleCmp reports whether two types may be compared.
+func compatibleCmp(a, b col.Type) bool {
+	if a == col.UNKNOWN || b == col.UNKNOWN {
+		return true // NULL literal compares with anything
+	}
+	if a == b {
+		return true
+	}
+	return a.Numeric() && b.Numeric()
+}
+
+// commonType merges two types for CASE/COALESCE results.
+func commonType(a, b col.Type) (col.Type, error) {
+	if a == col.UNKNOWN {
+		return b, nil
+	}
+	if b == col.UNKNOWN || a == b {
+		return a, nil
+	}
+	if a.Numeric() && b.Numeric() {
+		return col.FLOAT64, nil
+	}
+	return 0, fmt.Errorf("plan: incompatible branch types %s and %s", a, b)
+}
+
+// castAllowed whitelists CAST conversions.
+func castAllowed(from, to col.Type) bool {
+	if from == to || from == col.UNKNOWN {
+		return true
+	}
+	switch {
+	case to == col.STRING:
+		return true
+	case from.Numeric() && to.Numeric():
+		return true
+	case from == col.STRING && (to.Numeric() || to == col.DATE || to == col.TIMESTAMP || to == col.BOOL):
+		return true
+	case from == col.DATE && to == col.TIMESTAMP,
+		from == col.TIMESTAMP && to == col.DATE:
+		return true
+	case from == col.BOOL && to == col.INT64:
+		return true
+	default:
+		return false
+	}
+}
+
+// canonical returns the canonical string of an AST expression, used to
+// match GROUP BY keys with select items.
+func canonical(e sql.Expr) string { return strings.ToUpper(e.String()) }

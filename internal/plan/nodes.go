@@ -1,0 +1,382 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/pixfile"
+)
+
+// Node is an operator of the physical plan tree.
+type Node interface {
+	// Schema is the operator's output schema.
+	Schema() *col.Schema
+	// Children returns input operators, outermost last in execution order.
+	Children() []Node
+	// Label is a one-line description for EXPLAIN.
+	Label() string
+}
+
+// ScanNode reads a base table with projection, a pushed-down filter and
+// zone-map predicates.
+type ScanNode struct {
+	DB      string
+	Table   *catalog.Table
+	Binding string // alias or table name, for EXPLAIN
+	Rel     int    // relation index in the FROM list
+
+	Cols   []int     // table-schema ordinals, in output order
+	Filter BoundExpr // over the projected output; nil = none
+	// ZonePreds are conjuncts usable for row-group pruning; Col indexes
+	// the table schema (not the projected output).
+	ZonePreds []pixfile.ColPredicate
+
+	out *col.Schema
+}
+
+// Schema implements Node.
+func (s *ScanNode) Schema() *col.Schema {
+	if s.out == nil {
+		fields := make([]col.Field, len(s.Cols))
+		for i, c := range s.Cols {
+			tc := s.Table.Columns[c]
+			fields[i] = col.Field{Name: tc.Name, Type: tc.Type, Nullable: tc.Nullable}
+		}
+		s.out = col.NewSchema(fields...)
+	}
+	return s.out
+}
+
+// Children implements Node.
+func (s *ScanNode) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *ScanNode) Label() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Scan %s.%s", s.DB, s.Table.Name)
+	if s.Binding != s.Table.Name {
+		fmt.Fprintf(&sb, " AS %s", s.Binding)
+	}
+	fmt.Fprintf(&sb, " cols=%v", s.Schema().Names())
+	if s.Filter != nil {
+		fmt.Fprintf(&sb, " filter=%s", s.Filter)
+	}
+	if len(s.ZonePreds) > 0 {
+		fmt.Fprintf(&sb, " zonemap=%d", len(s.ZonePreds))
+	}
+	return sb.String()
+}
+
+// FilterNode drops rows whose condition is not TRUE.
+type FilterNode struct {
+	Child Node
+	Cond  BoundExpr
+}
+
+// Schema implements Node.
+func (f *FilterNode) Schema() *col.Schema { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *FilterNode) Children() []Node { return []Node{f.Child} }
+
+// Label implements Node.
+func (f *FilterNode) Label() string { return "Filter " + f.Cond.String() }
+
+// ProjectNode computes expressions over its input.
+type ProjectNode struct {
+	Child Node
+	Exprs []BoundExpr
+	Names []string
+
+	out *col.Schema
+}
+
+// Schema implements Node.
+func (p *ProjectNode) Schema() *col.Schema {
+	if p.out == nil {
+		fields := make([]col.Field, len(p.Exprs))
+		for i, e := range p.Exprs {
+			fields[i] = col.Field{Name: p.Names[i], Type: e.Type(), Nullable: true}
+		}
+		p.out = col.NewSchema(fields...)
+	}
+	return p.out
+}
+
+// Children implements Node.
+func (p *ProjectNode) Children() []Node { return []Node{p.Child} }
+
+// Label implements Node.
+func (p *ProjectNode) Label() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+		if p.Names[i] != "" && p.Names[i] != e.String() {
+			parts[i] += " AS " + p.Names[i]
+		}
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// JoinKind enumerates join algebra supported by the executor.
+type JoinKind uint8
+
+// Supported join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "INNER"
+	case JoinLeft:
+		return "LEFT"
+	default:
+		return "CROSS"
+	}
+}
+
+// JoinNode is a hash join (equi keys) with an optional residual predicate
+// evaluated over the concatenated output, or a nested-loop cross join when
+// no keys exist.
+type JoinNode struct {
+	Kind        JoinKind
+	Left, Right Node
+	// LeftKeys/RightKeys are matching equi-join key expressions over the
+	// respective input schemas.
+	LeftKeys, RightKeys []BoundExpr
+	// Residual is evaluated over [left columns..., right columns...].
+	Residual BoundExpr
+
+	out *col.Schema
+}
+
+// Schema implements Node.
+func (j *JoinNode) Schema() *col.Schema {
+	if j.out == nil {
+		lf := j.Left.Schema().Fields
+		rf := j.Right.Schema().Fields
+		fields := make([]col.Field, 0, len(lf)+len(rf))
+		fields = append(fields, lf...)
+		for _, f := range rf {
+			if j.Kind == JoinLeft {
+				f.Nullable = true
+			}
+			fields = append(fields, f)
+		}
+		j.out = col.NewSchema(fields...)
+	}
+	return j.out
+}
+
+// Children implements Node.
+func (j *JoinNode) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Label implements Node.
+func (j *JoinNode) Label() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s Join", j.Kind)
+	if len(j.LeftKeys) > 0 {
+		keys := make([]string, len(j.LeftKeys))
+		for i := range j.LeftKeys {
+			keys[i] = j.LeftKeys[i].String() + " = " + j.RightKeys[i].String()
+		}
+		fmt.Fprintf(&sb, " on %s", strings.Join(keys, " AND "))
+	}
+	if j.Residual != nil {
+		fmt.Fprintf(&sb, " residual=%s", j.Residual)
+	}
+	return sb.String()
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount, AggCountStar:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "AGG?"
+	}
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     AggFunc
+	Arg      BoundExpr // nil for COUNT(*)
+	Distinct bool
+	Name     string   // output column name
+	Ty       col.Type // result type
+}
+
+func (a AggSpec) String() string {
+	if a.Func == AggCountStar {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Func, d, a.Arg)
+}
+
+// AggNode groups by expressions and computes aggregates. Output schema is
+// [group columns..., aggregate results...].
+type AggNode struct {
+	Child      Node
+	GroupBy    []BoundExpr
+	GroupNames []string
+	Aggs       []AggSpec
+
+	out *col.Schema
+}
+
+// Schema implements Node.
+func (a *AggNode) Schema() *col.Schema {
+	if a.out == nil {
+		fields := make([]col.Field, 0, len(a.GroupBy)+len(a.Aggs))
+		for i, g := range a.GroupBy {
+			fields = append(fields, col.Field{Name: a.GroupNames[i], Type: g.Type(), Nullable: true})
+		}
+		for _, sp := range a.Aggs {
+			fields = append(fields, col.Field{Name: sp.Name, Type: sp.Ty, Nullable: true})
+		}
+		a.out = col.NewSchema(fields...)
+	}
+	return a.out
+}
+
+// Children implements Node.
+func (a *AggNode) Children() []Node { return []Node{a.Child} }
+
+// Label implements Node.
+func (a *AggNode) Label() string {
+	var sb strings.Builder
+	sb.WriteString("HashAgg")
+	if len(a.GroupBy) > 0 {
+		keys := make([]string, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			keys[i] = g.String()
+		}
+		fmt.Fprintf(&sb, " group=%s", strings.Join(keys, ", "))
+	}
+	aggs := make([]string, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		aggs[i] = sp.String()
+	}
+	fmt.Fprintf(&sb, " aggs=%s", strings.Join(aggs, ", "))
+	return sb.String()
+}
+
+// SortKey is one ORDER BY key over the child's output schema.
+type SortKey struct {
+	Ordinal int
+	Desc    bool
+}
+
+// SortNode totally orders its input.
+type SortNode struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *SortNode) Schema() *col.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *SortNode) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *SortNode) Label() string {
+	keys := make([]string, len(s.Keys))
+	names := s.Child.Schema().Names()
+	for i, k := range s.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		keys[i] = fmt.Sprintf("%s %s", names[k.Ordinal], dir)
+	}
+	return "Sort " + strings.Join(keys, ", ")
+}
+
+// LimitNode truncates its input.
+type LimitNode struct {
+	Child  Node
+	Limit  int64 // -1 means no limit (offset only)
+	Offset int64
+}
+
+// Schema implements Node.
+func (l *LimitNode) Schema() *col.Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *LimitNode) Children() []Node { return []Node{l.Child} }
+
+// Label implements Node.
+func (l *LimitNode) Label() string {
+	if l.Limit < 0 {
+		return fmt.Sprintf("Offset %d", l.Offset)
+	}
+	if l.Offset > 0 {
+		return fmt.Sprintf("Limit %d Offset %d", l.Limit, l.Offset)
+	}
+	return fmt.Sprintf("Limit %d", l.Limit)
+}
+
+// Explain renders the plan as an indented tree.
+func Explain(n Node) string {
+	var sb strings.Builder
+	explainInto(&sb, n, 0)
+	return sb.String()
+}
+
+func explainInto(sb *strings.Builder, n Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Label())
+	sb.WriteString("\n")
+	for _, c := range n.Children() {
+		explainInto(sb, c, depth+1)
+	}
+}
+
+// Scans returns every ScanNode in the tree, left to right. The engine uses
+// this to partition work across CF workers and to account bytes.
+func Scans(n Node) []*ScanNode {
+	var out []*ScanNode
+	var rec func(Node)
+	rec = func(m Node) {
+		if s, ok := m.(*ScanNode); ok {
+			out = append(out, s)
+		}
+		for _, c := range m.Children() {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}

@@ -1,0 +1,231 @@
+// Package rover is the client side of PixelsDB — the programmatic
+// counterpart of the Pixels-Rover web front-end (Sec. II(1)). It wraps the
+// Query Server REST API with typed calls for every UI panel: the schema
+// browser, the translator (ask → edit → submit at a service level), the
+// query status/result blocks and the Report tab.
+package rover
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to a Query Server.
+type Client struct {
+	BaseURL string
+	Token   string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the base URL (no trailing slash).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("rover: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("rover: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health pings the server.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/api/health", nil, nil)
+}
+
+// Schemas fetches the schema browser contents.
+func (c *Client) Schemas() (server.SchemaPayload, error) {
+	var out server.SchemaPayload
+	err := c.do(http.MethodGet, "/api/schemas", nil, &out)
+	return out, err
+}
+
+// Translate sends a question to the text-to-SQL service.
+func (c *Client) Translate(database, question string) (server.TranslateResponse, error) {
+	var out server.TranslateResponse
+	err := c.do(http.MethodPost, "/api/translate",
+		server.TranslateRequest{Database: database, Question: question}, &out)
+	return out, err
+}
+
+// Submit schedules SQL at a service level with an optional row limit.
+func (c *Client) Submit(database, sqlText, level string, rowLimit int) (server.SubmitResponse, error) {
+	var out server.SubmitResponse
+	err := c.do(http.MethodPost, "/api/query",
+		server.SubmitRequest{Database: database, SQL: sqlText, Level: level, RowLimit: rowLimit}, &out)
+	return out, err
+}
+
+// Status fetches a query's status block.
+func (c *Client) Status(id string) (server.QueryInfo, error) {
+	var out server.QueryInfo
+	err := c.do(http.MethodGet, "/api/query/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches a finished query's result block.
+func (c *Client) Result(id string) (server.ResultPayload, error) {
+	var out server.ResultPayload
+	err := c.do(http.MethodGet, "/api/query/"+id+"/result", nil, &out)
+	return out, err
+}
+
+// Cancel aborts a pending query.
+func (c *Client) Cancel(id string) error {
+	return c.do(http.MethodDelete, "/api/query/"+id, nil, nil)
+}
+
+// WaitFinished polls until the query leaves pending/running, with a
+// timeout.
+func (c *Client) WaitFinished(id string, timeout time.Duration) (server.QueryInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		info, err := c.Status(id)
+		if err != nil {
+			return info, err
+		}
+		if info.Status == "finished" || info.Status == "failed" {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("rover: query %s still %s after %s", id, info.Status, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// ReportSummary fetches per-level aggregates.
+func (c *Client) ReportSummary() ([]server.LevelSummaryPayload, error) {
+	var out []server.LevelSummaryPayload
+	err := c.do(http.MethodGet, "/api/report/summary", nil, &out)
+	return out, err
+}
+
+// ReportTimeline fetches the query-count timeline for the last `minutes`.
+func (c *Client) ReportTimeline(minutes, stepSec int) ([]server.TimelinePointPayload, error) {
+	var out []server.TimelinePointPayload
+	path := fmt.Sprintf("/api/report/timeline?minutes=%d&stepSec=%d", minutes, stepSec)
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// ReportQueries fetches per-query bills in a brushed time range.
+func (c *Client) ReportQueries(from, to time.Time) ([]server.BillPayload, error) {
+	var out []server.BillPayload
+	path := fmt.Sprintf("/api/report/queries?from=%s&to=%s",
+		from.UTC().Format(time.RFC3339), to.UTC().Format(time.RFC3339))
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// PriceBook fetches the level/price table.
+func (c *Client) PriceBook() (server.PriceBookPayload, error) {
+	var out server.PriceBookPayload
+	err := c.do(http.MethodGet, "/api/pricebook", nil, &out)
+	return out, err
+}
+
+// Interaction is one translator-panel exchange: a question, its SQL (as
+// translated, then possibly edited), and the submitted query.
+type Interaction struct {
+	Question   string
+	SQL        string
+	Translator string
+	Confidence float64
+	QueryID    string
+	Level      string
+}
+
+// Session models a Pixels-Rover session: a selected database plus the
+// translator-panel history, supporting the demo's ask → edit → submit →
+// check flow (Sec. IV-A).
+type Session struct {
+	Client   *Client
+	Database string
+	History  []Interaction
+}
+
+// NewSession opens a session on a database.
+func NewSession(c *Client, database string) *Session {
+	return &Session{Client: c, Database: database}
+}
+
+// Ask translates a question and records it in the history.
+func (s *Session) Ask(question string) (*Interaction, error) {
+	tr, err := s.Client.Translate(s.Database, question)
+	if err != nil {
+		return nil, err
+	}
+	s.History = append(s.History, Interaction{
+		Question: question, SQL: tr.SQL, Translator: tr.Translator, Confidence: tr.Confidence,
+	})
+	return &s.History[len(s.History)-1], nil
+}
+
+// Edit replaces the SQL of the latest interaction (the code-block edit
+// button).
+func (s *Session) Edit(sqlText string) error {
+	if len(s.History) == 0 {
+		return fmt.Errorf("rover: nothing to edit")
+	}
+	s.History[len(s.History)-1].SQL = sqlText
+	return nil
+}
+
+// SubmitLast submits the latest interaction's SQL at a service level.
+func (s *Session) SubmitLast(level string, rowLimit int) (server.SubmitResponse, error) {
+	if len(s.History) == 0 {
+		return server.SubmitResponse{}, fmt.Errorf("rover: nothing to submit")
+	}
+	it := &s.History[len(s.History)-1]
+	resp, err := s.Client.Submit(s.Database, it.SQL, level, rowLimit)
+	if err != nil {
+		return resp, err
+	}
+	it.QueryID = resp.ID
+	it.Level = resp.Level
+	return resp, nil
+}

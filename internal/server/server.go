@@ -1,0 +1,552 @@
+// Package server implements the Query Server of Pixels-Turbo (Sec. II(2)):
+// a REST API that receives queries from clients such as Pixels-Rover,
+// forwards natural-language questions to the text-to-SQL service, submits
+// queries to the coordinator at a chosen service level, and serves the
+// status/result blocks and the Report tab's cost-visibility data.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/nl2sql"
+	"repro/internal/sql"
+	"repro/internal/vclock"
+)
+
+// Server wires the engine, coordinator and translator behind HTTP.
+type Server struct {
+	Engine     *engine.Engine
+	Coord      *core.Coordinator
+	Translator nl2sql.Translator
+	Clock      vclock.Clock
+	DefaultDB  string
+	// Token, when non-empty, requires "Authorization: Bearer <Token>".
+	Token string
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/health", s.wrap(s.handleHealth))
+	mux.HandleFunc("GET /api/schemas", s.wrap(s.handleSchemas))
+	mux.HandleFunc("POST /api/translate", s.wrap(s.handleTranslate))
+	mux.HandleFunc("POST /api/query", s.wrap(s.handleSubmit))
+	mux.HandleFunc("GET /api/query/{id}", s.wrap(s.handleQueryStatus))
+	mux.HandleFunc("DELETE /api/query/{id}", s.wrap(s.handleQueryCancel))
+	mux.HandleFunc("GET /api/query/{id}/result", s.wrap(s.handleQueryResult))
+	mux.HandleFunc("GET /api/report/summary", s.wrap(s.handleReportSummary))
+	mux.HandleFunc("GET /api/report/timeline", s.wrap(s.handleReportTimeline))
+	mux.HandleFunc("GET /api/report/queries", s.wrap(s.handleReportQueries))
+	mux.HandleFunc("GET /api/pricebook", s.wrap(s.handlePriceBook))
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// httpError carries a status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Token != "" {
+			auth := r.Header.Get("Authorization")
+			if auth != "Bearer "+s.Token {
+				writeJSON(w, http.StatusUnauthorized, apiError{Error: "unauthorized"})
+				return
+			}
+		}
+		if err := h(w, r); err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				writeJSON(w, he.code, apiError{Error: he.msg})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return nil
+}
+
+// SchemaPayload is the schema-browser response.
+type SchemaPayload struct {
+	Databases []DatabaseInfo `json:"databases"`
+}
+
+// DatabaseInfo is one database in the schema browser.
+type DatabaseInfo struct {
+	Name   string      `json:"name"`
+	Tables []TableInfo `json:"tables"`
+}
+
+// TableInfo is one table in the schema browser.
+type TableInfo struct {
+	Name    string       `json:"name"`
+	Rows    int64        `json:"rows"`
+	Bytes   int64        `json:"bytes"`
+	Columns []ColumnInfo `json:"columns"`
+}
+
+// ColumnInfo is one column in the schema browser.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func (s *Server) handleSchemas(w http.ResponseWriter, _ *http.Request) error {
+	cat := s.Engine.Catalog()
+	var payload SchemaPayload
+	for _, db := range cat.ListDatabases() {
+		info := DatabaseInfo{Name: db}
+		tables, err := cat.ListTables(db)
+		if err != nil {
+			return err
+		}
+		for _, tn := range tables {
+			t, err := cat.GetTable(db, tn)
+			if err != nil {
+				return err
+			}
+			ti := TableInfo{Name: t.Name, Rows: t.RowCount(), Bytes: t.TotalBytes()}
+			for _, c := range t.Columns {
+				ti.Columns = append(ti.Columns, ColumnInfo{Name: c.Name, Type: c.Type.String()})
+			}
+			info.Tables = append(info.Tables, ti)
+		}
+		payload.Databases = append(payload.Databases, info)
+	}
+	writeJSON(w, http.StatusOK, payload)
+	return nil
+}
+
+// TranslateRequest asks the text-to-SQL service for a translation.
+type TranslateRequest struct {
+	Database string `json:"database"`
+	Question string `json:"question"`
+}
+
+// TranslateResponse is the translation.
+type TranslateResponse struct {
+	SQL        string  `json:"sql"`
+	Confidence float64 `json:"confidence"`
+	Translator string  `json:"translator"`
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) error {
+	var req TranslateRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Database == "" {
+		req.Database = s.DefaultDB
+	}
+	if req.Question == "" {
+		return errBadRequest("question is required")
+	}
+	schema, err := nl2sql.SchemaFromCatalog(s.Engine.Catalog(), req.Database)
+	if err != nil {
+		if errors.Is(err, catalog.ErrNotFound) {
+			return errNotFound("database %q not found", req.Database)
+		}
+		return err
+	}
+	tr, err := s.Translator.Translate(nl2sql.Request{Question: req.Question, Schema: schema})
+	if err != nil {
+		if errors.Is(err, nl2sql.ErrNoTranslation) {
+			return errBadRequest("cannot translate: %v", err)
+		}
+		return err
+	}
+	writeJSON(w, http.StatusOK, TranslateResponse{SQL: tr.SQL, Confidence: tr.Confidence, Translator: tr.Translator})
+	return nil
+}
+
+// SubmitRequest submits a query at a service level (the submission form of
+// Fig. 4: service level plus an optional result-size limit).
+type SubmitRequest struct {
+	Database string `json:"database"`
+	SQL      string `json:"sql"`
+	Level    string `json:"level"`
+	RowLimit int    `json:"rowLimit"`
+}
+
+// SubmitResponse identifies the scheduled query.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Level  string `json:"level"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) error {
+	var req SubmitRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Database == "" {
+		req.Database = s.DefaultDB
+	}
+	if req.SQL == "" {
+		return errBadRequest("sql is required")
+	}
+	level := billing.Relaxed
+	if req.Level != "" {
+		var err error
+		level, err = billing.ParseLevel(req.Level)
+		if err != nil {
+			return errBadRequest("%v", err)
+		}
+	}
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		return errBadRequest("SQL error: %v", err)
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return errBadRequest("only SELECT can be scheduled; got %T", stmt)
+	}
+	if req.RowLimit > 0 {
+		lim := int64(req.RowLimit)
+		if sel.Limit == nil || *sel.Limit > lim {
+			sel.Limit = &lim
+		}
+	}
+	node, err := s.Engine.PlanQuery(req.Database, sel)
+	if err != nil {
+		return errBadRequest("plan error: %v", err)
+	}
+	// Key on the canonical SQL so identical in-flight queries coalesce
+	// when the coordinator has batch optimization enabled.
+	key := req.Database + "\x00" + sel.String()
+	q := s.Coord.SubmitKeyed(req.SQL, level, core.PlanPayload{Node: node}, key)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: q.ID, Status: string(q.Status()), Level: level.String()})
+	return nil
+}
+
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if _, ok := s.Coord.Get(id); !ok {
+		return errNotFound("query %q not found", id)
+	}
+	if err := s.Coord.Cancel(id); err != nil {
+		if errors.Is(err, core.ErrNotPending) {
+			return &httpError{code: http.StatusConflict, msg: err.Error()}
+		}
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "canceled"})
+	return nil
+}
+
+// QueryInfo is a query's status block.
+type QueryInfo struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	Level      string `json:"level"`
+	SQL        string `json:"sql"`
+	UsedCF     bool   `json:"usedCF"`
+	Coalesced  bool   `json:"coalesced,omitempty"`
+	Error      string `json:"error,omitempty"`
+	SubmitTime string `json:"submitTime"`
+	StartTime  string `json:"startTime,omitempty"`
+	EndTime    string `json:"endTime,omitempty"`
+	PendingMs  int64  `json:"pendingMs"`
+	ExecMs     int64  `json:"execMs"`
+}
+
+func (s *Server) queryInfo(q *core.Query) QueryInfo {
+	sub, start, end := q.Times()
+	info := QueryInfo{
+		ID:         q.ID,
+		Status:     string(q.Status()),
+		Level:      q.Level.String(),
+		SQL:        q.SQL,
+		UsedCF:     q.UsedCF(),
+		Coalesced:  q.Coalesced(),
+		SubmitTime: sub.UTC().Format(time.RFC3339Nano),
+	}
+	if err := q.Err(); err != nil {
+		info.Error = err.Error()
+	}
+	now := s.Clock.Now()
+	switch {
+	case start.IsZero():
+		info.PendingMs = now.Sub(sub).Milliseconds()
+	default:
+		info.StartTime = start.UTC().Format(time.RFC3339Nano)
+		info.PendingMs = start.Sub(sub).Milliseconds()
+		if end.IsZero() {
+			info.ExecMs = now.Sub(start).Milliseconds()
+		} else {
+			info.EndTime = end.UTC().Format(time.RFC3339Nano)
+			info.ExecMs = end.Sub(start).Milliseconds()
+		}
+	}
+	return info
+}
+
+func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) error {
+	q, ok := s.Coord.Get(r.PathValue("id"))
+	if !ok {
+		return errNotFound("query %q not found", r.PathValue("id"))
+	}
+	writeJSON(w, http.StatusOK, s.queryInfo(q))
+	return nil
+}
+
+// ResultPayload is a finished query's result block: rows, statistics and
+// the bill (pending time, execution time and monetary cost — Sec. IV-A(3)).
+type ResultPayload struct {
+	QueryInfo
+	Columns      []string   `json:"columns"`
+	Types        []string   `json:"types"`
+	Rows         [][]string `json:"rows"`
+	BytesScanned int64      `json:"bytesScanned"`
+	RowsReturned int64      `json:"rowsReturned"`
+	ListPrice    float64    `json:"listPrice"`
+	ResourceCost float64    `json:"resourceCost"`
+}
+
+func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error {
+	q, ok := s.Coord.Get(r.PathValue("id"))
+	if !ok {
+		return errNotFound("query %q not found", r.PathValue("id"))
+	}
+	switch q.Status() {
+	case core.StatusPending, core.StatusRunning:
+		return &httpError{code: http.StatusConflict, msg: "query is " + string(q.Status())}
+	}
+	payload := ResultPayload{QueryInfo: s.queryInfo(q)}
+	if res := q.Result(); res != nil {
+		payload.Columns = res.Columns
+		for _, t := range res.Types {
+			payload.Types = append(payload.Types, t.String())
+		}
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			payload.Rows = append(payload.Rows, cells)
+		}
+		payload.BytesScanned = res.Stats.BytesScanned
+		payload.RowsReturned = res.Stats.RowsReturned
+	}
+	for _, b := range s.Coord.Ledger().All() {
+		if b.QueryID == q.ID {
+			payload.ListPrice = b.ListPrice
+			payload.ResourceCost = b.ResourceCost
+			payload.BytesScanned = b.BytesScanned
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
+	return nil
+}
+
+// LevelSummaryPayload is one level's row in the report summary.
+type LevelSummaryPayload struct {
+	Level        string  `json:"level"`
+	Queries      int     `json:"queries"`
+	Finished     int     `json:"finished"`
+	Failed       int     `json:"failed"`
+	BytesScanned int64   `json:"bytesScanned"`
+	ListPrice    float64 `json:"listPrice"`
+	ResourceCost float64 `json:"resourceCost"`
+	AvgPendingMs int64   `json:"avgPendingMs"`
+	MaxPendingMs int64   `json:"maxPendingMs"`
+	AvgExecMs    int64   `json:"avgExecMs"`
+}
+
+func (s *Server) handleReportSummary(w http.ResponseWriter, _ *http.Request) error {
+	sum := s.Coord.Ledger().Summary()
+	var out []LevelSummaryPayload
+	for _, lev := range billing.Levels() {
+		v, ok := sum[lev]
+		if !ok {
+			continue
+		}
+		out = append(out, LevelSummaryPayload{
+			Level:        lev.String(),
+			Queries:      v.Queries,
+			Finished:     v.Finished,
+			Failed:       v.Failed,
+			BytesScanned: v.BytesScanned,
+			ListPrice:    v.ListPrice,
+			ResourceCost: v.ResourceCost,
+			AvgPendingMs: v.AvgPending.Milliseconds(),
+			MaxPendingMs: v.MaxPending.Milliseconds(),
+			AvgExecMs:    v.AvgExec.Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// TimelinePointPayload is one bucket of the query-count timeline chart.
+type TimelinePointPayload struct {
+	Start  string         `json:"start"`
+	Total  int            `json:"total"`
+	Counts map[string]int `json:"counts"`
+}
+
+func (s *Server) handleReportTimeline(w http.ResponseWriter, r *http.Request) error {
+	minutes := 60
+	if v := r.URL.Query().Get("minutes"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return errBadRequest("invalid minutes %q", v)
+		}
+		minutes = n
+	}
+	step := time.Minute
+	if v := r.URL.Query().Get("stepSec"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return errBadRequest("invalid stepSec %q", v)
+		}
+		step = time.Duration(n) * time.Second
+	}
+	to := s.Clock.Now()
+	from := to.Add(-time.Duration(minutes) * time.Minute)
+	var out []TimelinePointPayload
+	for _, p := range s.Coord.Ledger().Timeline(from, to, step) {
+		tp := TimelinePointPayload{
+			Start:  p.Start.UTC().Format(time.RFC3339),
+			Total:  p.Total,
+			Counts: map[string]int{},
+		}
+		for lev, n := range p.Counts {
+			tp.Counts[lev.String()] = n
+		}
+		out = append(out, tp)
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// BillPayload is one query row of the report's performance/cost charts.
+type BillPayload struct {
+	QueryID      string  `json:"queryId"`
+	Level        string  `json:"level"`
+	Status       string  `json:"status"`
+	SubmitTime   string  `json:"submitTime"`
+	PendingMs    int64   `json:"pendingMs"`
+	ExecMs       int64   `json:"execMs"`
+	BytesScanned int64   `json:"bytesScanned"`
+	ListPrice    float64 `json:"listPrice"`
+	ResourceCost float64 `json:"resourceCost"`
+	UsedCF       bool    `json:"usedCF"`
+}
+
+func (s *Server) handleReportQueries(w http.ResponseWriter, r *http.Request) error {
+	to := s.Clock.Now()
+	from := to.Add(-time.Hour)
+	if v := r.URL.Query().Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return errBadRequest("invalid from %q", v)
+		}
+		from = t
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return errBadRequest("invalid to %q", v)
+		}
+		to = t
+	}
+	var out []BillPayload
+	for _, b := range s.Coord.Ledger().Between(from, to) {
+		out = append(out, BillPayload{
+			QueryID:      b.QueryID,
+			Level:        b.Level.String(),
+			Status:       b.Status,
+			SubmitTime:   b.SubmitTime.UTC().Format(time.RFC3339Nano),
+			PendingMs:    b.PendingTime().Milliseconds(),
+			ExecMs:       b.ExecTime().Milliseconds(),
+			BytesScanned: b.BytesScanned,
+			ListPrice:    b.ListPrice,
+			ResourceCost: b.ResourceCost,
+			UsedCF:       b.UsedCF,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// PriceBookPayload lists the service levels with their $/TB prices —
+// the "label with its performance and price" from the introduction.
+type PriceBookPayload struct {
+	Levels []LevelPrice `json:"levels"`
+	// CFvsVMUnitPriceRatio is the heterogeneity the scheduler exploits.
+	CFvsVMUnitPriceRatio float64 `json:"cfVsVmUnitPriceRatio"`
+}
+
+// LevelPrice is one level's listed price.
+type LevelPrice struct {
+	Level     string  `json:"level"`
+	USDPerTB  float64 `json:"usdPerTB"`
+	Guarantee string  `json:"guarantee"`
+}
+
+func (s *Server) handlePriceBook(w http.ResponseWriter, _ *http.Request) error {
+	p := s.Coord.Config().Prices
+	grace := s.Coord.Config().GracePeriod
+	payload := PriceBookPayload{CFvsVMUnitPriceRatio: p.UnitPriceRatio()}
+	payload.Levels = []LevelPrice{
+		{Level: billing.Immediate.String(), USDPerTB: p.ScanPricePerTBAt(billing.Immediate),
+			Guarantee: "starts immediately"},
+		{Level: billing.Relaxed.String(), USDPerTB: p.ScanPricePerTBAt(billing.Relaxed),
+			Guarantee: fmt.Sprintf("starts within %s", grace)},
+		{Level: billing.BestEffort.String(), USDPerTB: p.ScanPricePerTBAt(billing.BestEffort),
+			Guarantee: "no pending time guarantee"},
+	}
+	writeJSON(w, http.StatusOK, payload)
+	return nil
+}

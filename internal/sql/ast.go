@@ -1,0 +1,532 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/col"
+)
+
+// Expr is any SQL expression node. String renders canonical SQL; the
+// canonical form is stable, so print→parse→print is a fixpoint (used both
+// by tests and by the text-to-SQL exact-match scorer).
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val col.Value
+}
+
+func (*Literal) exprNode() {}
+
+func (l *Literal) String() string {
+	if l.Val.Null {
+		return "NULL"
+	}
+	switch l.Val.Type {
+	case col.STRING:
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
+	case col.DATE:
+		return "DATE '" + col.FormatDate(l.Val.I) + "'"
+	case col.TIMESTAMP:
+		return "TIMESTAMP '" + col.FormatTimestamp(l.Val.I) + "'"
+	case col.BOOL:
+		if l.Val.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return l.Val.String()
+	}
+}
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (*ColumnRef) exprNode() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + paren(u.X)
+	}
+	return u.Op + paren(u.X)
+}
+
+// Binary is a binary operator application. Op is one of
+// + - * / % = <> < <= > >= AND OR LIKE.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	return paren(b.L) + " " + b.Op + " " + paren(b.R)
+}
+
+// paren wraps composite operands so the canonical form never depends on
+// precedence subtleties.
+func paren(e Expr) string {
+	switch e.(type) {
+	case *Literal, *ColumnRef, *FuncCall, *Cast:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// IsNull is "x IS [NOT] NULL".
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNull) exprNode() {}
+
+func (i *IsNull) String() string {
+	if i.Not {
+		return paren(i.X) + " IS NOT NULL"
+	}
+	return paren(i.X) + " IS NULL"
+}
+
+// In is "x [NOT] IN (list)".
+type In struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*In) exprNode() {}
+
+func (i *In) String() string {
+	var sb strings.Builder
+	sb.WriteString(paren(i.X))
+	if i.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	for j, e := range i.List {
+		if j > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Between is "x [NOT] BETWEEN lo AND hi".
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Between) exprNode() {}
+
+func (b *Between) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return paren(b.X) + " " + not + "BETWEEN " + paren(b.Lo) + " AND " + paren(b.Hi)
+}
+
+// FuncCall is a scalar or aggregate function application. Star marks
+// COUNT(*); Distinct marks COUNT(DISTINCT x) etc.
+type FuncCall struct {
+	Name     string // upper-cased
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+func (*FuncCall) exprNode() {}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	var sb strings.Builder
+	sb.WriteString(f.Name)
+	sb.WriteString("(")
+	if f.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, a := range f.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Cast is CAST(x AS TYPE).
+type Cast struct {
+	X  Expr
+	To col.Type
+}
+
+func (*Cast) exprNode() {}
+
+func (c *Cast) String() string {
+	return "CAST(" + c.X.String() + " AS " + c.To.String() + ")"
+}
+
+// When is one WHEN...THEN arm of a CASE.
+type When struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case is a searched CASE expression (no operand form; the parser rewrites
+// "CASE x WHEN v ..." into "CASE WHEN x = v ...").
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+func (*Case) exprNode() {}
+
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Result.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// SelectItem is one projection of a SELECT list.
+type SelectItem struct {
+	Expr  Expr   // nil when Star
+	Alias string // optional
+	Star  bool   // SELECT * or t.*
+	Table string // qualifier for t.*
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		if s.Table != "" {
+			return s.Table + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// Binding returns the name the table is referenced by in expressions.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinType enumerates supported joins.
+type JoinType uint8
+
+// Join types. CrossJoin also models comma-separated FROM lists; the
+// planner turns cross joins with equality predicates in WHERE into
+// hash joins.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	CrossJoin
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "INNER JOIN"
+	case LeftJoin:
+		return "LEFT JOIN"
+	default:
+		return "CROSS JOIN"
+	}
+}
+
+// FromItem is one table in the FROM clause. The first item of a SELECT has
+// Join == CrossJoin and On == nil; subsequent items chain left-deep.
+type FromItem struct {
+	Table TableRef
+	Join  JoinType
+	On    Expr // nil for CROSS/comma
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+	Offset   *int64
+}
+
+func (*Select) stmtNode() {}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i == 0 {
+				sb.WriteString(f.Table.String())
+				continue
+			}
+			if f.Join == CrossJoin && f.On == nil {
+				sb.WriteString(", " + f.Table.String())
+				continue
+			}
+			sb.WriteString(" " + f.Join.String() + " " + f.Table.String())
+			if f.On != nil {
+				sb.WriteString(" ON " + f.On.String())
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&sb, " LIMIT %d", *s.Limit)
+	}
+	if s.Offset != nil {
+		fmt.Fprintf(&sb, " OFFSET %d", *s.Offset)
+	}
+	return sb.String()
+}
+
+// ColumnDef is one column of CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    col.Type
+	NotNull bool
+}
+
+// CreateTable is CREATE TABLE name (cols).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmtNode() {}
+
+func (c *CreateTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE " + c.Name + " (")
+	for i, cd := range c.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(cd.Name + " " + cd.Type.String())
+		if cd.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTable) stmtNode() {}
+
+func (d *DropTable) String() string {
+	if d.IfExists {
+		return "DROP TABLE IF EXISTS " + d.Name
+	}
+	return "DROP TABLE " + d.Name
+}
+
+// CreateDatabase is CREATE DATABASE name.
+type CreateDatabase struct {
+	Name string
+}
+
+func (*CreateDatabase) stmtNode() {}
+
+func (c *CreateDatabase) String() string { return "CREATE DATABASE " + c.Name }
+
+// DropDatabase is DROP DATABASE name.
+type DropDatabase struct {
+	Name string
+}
+
+func (*DropDatabase) stmtNode() {}
+
+func (d *DropDatabase) String() string { return "DROP DATABASE " + d.Name }
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*Insert) stmtNode() {}
+
+func (i *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + i.Table)
+	if len(i.Columns) > 0 {
+		sb.WriteString(" (" + strings.Join(i.Columns, ", ") + ")")
+	}
+	sb.WriteString(" VALUES ")
+	for r, row := range i.Rows {
+		if r > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for c, e := range row {
+			if c > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// ShowDatabases is SHOW DATABASES.
+type ShowDatabases struct{}
+
+func (*ShowDatabases) stmtNode() {}
+
+func (*ShowDatabases) String() string { return "SHOW DATABASES" }
+
+// ShowTables is SHOW TABLES.
+type ShowTables struct{}
+
+func (*ShowTables) stmtNode() {}
+
+func (*ShowTables) String() string { return "SHOW TABLES" }
+
+// Describe is DESCRIBE table.
+type Describe struct {
+	Table string
+}
+
+func (*Describe) stmtNode() {}
+
+func (d *Describe) String() string { return "DESCRIBE " + d.Table }
+
+// Explain wraps a SELECT for plan display.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmtNode() {}
+
+func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+
+// Use is USE database.
+type Use struct {
+	Database string
+}
+
+func (*Use) stmtNode() {}
+
+func (u *Use) String() string { return "USE " + u.Database }

@@ -1,0 +1,95 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/col"
+)
+
+// genExpr builds a random expression tree of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &Literal{Val: col.Int(int64(rng.Intn(1000)) - 500)}
+		case 1:
+			return &Literal{Val: col.Float(float64(rng.Intn(100)) + 0.5)}
+		case 2:
+			return &Literal{Val: col.Str("s" + string(rune('a'+rng.Intn(26))))}
+		case 3:
+			return &ColumnRef{Name: "c" + string(rune('a'+rng.Intn(26)))}
+		default:
+			return &ColumnRef{Table: "t" + string(rune('a'+rng.Intn(3))), Name: "c" + string(rune('a'+rng.Intn(26)))}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Binary{Op: []string{"+", "-", "*", "/"}[rng.Intn(4)],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 1:
+		return &Binary{Op: []string{"=", "<>", "<", "<=", ">", ">="}[rng.Intn(6)],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 2:
+		return &Binary{Op: []string{"AND", "OR"}[rng.Intn(2)],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 3:
+		return &Unary{Op: "NOT", X: genExpr(rng, depth-1)}
+	case 4:
+		return &IsNull{X: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 5:
+		return &In{X: genExpr(rng, depth-1),
+			List: []Expr{&Literal{Val: col.Int(1)}, &Literal{Val: col.Int(2)}},
+			Not:  rng.Intn(2) == 0}
+	case 6:
+		return &Between{X: genExpr(rng, depth-1),
+			Lo: &Literal{Val: col.Int(0)}, Hi: &Literal{Val: col.Int(10)},
+			Not: rng.Intn(2) == 0}
+	default:
+		return &FuncCall{Name: "ABS", Args: []Expr{genExpr(rng, depth-1)}}
+	}
+}
+
+// TestPrinterParseRoundTripProperty: for random expression trees,
+// print -> parse -> print must be a fixpoint.
+func TestPrinterParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		e := genExpr(rng, 3)
+		printed := e.String()
+		parsed, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: printed %q failed to parse: %v", i, printed, err)
+		}
+		if again := parsed.String(); again != printed {
+			t.Fatalf("iteration %d: not a fixpoint:\n  1st: %s\n  2nd: %s", i, printed, again)
+		}
+	}
+}
+
+// TestStatementPrintRoundTripRandomSelects builds random (structurally
+// valid) SELECTs and checks the print/parse fixpoint.
+func TestStatementPrintRoundTripRandomSelects(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		sel := &Select{
+			Items: []SelectItem{{Expr: genExpr(rng, 2)}},
+			From:  []FromItem{{Table: TableRef{Name: "t"}, Join: CrossJoin}},
+		}
+		if rng.Intn(2) == 0 {
+			sel.Where = genExpr(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			n := int64(rng.Intn(100))
+			sel.Limit = &n
+		}
+		printed := sel.String()
+		stmt, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: %q failed to parse: %v", i, printed, err)
+		}
+		if again := stmt.String(); again != printed {
+			t.Fatalf("iteration %d: not a fixpoint:\n  1st: %s\n  2nd: %s", i, printed, again)
+		}
+	}
+}

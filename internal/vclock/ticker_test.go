@@ -1,0 +1,68 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	c := NewVirtual(t0)
+	var tk *Ticker
+	count := 0
+	tk = NewTicker(c, time.Second, func(time.Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	c.Advance(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticks after self-stop = %d, want 3", count)
+	}
+}
+
+func TestTickerDoubleStop(t *testing.T) {
+	c := NewVirtual(t0)
+	tk := NewTicker(c, time.Second, func(time.Time) {})
+	tk.Stop()
+	tk.Stop() // must not panic
+	c.Advance(5 * time.Second)
+}
+
+func TestVirtualRunUntilExactBoundary(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	c.AfterFunc(time.Second, func() { fired = true })
+	c.RunUntil(t0.Add(time.Second)) // inclusive boundary
+	if !fired {
+		t.Fatalf("callback at the exact boundary did not fire")
+	}
+}
+
+func TestVirtualNestedAdvanceFromCallback(t *testing.T) {
+	// A callback scheduling at its own instant must fire within the same
+	// Advance window.
+	c := NewVirtual(t0)
+	var order []string
+	c.AfterFunc(time.Second, func() {
+		order = append(order, "outer")
+		c.AfterFunc(0, func() { order = append(order, "inner") })
+	})
+	c.Advance(time.Second)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestVirtualManyTimersPerformance(t *testing.T) {
+	c := NewVirtual(t0)
+	const n = 10000
+	fired := 0
+	for i := 0; i < n; i++ {
+		c.AfterFunc(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	c.Advance(time.Duration(n) * time.Millisecond)
+	if fired != n {
+		t.Fatalf("fired = %d", fired)
+	}
+}

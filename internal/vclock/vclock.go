@@ -1,0 +1,274 @@
+// Package vclock provides the clock abstraction shared by every
+// time-dependent component (scheduler, autoscaler, VM and CF simulators).
+//
+// Components take a Clock and schedule work with AfterFunc. In production
+// the Real clock delegates to the time package. In simulations and tests
+// the Virtual clock is a discrete-event scheduler: Advance and RunUntil
+// execute pending callbacks in timestamp order, so hours of simulated
+// workload run in microseconds and deterministically.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock interface used across the system.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules f to run once after d. f runs on an unspecified
+	// goroutine (Real) or inside Advance/RunUntil (Virtual).
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the callback. It reports whether the call was
+	// prevented from running.
+	Stop() bool
+}
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+// NewReal returns the wall-clock implementation.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Virtual is a deterministic discrete-event clock. Time moves only when
+// Advance, RunUntil or Drain is called; scheduled callbacks fire in
+// (timestamp, insertion) order while the clock's internal lock is released,
+// so callbacks may schedule further work or call other clock methods.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	seq  uint64
+	heap eventHeap
+}
+
+// NewVirtual returns a Virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc implements Clock. Non-positive durations fire at the current
+// instant on the next Advance/RunUntil/Drain call (never synchronously),
+// keeping callback execution ordered and reentrancy-safe.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev := &event{at: v.now.Add(d), seq: v.seq, fn: f, clock: v}
+	v.seq++
+	heap.Push(&v.heap, ev)
+	return ev
+}
+
+// Advance moves the clock forward by d, firing due callbacks in order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.RunUntil(v.Now().Add(d))
+}
+
+// RunUntil fires every callback scheduled at or before t, then sets the
+// clock to t. Callbacks scheduled by callbacks are honored if they fall
+// within the window.
+func (v *Virtual) RunUntil(t time.Time) {
+	for {
+		v.mu.Lock()
+		if len(v.heap) == 0 || v.heap[0].at.After(t) {
+			if t.After(v.now) {
+				v.now = t
+			}
+			v.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&v.heap).(*event)
+		if ev.stopped {
+			v.mu.Unlock()
+			continue
+		}
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		ev.fired = true
+		v.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// Drain runs callbacks until none remain, returning how many fired. It is
+// useful at the end of a simulation to let in-flight work complete. The
+// limit guards against runaway self-rescheduling loops; Drain stops early
+// once limit callbacks have fired (limit <= 0 means 1<<20).
+func (v *Virtual) Drain(limit int) int {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	fired := 0
+	for fired < limit {
+		v.mu.Lock()
+		if len(v.heap) == 0 {
+			v.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&v.heap).(*event)
+		if ev.stopped {
+			v.mu.Unlock()
+			continue
+		}
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		ev.fired = true
+		v.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+	return fired
+}
+
+// Pending returns the number of callbacks not yet fired or stopped.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, ev := range v.heap {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// NextAt returns the timestamp of the earliest pending callback and whether
+// one exists.
+func (v *Virtual) NextAt() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, ev := range v.heap {
+		if !ev.stopped {
+			best := ev.at
+			for _, e := range v.heap {
+				if !e.stopped && e.at.Before(best) {
+					best = e.at
+				}
+			}
+			return best, true
+		}
+	}
+	return time.Time{}, false
+}
+
+type event struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	clock   *Virtual
+	index   int
+	stopped bool
+	fired   bool
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	e.clock.mu.Lock()
+	defer e.clock.mu.Unlock()
+	if e.fired || e.stopped {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker repeatedly invokes a callback at a fixed interval on any Clock.
+// It is the building block for the autoscaler's evaluation loop and the
+// metrics collector.
+type Ticker struct {
+	clock    Clock
+	interval time.Duration
+	fn       func(now time.Time)
+
+	mu      sync.Mutex
+	timer   Timer
+	stopped bool
+}
+
+// NewTicker schedules fn every interval, starting one interval from now.
+func NewTicker(c Clock, interval time.Duration, fn func(now time.Time)) *Ticker {
+	t := &Ticker{clock: c, interval: interval, fn: fn}
+	t.mu.Lock()
+	t.timer = c.AfterFunc(interval, t.tick)
+	t.mu.Unlock()
+	return t
+}
+
+func (t *Ticker) tick() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.timer = t.clock.AfterFunc(t.interval, t.tick)
+	t.mu.Unlock()
+	t.fn(t.clock.Now())
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

@@ -1,0 +1,211 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualAdvanceFiresInOrder(t *testing.T) {
+	c := NewVirtual(t0)
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := c.Now(); !got.Equal(t0.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestVirtualSameInstantFIFO(t *testing.T) {
+	c := NewVirtual(t0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO at same instant: %v", order)
+		}
+	}
+}
+
+func TestVirtualCallbackSchedulesMore(t *testing.T) {
+	c := NewVirtual(t0)
+	var hits []time.Duration
+	c.AfterFunc(time.Second, func() {
+		hits = append(hits, c.Now().Sub(t0))
+		c.AfterFunc(time.Second, func() {
+			hits = append(hits, c.Now().Sub(t0))
+		})
+	})
+	c.Advance(3 * time.Second)
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 2*time.Second {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	tm := c.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatalf("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop returned true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatalf("stopped timer fired")
+	}
+}
+
+func TestVirtualStopAfterFire(t *testing.T) {
+	c := NewVirtual(t0)
+	tm := c.AfterFunc(time.Second, func() {})
+	c.Advance(2 * time.Second)
+	if tm.Stop() {
+		t.Fatalf("Stop after fire returned true")
+	}
+}
+
+func TestVirtualZeroDelayNotSynchronous(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	c.AfterFunc(0, func() { fired = true })
+	if fired {
+		t.Fatalf("zero-delay callback fired synchronously")
+	}
+	c.Advance(0)
+	if !fired {
+		t.Fatalf("zero-delay callback did not fire on Advance(0)")
+	}
+}
+
+func TestVirtualNegativeDelayClamped(t *testing.T) {
+	c := NewVirtual(t0)
+	fired := false
+	c.AfterFunc(-time.Hour, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatalf("negative-delay callback did not fire")
+	}
+	if got := c.Now(); !got.Equal(t0) {
+		t.Fatalf("clock moved backwards: %v", got)
+	}
+}
+
+func TestVirtualDrain(t *testing.T) {
+	c := NewVirtual(t0)
+	count := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		c.AfterFunc(time.Minute, func() {
+			count++
+			schedule(depth - 1)
+		})
+	}
+	schedule(4)
+	n := c.Drain(0)
+	if n != 4 || count != 4 {
+		t.Fatalf("Drain fired %d, count %d", n, count)
+	}
+	if got := c.Now().Sub(t0); got != 4*time.Minute {
+		t.Fatalf("Now advanced %v", got)
+	}
+}
+
+func TestVirtualDrainLimit(t *testing.T) {
+	c := NewVirtual(t0)
+	var reschedule func()
+	count := 0
+	reschedule = func() {
+		count++
+		c.AfterFunc(time.Second, reschedule)
+	}
+	c.AfterFunc(time.Second, reschedule)
+	if n := c.Drain(10); n != 10 {
+		t.Fatalf("Drain with limit fired %d", n)
+	}
+}
+
+func TestVirtualPendingAndNextAt(t *testing.T) {
+	c := NewVirtual(t0)
+	tm := c.AfterFunc(2*time.Second, func() {})
+	c.AfterFunc(5*time.Second, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	at, ok := c.NextAt()
+	if !ok || !at.Equal(t0.Add(2*time.Second)) {
+		t.Fatalf("NextAt = %v %v", at, ok)
+	}
+	tm.Stop()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending after stop = %d", c.Pending())
+	}
+	at, ok = c.NextAt()
+	if !ok || !at.Equal(t0.Add(5*time.Second)) {
+		t.Fatalf("NextAt after stop = %v %v", at, ok)
+	}
+}
+
+func TestTickerOnVirtualClock(t *testing.T) {
+	c := NewVirtual(t0)
+	var ticks []time.Duration
+	tk := NewTicker(c, 10*time.Second, func(now time.Time) {
+		ticks = append(ticks, now.Sub(t0))
+	})
+	c.Advance(35 * time.Second)
+	tk.Stop()
+	c.Advance(30 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i, d := range ticks {
+		if d != time.Duration(i+1)*10*time.Second {
+			t.Fatalf("tick %d at %v", i, d)
+		}
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := NewReal()
+	var fired atomic.Bool
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() {
+		fired.Store(true)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("real timer did not fire")
+	}
+	if !fired.Load() {
+		t.Fatalf("flag not set")
+	}
+	if c.Now().IsZero() {
+		t.Fatalf("real Now is zero")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	c := NewReal()
+	tm := c.AfterFunc(time.Hour, func() { t.Errorf("should not fire") })
+	if !tm.Stop() {
+		t.Fatalf("Stop on pending real timer returned false")
+	}
+}

@@ -1,0 +1,295 @@
+// Package vmsim simulates the auto-scaled virtual-machine cluster that
+// Pixels-Turbo uses as its cost-efficient compute tier.
+//
+// The simulator models exactly the properties the paper's scheduler
+// depends on: VMs take 1–2 minutes to boot (the elasticity lag that CF
+// acceleration papers over), expose a fixed number of task slots, and are
+// billed per second from launch. It runs on a vclock.Clock, so the
+// benchmark harness can drive hours of cluster time in microseconds.
+package vmsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Config parameterizes the cluster.
+type Config struct {
+	// SlotsPerVM is the number of concurrently executing tasks one VM
+	// sustains (default 4).
+	SlotsPerVM int
+	// BootDelay is how long a VM takes from launch to ready (default 90s,
+	// inside the paper's "1-2 minutes").
+	BootDelay time.Duration
+	// PricePerSecond is the per-VM per-second price (default models an
+	// $0.096/hour instance).
+	PricePerSecond float64
+	// BootFailureProb injects launch failures: the VM never becomes
+	// ready and is removed at its would-be ready time.
+	BootFailureProb float64
+	// Seed drives failure injection deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlotsPerVM <= 0 {
+		c.SlotsPerVM = 4
+	}
+	if c.BootDelay <= 0 {
+		c.BootDelay = 90 * time.Second
+	}
+	if c.PricePerSecond <= 0 {
+		c.PricePerSecond = 0.096 / 3600
+	}
+	return c
+}
+
+// vmState is a VM's lifecycle phase.
+type vmState uint8
+
+const (
+	vmBooting vmState = iota
+	vmRunning
+)
+
+type vm struct {
+	id       int
+	state    vmState
+	launched time.Time
+	busy     int
+}
+
+// Metrics is a point-in-time cluster snapshot.
+type Metrics struct {
+	Time        time.Time
+	Running     int // ready VMs
+	Booting     int
+	TotalSlots  int // slots on ready VMs
+	BusySlots   int
+	Utilization float64 // busy/total (0 when no slots)
+	BootsFailed int
+}
+
+// Cluster is the simulated VM fleet.
+type Cluster struct {
+	clock vclock.Clock
+	cfg   Config
+
+	mu          sync.Mutex
+	vms         map[int]*vm
+	nextID      int
+	rng         *rand.Rand
+	doneCost    float64 // accrued cost of terminated VMs
+	bootsFailed int
+	onReady     func() // fires (outside the lock) when capacity appears
+}
+
+// NewCluster launches a cluster with `initial` VMs already running
+// (bootstrapping a warm cluster, as a long-lived deployment would have).
+func NewCluster(clock vclock.Clock, cfg Config, initial int) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		clock: clock,
+		cfg:   cfg,
+		vms:   make(map[int]*vm),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	now := clock.Now()
+	for i := 0; i < initial; i++ {
+		c.vms[c.nextID] = &vm{id: c.nextID, state: vmRunning, launched: now}
+		c.nextID++
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// SetOnReady registers a callback invoked whenever new capacity becomes
+// available (a VM finishes booting or a slot is released). The scheduler
+// uses it to drain its pending queue.
+func (c *Cluster) SetOnReady(fn func()) {
+	c.mu.Lock()
+	c.onReady = fn
+	c.mu.Unlock()
+}
+
+func (c *Cluster) notifyReady() {
+	c.mu.Lock()
+	fn := c.onReady
+	c.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Launch boots n new VMs. They become ready after BootDelay.
+func (c *Cluster) Launch(n int) {
+	c.mu.Lock()
+	now := c.clock.Now()
+	for i := 0; i < n; i++ {
+		id := c.nextID
+		c.nextID++
+		fail := c.rng.Float64() < c.cfg.BootFailureProb
+		c.vms[id] = &vm{id: id, state: vmBooting, launched: now}
+		c.clock.AfterFunc(c.cfg.BootDelay, func() {
+			c.finishBoot(id, fail)
+		})
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cluster) finishBoot(id int, fail bool) {
+	c.mu.Lock()
+	v, ok := c.vms[id]
+	if !ok || v.state != vmBooting {
+		c.mu.Unlock()
+		return
+	}
+	if fail {
+		// Failed launch: billed until failure, then gone.
+		c.doneCost += c.clock.Now().Sub(v.launched).Seconds() * c.cfg.PricePerSecond
+		c.bootsFailed++
+		delete(c.vms, id)
+		c.mu.Unlock()
+		return
+	}
+	v.state = vmRunning
+	c.mu.Unlock()
+	c.notifyReady()
+}
+
+// Terminate shuts down up to n idle VMs, returning how many actually
+// stopped. Busy VMs are never interrupted; the autoscaler retries on its
+// next tick.
+func (c *Cluster) Terminate(n int) int {
+	c.mu.Lock()
+	now := c.clock.Now()
+	stopped := 0
+	for id, v := range c.vms {
+		if stopped >= n {
+			break
+		}
+		if v.state == vmRunning && v.busy == 0 {
+			c.doneCost += now.Sub(v.launched).Seconds() * c.cfg.PricePerSecond
+			delete(c.vms, id)
+			stopped++
+		}
+	}
+	c.mu.Unlock()
+	return stopped
+}
+
+// Size returns (running, booting) VM counts.
+func (c *Cluster) Size() (running, booting int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.vms {
+		if v.state == vmRunning {
+			running++
+		} else {
+			booting++
+		}
+	}
+	return
+}
+
+// Lease is an acquired slot. Release returns it.
+type Lease struct {
+	c    *Cluster
+	vmID int
+	once sync.Once
+}
+
+// Release frees the slot.
+func (l *Lease) Release() {
+	l.once.Do(func() {
+		l.c.mu.Lock()
+		if v, ok := l.c.vms[l.vmID]; ok && v.busy > 0 {
+			v.busy--
+		}
+		l.c.mu.Unlock()
+		l.c.notifyReady()
+	})
+}
+
+// TryAcquire claims one slot on a ready VM, preferring the busiest VM so
+// idle VMs stay fully idle and can be scaled in. ok is false when the
+// cluster has no free slot.
+func (c *Cluster) TryAcquire() (*Lease, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *vm
+	for _, v := range c.vms {
+		if v.state != vmRunning || v.busy >= c.cfg.SlotsPerVM {
+			continue
+		}
+		if best == nil || v.busy > best.busy || (v.busy == best.busy && v.id < best.id) {
+			best = v
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	best.busy++
+	return &Lease{c: c, vmID: best.id}, true
+}
+
+// FreeSlots counts available slots on ready VMs.
+func (c *Cluster) FreeSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := 0
+	for _, v := range c.vms {
+		if v.state == vmRunning {
+			free += c.cfg.SlotsPerVM - v.busy
+		}
+	}
+	return free
+}
+
+// Snapshot returns current metrics.
+func (c *Cluster) Snapshot() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Metrics{Time: c.clock.Now(), BootsFailed: c.bootsFailed}
+	for _, v := range c.vms {
+		if v.state == vmRunning {
+			m.Running++
+			m.TotalSlots += c.cfg.SlotsPerVM
+			m.BusySlots += v.busy
+		} else {
+			m.Booting++
+		}
+	}
+	if m.TotalSlots > 0 {
+		m.Utilization = float64(m.BusySlots) / float64(m.TotalSlots)
+	}
+	return m
+}
+
+// AccruedCost returns the total VM cost from simulation start to now:
+// terminated VMs' full runtimes plus live VMs' runtime so far. VMs are
+// billed from launch, so boot time costs money — that is the inefficiency
+// that makes reactive scaling expensive and grace periods valuable.
+func (c *Cluster) AccruedCost() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	cost := c.doneCost
+	for _, v := range c.vms {
+		cost += now.Sub(v.launched).Seconds() * c.cfg.PricePerSecond
+	}
+	return cost
+}
+
+// String summarizes the cluster for logs.
+func (c *Cluster) String() string {
+	m := c.Snapshot()
+	return fmt.Sprintf("vms[run=%d boot=%d slots=%d/%d util=%.0f%%]",
+		m.Running, m.Booting, m.BusySlots, m.TotalSlots, m.Utilization*100)
+}

@@ -1,0 +1,167 @@
+package vmsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+var t0 = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInitialClusterIsReady(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{SlotsPerVM: 2}, 3)
+	m := c.Snapshot()
+	if m.Running != 3 || m.Booting != 0 || m.TotalSlots != 6 {
+		t.Fatalf("snapshot = %+v", m)
+	}
+}
+
+func TestBootDelay(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{BootDelay: 90 * time.Second}, 0)
+	c.Launch(2)
+	if r, b := c.Size(); r != 0 || b != 2 {
+		t.Fatalf("immediately after launch: run=%d boot=%d", r, b)
+	}
+	clk.Advance(89 * time.Second)
+	if r, _ := c.Size(); r != 0 {
+		t.Fatalf("ready before boot delay")
+	}
+	clk.Advance(2 * time.Second)
+	if r, b := c.Size(); r != 2 || b != 0 {
+		t.Fatalf("after boot delay: run=%d boot=%d", r, b)
+	}
+}
+
+func TestOnReadyCallbackAfterBoot(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{BootDelay: time.Minute}, 0)
+	fired := 0
+	c.SetOnReady(func() { fired++ })
+	c.Launch(1)
+	clk.Advance(time.Minute)
+	if fired != 1 {
+		t.Fatalf("onReady fired %d times", fired)
+	}
+}
+
+func TestAcquireReleasePacking(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{SlotsPerVM: 2}, 2)
+	// 4 slots total.
+	var leases []*Lease
+	for i := 0; i < 4; i++ {
+		l, ok := c.TryAcquire()
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		leases = append(leases, l)
+	}
+	if _, ok := c.TryAcquire(); ok {
+		t.Fatalf("acquired beyond capacity")
+	}
+	if c.FreeSlots() != 0 {
+		t.Fatalf("free = %d", c.FreeSlots())
+	}
+	leases[0].Release()
+	leases[0].Release() // double release is a no-op
+	if c.FreeSlots() != 1 {
+		t.Fatalf("free after release = %d", c.FreeSlots())
+	}
+	if _, ok := c.TryAcquire(); !ok {
+		t.Fatalf("cannot acquire after release")
+	}
+}
+
+func TestPackingPrefersBusyVM(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{SlotsPerVM: 4}, 2)
+	// Two acquisitions should land on the same VM (packing), leaving the
+	// other idle and terminable.
+	l1, _ := c.TryAcquire()
+	l2, _ := c.TryAcquire()
+	if l1.vmID != l2.vmID {
+		t.Fatalf("not packed: %d vs %d", l1.vmID, l2.vmID)
+	}
+	if n := c.Terminate(2); n != 1 {
+		t.Fatalf("terminated %d idle VMs, want 1", n)
+	}
+}
+
+func TestTerminateSkipsBusy(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{SlotsPerVM: 1}, 2)
+	l, _ := c.TryAcquire()
+	if n := c.Terminate(2); n != 1 {
+		t.Fatalf("terminated %d, want only the idle one", n)
+	}
+	l.Release()
+	if n := c.Terminate(2); n != 1 {
+		t.Fatalf("terminated %d after release", n)
+	}
+	if r, _ := c.Size(); r != 0 {
+		t.Fatalf("cluster not empty: %d", r)
+	}
+}
+
+func TestCostAccrual(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	price := 0.01 // $/s for easy math
+	c := NewCluster(clk, Config{PricePerSecond: price}, 1)
+	clk.Advance(100 * time.Second)
+	if got := c.AccruedCost(); got < 0.99 || got > 1.01 {
+		t.Fatalf("running cost = %f, want ~1.00", got)
+	}
+	c.Terminate(1)
+	clk.Advance(100 * time.Second)
+	if got := c.AccruedCost(); got < 0.99 || got > 1.01 {
+		t.Fatalf("terminated VM kept accruing: %f", got)
+	}
+}
+
+func TestBootingVMsCostMoney(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{PricePerSecond: 0.01, BootDelay: 100 * time.Second}, 0)
+	c.Launch(1)
+	clk.Advance(50 * time.Second)
+	if got := c.AccruedCost(); got < 0.49 || got > 0.51 {
+		t.Fatalf("boot-time cost = %f, want ~0.50", got)
+	}
+}
+
+func TestBootFailureInjection(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{BootDelay: time.Second, BootFailureProb: 1.0, Seed: 42}, 0)
+	c.Launch(3)
+	clk.Advance(2 * time.Second)
+	r, b := c.Size()
+	if r != 0 || b != 0 {
+		t.Fatalf("failed boots still present: run=%d boot=%d", r, b)
+	}
+	if c.Snapshot().BootsFailed != 3 {
+		t.Fatalf("BootsFailed = %d", c.Snapshot().BootsFailed)
+	}
+}
+
+func TestUtilizationMetric(t *testing.T) {
+	clk := vclock.NewVirtual(t0)
+	c := NewCluster(clk, Config{SlotsPerVM: 2}, 2)
+	l, _ := c.TryAcquire()
+	m := c.Snapshot()
+	if m.Utilization != 0.25 {
+		t.Fatalf("utilization = %f", m.Utilization)
+	}
+	l.Release()
+	if c.Snapshot().Utilization != 0 {
+		t.Fatalf("utilization after release = %f", c.Snapshot().Utilization)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.SlotsPerVM != 4 || cfg.BootDelay != 90*time.Second || cfg.PricePerSecond <= 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/col"
+)
+
+// noCtx is the background context used by loaders.
+var noCtx = context.Background()
+
+// QueryKind classifies the template mix.
+type QueryKind string
+
+// Template kinds, mirroring the paper's motivating workloads: interactive
+// ad-hoc queries and dashboards (scans, top-N) versus non-interactive
+// reports (wide aggregations, multi-joins).
+const (
+	KindPricingSummary  QueryKind = "pricing-summary"  // TPC-H Q1 flavour
+	KindShippedRevenue  QueryKind = "shipped-revenue"  // Q3 flavour (3-way join)
+	KindForecastRevenue QueryKind = "forecast-revenue" // Q6 flavour (filter+agg)
+	KindTopCustomers    QueryKind = "top-customers"    // join + top-N
+	KindPointLookup     QueryKind = "point-lookup"     // dashboard detail
+	KindSegmentCount    QueryKind = "segment-count"    // group count
+)
+
+// AllKinds lists the template kinds.
+func AllKinds() []QueryKind {
+	return []QueryKind{
+		KindPricingSummary, KindShippedRevenue, KindForecastRevenue,
+		KindTopCustomers, KindPointLookup, KindSegmentCount,
+	}
+}
+
+// QueryGen produces parameterized SQL from the templates, deterministically
+// from its seed.
+type QueryGen struct {
+	rng   *rand.Rand
+	sizes Sizes
+}
+
+// NewQueryGen builds a generator matching the dataset's scale factor.
+func NewQueryGen(seed int64, sf float64) *QueryGen {
+	return &QueryGen{rng: rand.New(rand.NewSource(seed + 2000)), sizes: SizesAt(sf)}
+}
+
+func (g *QueryGen) date(minYear, maxYear int) string {
+	year := minYear + g.rng.Intn(maxYear-minYear+1)
+	month := 1 + g.rng.Intn(12)
+	return fmt.Sprintf("%04d-%02d-01", year, month)
+}
+
+// Generate renders one query of the given kind.
+func (g *QueryGen) Generate(kind QueryKind) string {
+	switch kind {
+	case KindPricingSummary:
+		return fmt.Sprintf(`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+	SUM(l_extendedprice) AS sum_base_price,
+	SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+	AVG(l_quantity) AS avg_qty, AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+FROM lineitem WHERE l_shipdate <= DATE '%s'
+GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`, g.date(1995, 1998))
+
+	case KindShippedRevenue:
+		seg := segments[g.rng.Intn(len(segments))]
+		d := g.date(1994, 1996)
+		return fmt.Sprintf(`SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, o.o_orderdate
+FROM customer c, orders o, lineitem l
+WHERE c.c_mktsegment = '%s' AND c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+	AND o.o_orderdate < DATE '%s'
+GROUP BY l.l_orderkey, o.o_orderdate ORDER BY revenue DESC LIMIT 10`, seg, d)
+
+	case KindForecastRevenue:
+		year := 1993 + g.rng.Intn(5)
+		disc := 2 + g.rng.Intn(7)
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '%04d-01-01' AND l_shipdate < DATE '%04d-01-01'
+	AND l_discount BETWEEN %s AND %s AND l_quantity < %d`,
+			year, year+1,
+			col.FormatFloat(float64(disc-1)/100), col.FormatFloat(float64(disc+1)/100),
+			20+g.rng.Intn(20))
+
+	case KindTopCustomers:
+		n := 5 + g.rng.Intn(15)
+		return fmt.Sprintf(`SELECT c.c_name, SUM(o.o_totalprice) AS total
+FROM customer c, orders o WHERE c.c_custkey = o.o_custkey
+GROUP BY c.c_name ORDER BY total DESC LIMIT %d`, n)
+
+	case KindPointLookup:
+		key := 1 + g.rng.Intn(maxInt(g.sizes.Orders, 1))
+		return fmt.Sprintf(`SELECT o_orderkey, o_orderstatus, o_totalprice, o_orderdate
+FROM orders WHERE o_orderkey = %d`, key)
+
+	case KindSegmentCount:
+		return `SELECT c_mktsegment, COUNT(*) AS cnt, AVG(c_acctbal) AS avg_bal
+FROM customer GROUP BY c_mktsegment ORDER BY cnt DESC`
+
+	default:
+		return g.Generate(KindPricingSummary)
+	}
+}
+
+// Mix picks kinds with weights.
+type Mix struct {
+	Kinds   []QueryKind
+	Weights []float64
+}
+
+// DefaultMix is a balanced interactive/report mix.
+func DefaultMix() Mix {
+	return Mix{
+		Kinds: AllKinds(),
+		Weights: []float64{
+			0.20, // pricing summary (report)
+			0.15, // shipped revenue (report)
+			0.20, // forecast revenue
+			0.10, // top customers (dashboard)
+			0.25, // point lookup (interactive)
+			0.10, // segment count (dashboard)
+		},
+	}
+}
+
+// Pick samples one kind.
+func (g *QueryGen) Pick(m Mix) QueryKind {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := g.rng.Float64() * total
+	for i, w := range m.Weights {
+		if x < w {
+			return m.Kinds[i]
+		}
+		x -= w
+	}
+	return m.Kinds[len(m.Kinds)-1]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+// Package pixelsdb is the embedded public API of the PixelsDB
+// reproduction: a serverless, NL-aided analytic database with flexible
+// service levels and prices.
+//
+// A DB bundles the whole system: the columnar query engine over an object
+// store, the Pixels-Turbo coordinator scheduling queries at three service
+// levels (Immediate, Relaxed, Best-of-effort) across a simulated VM
+// cluster and cloud-function service, the autoscaler, the billing ledger,
+// and the pluggable text-to-SQL service.
+//
+// Quickstart:
+//
+//	db, _ := pixelsdb.Open(pixelsdb.Options{})
+//	defer db.Close()
+//	_ = db.LoadSampleData("tpch", 0.01)
+//	q, _ := db.Submit("tpch", "SELECT COUNT(*) FROM orders", pixelsdb.Relaxed)
+//	<-q.Done()
+//	res := q.Result()
+package pixelsdb
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/billing"
+	"repro/internal/catalog"
+	"repro/internal/cfsim"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/nl2sql"
+	"repro/internal/objstore"
+	"repro/internal/rover"
+	"repro/internal/server"
+	"repro/internal/sql"
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// Service levels, re-exported for callers.
+const (
+	Immediate  = billing.Immediate
+	Relaxed    = billing.Relaxed
+	BestEffort = billing.BestEffort
+)
+
+// Level is a query's service level.
+type Level = billing.Level
+
+// Result is a materialized query result.
+type Result = engine.Result
+
+// Query is a scheduled query handle.
+type Query = core.Query
+
+// Options configure Open.
+type Options struct {
+	// DataDir persists tables and catalog on disk; empty keeps everything
+	// in memory.
+	DataDir string
+	// InitialVMs is the warm cluster size (default 2).
+	InitialVMs int
+	// GracePeriod bounds Relaxed pending time (default 5 minutes).
+	GracePeriod time.Duration
+	// Coalesce enables batch query optimization: identical in-flight
+	// queries share one execution.
+	Coalesce bool
+	// Autoscale enables the scaling manager (target-utilization policy
+	// with lazy scale-in) at the given interval; zero disables it.
+	AutoscaleInterval time.Duration
+	// MinVMs/MaxVMs bound the autoscaler (defaults 0/16).
+	MinVMs, MaxVMs int
+	// VM and CF override the simulator configs.
+	VM vmsim.Config
+	CF cfsim.Config
+	// Prices overrides the billing book.
+	Prices *billing.PriceBook
+	// Translator overrides the text-to-SQL service (default the template
+	// semantic parser).
+	Translator nl2sql.Translator
+	// Seed drives all randomness (failure injection, sample data).
+	Seed int64
+}
+
+// DB is an open PixelsDB instance.
+type DB struct {
+	opts    Options
+	clock   vclock.Clock
+	store   *objstore.Metered
+	catalog *catalog.Catalog
+	engine  *engine.Engine
+	cluster *vmsim.Cluster
+	cf      *cfsim.Service
+	coord   *core.Coordinator
+	ledger  *billing.Ledger
+	scaler  *autoscale.Manager
+	xlator  nl2sql.Translator
+}
+
+// Open builds the full system.
+func Open(opts Options) (*DB, error) {
+	if opts.InitialVMs <= 0 {
+		opts.InitialVMs = 2
+	}
+	if opts.MaxVMs <= 0 {
+		opts.MaxVMs = 16
+	}
+	var backing objstore.Store
+	if opts.DataDir != "" {
+		disk, err := objstore.NewDisk(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		backing = disk
+	} else {
+		backing = objstore.NewMemory()
+	}
+	store := objstore.NewMetered(backing)
+	cat := catalog.New()
+	if opts.DataDir != "" {
+		if err := cat.Load(store.Inner()); err != nil {
+			return nil, fmt.Errorf("pixelsdb: load catalog: %w", err)
+		}
+	}
+	clk := vclock.NewReal()
+	eng := engine.New(cat, store)
+	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
+	cf := cfsim.NewService(clk, opts.CF)
+	ledger := billing.NewLedger()
+	coreCfg := core.Config{GracePeriod: opts.GracePeriod, CoalesceIdentical: opts.Coalesce}
+	if opts.Prices != nil {
+		coreCfg.Prices = *opts.Prices
+	}
+	coord := core.NewCoordinator(clk, coreCfg, cluster, cf,
+		&core.PlannedExecutor{Engine: eng}, ledger)
+
+	xlator := opts.Translator
+	if xlator == nil {
+		xlator = &nl2sql.Template{}
+	}
+
+	db := &DB{
+		opts: opts, clock: clk, store: store, catalog: cat, engine: eng,
+		cluster: cluster, cf: cf, coord: coord, ledger: ledger, xlator: xlator,
+	}
+	if opts.AutoscaleInterval > 0 {
+		policy := &autoscale.TargetUtilization{
+			SlotsPerVM: cluster.Config().SlotsPerVM,
+			Target:     0.7,
+			MinVMs:     opts.MinVMs,
+			MaxVMs:     opts.MaxVMs,
+			HoldTicks:  3,
+		}
+		db.scaler = autoscale.NewManager(clk, cluster, policy, coord.Metrics)
+		db.scaler.Start(opts.AutoscaleInterval)
+	}
+	return db, nil
+}
+
+// Close stops background components and persists the catalog when a
+// DataDir is configured.
+func (db *DB) Close() error {
+	if db.scaler != nil {
+		db.scaler.Stop()
+	}
+	if db.opts.DataDir != "" {
+		return db.catalog.Save(db.store.Inner())
+	}
+	return nil
+}
+
+// Execute runs any statement synchronously, bypassing the scheduler (DDL,
+// inserts, administrative queries).
+func (db *DB) Execute(ctx context.Context, database, sqlText string) (*Result, error) {
+	return db.engine.Execute(ctx, database, sqlText)
+}
+
+// Submit schedules a SELECT at a service level and returns its handle.
+func (db *DB) Submit(database, sqlText string, level Level) (*Query, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("pixelsdb: only SELECT can be scheduled, got %T", stmt)
+	}
+	node, err := db.engine.PlanQuery(database, sel)
+	if err != nil {
+		return nil, err
+	}
+	key := database + "\x00" + sel.String()
+	return db.coord.SubmitKeyed(sqlText, level, core.PlanPayload{Node: node}, key), nil
+}
+
+// Cancel aborts a pending query by ID.
+func (db *DB) Cancel(queryID string) error { return db.coord.Cancel(queryID) }
+
+// Ask translates a natural-language question into SQL against a database's
+// schema using the configured text-to-SQL service.
+func (db *DB) Ask(database, question string) (nl2sql.Translation, error) {
+	schema, err := nl2sql.SchemaFromCatalog(db.catalog, database)
+	if err != nil {
+		return nl2sql.Translation{}, err
+	}
+	return db.xlator.Translate(nl2sql.Request{Question: question, Schema: schema})
+}
+
+// AskAndSubmit chains Ask and Submit — the demo's one-shot flow.
+func (db *DB) AskAndSubmit(database, question string, level Level) (*Query, nl2sql.Translation, error) {
+	tr, err := db.Ask(database, question)
+	if err != nil {
+		return nil, tr, err
+	}
+	q, err := db.Submit(database, tr.SQL, level)
+	return q, tr, err
+}
+
+// LoadSampleData generates and loads the TPC-H-derived sample dataset at a
+// scale factor (0.01 ≈ 150 customers / 1500 orders).
+func (db *DB) LoadSampleData(database string, sf float64) error {
+	return workload.Load(db.engine, database, workload.LoadOptions{SF: sf, Seed: db.opts.Seed})
+}
+
+// Ledger exposes the billing ledger (per-query bills, report data).
+func (db *DB) Ledger() *billing.Ledger { return db.ledger }
+
+// PriceBook returns the active prices.
+func (db *DB) PriceBook() billing.PriceBook { return db.coord.Config().Prices }
+
+// Engine exposes the embedded query engine (advanced use).
+func (db *DB) Engine() *engine.Engine { return db.engine }
+
+// Coordinator exposes the scheduler (advanced use).
+func (db *DB) Coordinator() *core.Coordinator { return db.coord }
+
+// Cluster exposes the VM cluster simulator (metrics, cost).
+func (db *DB) Cluster() *vmsim.Cluster { return db.cluster }
+
+// CFService exposes the cloud-function simulator (metrics, cost).
+func (db *DB) CFService() *cfsim.Service { return db.cf }
+
+// Handler returns the Query Server REST handler (mount it on any mux).
+func (db *DB) Handler(defaultDatabase, token string) http.Handler {
+	s := &server.Server{
+		Engine:     db.engine,
+		Coord:      db.coord,
+		Translator: db.xlator,
+		Clock:      db.clock,
+		DefaultDB:  defaultDatabase,
+		Token:      token,
+	}
+	return s.Handler()
+}
+
+// Serve runs the Query Server until the listener fails.
+func (db *DB) Serve(addr, defaultDatabase, token string) error {
+	return http.ListenAndServe(addr, db.Handler(defaultDatabase, token))
+}
+
+// NewRoverClient builds a client for a served instance.
+func NewRoverClient(baseURL string) *rover.Client { return rover.NewClient(baseURL) }

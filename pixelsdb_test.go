@@ -1,0 +1,131 @@
+package pixelsdb
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestOpenLoadQueryClose(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadSampleData("tpch", 0.002); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronous path.
+	res, err := db.Execute(context.Background(), "tpch", "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I <= 0 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+
+	// Scheduled path at each level.
+	for _, level := range []Level{Immediate, Relaxed, BestEffort} {
+		q, err := db.Submit("tpch", "SELECT COUNT(*) FROM lineitem", level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-q.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("level %s timed out", level)
+		}
+		if q.Err() != nil {
+			t.Fatalf("level %s: %v", level, q.Err())
+		}
+		if q.Result() == nil || len(q.Result().Rows) != 1 {
+			t.Fatalf("level %s: result missing", level)
+		}
+	}
+	if db.Ledger().Len() != 3 {
+		t.Fatalf("ledger entries = %d", db.Ledger().Len())
+	}
+}
+
+func TestAskAndSubmit(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadSampleData("tpch", 0.002); err != nil {
+		t.Fatal(err)
+	}
+	q, tr, err := db.AskAndSubmit("tpch", "How many customers are there?", Immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SQL == "" || tr.Translator == "" {
+		t.Fatalf("translation = %+v", tr)
+	}
+	<-q.Done()
+	if q.Err() != nil {
+		t.Fatal(q.Err())
+	}
+}
+
+func TestSubmitRejectsNonSelect(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadSampleData("tpch", 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Submit("tpch", "DROP TABLE orders", Immediate); err == nil {
+		t.Fatalf("non-SELECT scheduled")
+	}
+	if _, err := db.Submit("tpch", "SELECT zzz FROM orders", Immediate); err == nil {
+		t.Fatalf("plan error not surfaced")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadSampleData("tpch", 0.002); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Execute(context.Background(), "tpch", "SELECT COUNT(*) FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got, err := db2.Execute(context.Background(), "tpch", "SELECT COUNT(*) FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0][0].I != want.Rows[0][0].I {
+		t.Fatalf("reopened count = %v, want %v", got.Rows[0][0], want.Rows[0][0])
+	}
+}
+
+func TestPriceBookDefaults(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	p := db.PriceBook()
+	if p.ScanPricePerTBAt(Immediate) != 5 || p.ScanPricePerTBAt(Relaxed) != 2 || p.ScanPricePerTBAt(BestEffort) != 0.5 {
+		t.Fatalf("prices = %v %v %v", p.ScanPricePerTBAt(Immediate), p.ScanPricePerTBAt(Relaxed), p.ScanPricePerTBAt(BestEffort))
+	}
+}
