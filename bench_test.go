@@ -117,3 +117,10 @@ func BenchmarkA3Policies(b *testing.B) {
 func BenchmarkA4StorageAblation(b *testing.B) {
 	runExperiment(b, "A4")
 }
+
+// BenchmarkA5IntraQueryParallel regenerates the VM-side intra-query
+// parallelism experiment (serial vs per-CPU-width execution of the same
+// plan, identical results and billing bytes).
+func BenchmarkA5IntraQueryParallel(b *testing.B) {
+	runExperiment(b, "A5")
+}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	pixels-bench            # run everything
-//	pixels-bench -exp e2    # run one experiment (e1..e9, a1..a3)
+//	pixels-bench                   # run everything
+//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a5)
+//	pixels-bench -parallelism 8    # VM-side intra-query width for real-SQL experiments
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 )
 
 func main() {
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a3)")
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a5)")
+	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+	bench.VMParallelism = *parallelism
 
 	ran := 0
 	matched := 0

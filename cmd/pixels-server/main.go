@@ -22,6 +22,7 @@ func main() {
 		grace    = flag.Duration("grace", 5*time.Minute, "relaxed grace period")
 		vms      = flag.Int("vms", 2, "initial warm VMs")
 		scaleInt = flag.Duration("autoscale", 15*time.Second, "autoscaler interval (0 = off)")
+		par      = flag.Int("parallelism", 0, "VM-side intra-query workers (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -30,6 +31,7 @@ func main() {
 		InitialVMs:        *vms,
 		GracePeriod:       *grace,
 		AutoscaleInterval: *scaleInt,
+		Parallelism:       *par,
 	})
 	if err != nil {
 		log.Fatal(err)

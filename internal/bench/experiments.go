@@ -43,7 +43,7 @@ func Registry() []Experiment {
 		{"E4", E4Elasticity}, {"E5", E5SpikeAcceleration}, {"E6", E6PriceTable},
 		{"E7", E7TextToSQL}, {"E8", E8PendingTimes}, {"E9", E9CostReport},
 		{"A1", A1LazyScaleIn}, {"A2", A2GraceSweep}, {"A3", A3Policies},
-		{"A4", A4StorageAblation},
+		{"A4", A4StorageAblation}, {"A5", A5IntraQueryParallel},
 	}
 }
 
@@ -255,7 +255,8 @@ func E6PriceTable() Result {
 	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 4}, 2)
 	cf := cfsim.NewService(clk, cfsim.Config{ColdStart: time.Millisecond})
 	ledger := billing.NewLedger()
-	coord := core.NewCoordinator(clk, core.Config{}, cluster, cf, &core.RealExecutor{Engine: eng}, ledger)
+	coord := core.NewCoordinator(clk, core.Config{}, cluster, cf,
+		&core.RealExecutor{Engine: eng, Parallelism: VMParallelism}, ledger)
 
 	r := Result{
 		ID:      "E6",

@@ -16,12 +16,17 @@ type RealPayload struct {
 	Select *sql.Select
 }
 
-// RealExecutor runs queries on the actual engine: VM execution is a local
-// plan run; CF execution uses the engine's sub-plan splitting, with worker
-// tasks writing intermediates to the object store. Completions arrive from
-// goroutines, so it is meant for the real clock (the live server path).
+// RealExecutor runs queries on the actual engine: VM execution is an
+// in-process parallel plan run (the scheduler decides *where* a query runs,
+// Parallelism decides *how wide*); CF execution uses the engine's sub-plan
+// splitting, with worker tasks writing intermediates to the object store.
+// Completions arrive from goroutines, so it is meant for the real clock
+// (the live server path).
 type RealExecutor struct {
 	Engine *engine.Engine
+	// Parallelism is the VM-side intra-query worker width: 0 means one
+	// worker per CPU, 1 forces the serial path.
+	Parallelism int
 }
 
 // VMRun implements Executor.
@@ -37,7 +42,7 @@ func (r *RealExecutor) VMRun(q *Query, done func(Outcome)) {
 			done(Outcome{Err: err})
 			return
 		}
-		res, err := r.Engine.RunPlan(context.Background(), node)
+		res, err := r.Engine.RunPlanParallel(context.Background(), node, r.Parallelism)
 		if err != nil {
 			done(Outcome{Err: err})
 			return
@@ -108,6 +113,9 @@ type PlanPayload struct {
 // PlannedExecutor is a RealExecutor variant for pre-bound plans.
 type PlannedExecutor struct {
 	Engine *engine.Engine
+	// Parallelism is the VM-side intra-query worker width: 0 means one
+	// worker per CPU, 1 forces the serial path.
+	Parallelism int
 }
 
 // VMRun implements Executor.
@@ -118,7 +126,7 @@ func (r *PlannedExecutor) VMRun(q *Query, done func(Outcome)) {
 		return
 	}
 	go func() {
-		res, err := r.Engine.RunPlan(context.Background(), payload.Node)
+		res, err := r.Engine.RunPlanParallel(context.Background(), payload.Node, r.Parallelism)
 		if err != nil {
 			done(Outcome{Err: err})
 			return

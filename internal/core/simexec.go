@@ -33,6 +33,10 @@ type SimExecutorConfig struct {
 	// MergeThroughput is bytes/second for coordinator-side merging of the
 	// (selectivity-scaled) intermediates (default 500 MB/s).
 	MergeThroughput float64
+	// VMParallelism is the modeled VM-side intra-query worker width: a VM
+	// run scans at VMSlotThroughput × VMParallelism. Default 1, which keeps
+	// the calibrated single-threaded cost model of the paper experiments.
+	VMParallelism int
 }
 
 func (c SimExecutorConfig) withDefaults() SimExecutorConfig {
@@ -50,6 +54,9 @@ func (c SimExecutorConfig) withDefaults() SimExecutorConfig {
 	}
 	if c.MergeThroughput <= 0 {
 		c.MergeThroughput = 500e6
+	}
+	if c.VMParallelism <= 0 {
+		c.VMParallelism = 1
 	}
 	return c
 }
@@ -79,14 +86,16 @@ func payloadOf(q *Query) (SimPayload, error) {
 	return p, nil
 }
 
-// VMRun implements Executor: duration = overhead + bytes / slot throughput.
+// VMRun implements Executor: duration = overhead + bytes / (slot throughput
+// × VM-side parallelism).
 func (s *SimExecutor) VMRun(q *Query, done func(Outcome)) {
 	p, err := payloadOf(q)
 	if err != nil {
 		done(Outcome{Err: err})
 		return
 	}
-	d := s.cfg.PerQueryOverhead + time.Duration(float64(p.Bytes)/s.cfg.VMSlotThroughput*float64(time.Second))
+	rate := s.cfg.VMSlotThroughput * float64(s.cfg.VMParallelism)
+	d := s.cfg.PerQueryOverhead + time.Duration(float64(p.Bytes)/rate*float64(time.Second))
 	s.clock.AfterFunc(d, func() {
 		done(Outcome{Stats: simStats(p)})
 	})

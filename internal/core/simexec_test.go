@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestSimExecutorVMParallelism checks the modeled intra-query width: a VM
+// run over the same bytes finishes proportionally faster at a wider
+// VMParallelism, and the default (1) keeps the calibrated model.
+func TestSimExecutorVMParallelism(t *testing.T) {
+	start := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	runOnce := func(width int) time.Duration {
+		clk := vclock.NewVirtual(start)
+		ex := NewSimExecutor(clk, SimExecutorConfig{VMParallelism: width})
+		q := &Query{ID: "q-sim", Payload: SimPayload{Bytes: 1e9}}
+		var took time.Duration
+		done := false
+		ex.VMRun(q, func(out Outcome) {
+			if out.Err != nil {
+				t.Fatal(out.Err)
+			}
+			took = clk.Now().Sub(start)
+			done = true
+		})
+		clk.Advance(time.Hour)
+		if !done {
+			t.Fatalf("width %d: VM run never completed", width)
+		}
+		return took
+	}
+
+	serial := runOnce(0) // default → 1
+	wide := runOnce(4)
+	cfg := SimExecutorConfig{}.withDefaults()
+	overhead := cfg.PerQueryOverhead
+	wantSerial := overhead + time.Duration(1e9/cfg.VMSlotThroughput*float64(time.Second))
+	if serial != wantSerial {
+		t.Fatalf("serial duration %v, want calibrated %v", serial, wantSerial)
+	}
+	wantWide := overhead + (wantSerial-overhead)/4
+	if wide != wantWide {
+		t.Fatalf("width-4 duration %v, want %v", wide, wantWide)
+	}
+}

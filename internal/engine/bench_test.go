@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/catalog"
@@ -129,6 +130,60 @@ func BenchmarkEngineCFSplit(b *testing.B) {
 		}
 	}
 }
+
+// parallelBenchEngine lazily loads one shared multi-file fact table (16
+// files × 50k rows) for the serial-vs-parallel comparison benchmarks.
+var parallelBenchEngine struct {
+	once sync.Once
+	e    *Engine
+}
+
+func benchPartitionedEngine(b *testing.B) *Engine {
+	b.Helper()
+	parallelBenchEngine.once.Do(func() {
+		parallelBenchEngine.e = newPartitionedEngine(b, 16, 50_000)
+	})
+	// A setup failure in an earlier benchmark leaves the once done with a
+	// nil engine; fail cleanly instead of nil-panicking.
+	if parallelBenchEngine.e == nil {
+		b.Fatal("shared bench engine setup failed in an earlier benchmark")
+	}
+	return parallelBenchEngine.e
+}
+
+// benchScanAgg runs the canonical partition-parallel shape — scan + filter
+// + grouped aggregation — at a given VM-side width.
+func benchScanAgg(b *testing.B, parallelism int) {
+	e := benchPartitionedEngine(b)
+	ctx := context.Background()
+	stmt, err := sql.Parse("SELECT f_cat, COUNT(*), SUM(f_val), AVG(f_val) FROM fact WHERE f_val > 100 GROUP BY f_cat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*sql.Select)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		node, err := e.PlanQuery("db", sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.RunPlanParallel(ctx, node, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += res.Stats.BytesScanned
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkSerialScanAgg is the single-threaded baseline for
+// BenchmarkParallelScanAgg.
+func BenchmarkSerialScanAgg(b *testing.B) { benchScanAgg(b, 1) }
+
+// BenchmarkParallelScanAgg measures the intra-query parallel VM path at one
+// worker per CPU over the same query and data as BenchmarkSerialScanAgg.
+func BenchmarkParallelScanAgg(b *testing.B) { benchScanAgg(b, 0) }
 
 // BenchmarkPixfileWrite measures columnar encoding throughput.
 func BenchmarkPixfileWrite(b *testing.B) {

@@ -205,6 +205,9 @@ func (e *Engine) scanFactory(ctx context.Context, stats *Stats, overrides map[*p
 			files := node.Table.Files
 			interm := false
 			if ov, ok := overrides[node]; ok {
+				if ov.iter != nil {
+					return ov.iter, nil
+				}
 				files = ov.files
 				interm = ov.interm
 			}
@@ -216,6 +219,9 @@ func (e *Engine) scanFactory(ctx context.Context, stats *Stats, overrides map[*p
 type scanOverride struct {
 	files  []catalog.FileMeta
 	interm bool // files are CF worker intermediates, not base-table data
+	// iter, when set, replaces file reading entirely: batches come from an
+	// in-process stream (the parallel VM path) and no bytes are accounted.
+	iter exec.BatchIterator
 }
 
 func identity(n int) []int {

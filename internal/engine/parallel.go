@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// DefaultParallelism resolves a parallelism knob: a positive value is taken
+// as-is, anything else means "one worker per CPU".
+func DefaultParallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// RunPlanParallel executes a plan with intra-query parallelism on the VM
+// side. It reuses the CF decomposition (partial aggregation or scan
+// pushdown, Sec. III-A) to partition the dominant scan's files across up to
+// `parallelism` in-process workers, but unlike the CF path the worker
+// batches stream directly into the coordinator-side merge plan — no
+// intermediate pixfiles touch the object store, so BytesIntermediate stays
+// zero and BytesScanned remains exactly the $/TB-scan billing unit of
+// Sec. III-B.
+//
+// Plans that cannot be decomposed (no scans, empty tables) and single-file
+// partitions fall back to the serial RunPlan. The merge consumes worker
+// outputs in partition order, so results are deterministic across runs.
+func (e *Engine) RunPlanParallel(ctx context.Context, node plan.Node, parallelism int) (*Result, error) {
+	parallelism = DefaultParallelism(parallelism)
+	if parallelism <= 1 {
+		return e.RunPlan(ctx, node)
+	}
+	split, err := e.SplitForCF(node, "local", parallelism)
+	if err != nil || len(split.Tasks) <= 1 {
+		return e.RunPlan(ctx, node)
+	}
+	if !drainsFully(split.mergePlan, split.interm) {
+		// A merge plan that can stop early (LIMIT with no blocking
+		// operator below it) would leave workers mid-scan with however
+		// many row groups their buffers ran ahead, making BytesScanned —
+		// the billing unit — inflated and timing-dependent. The serial
+		// path pulls lazily and bills the minimum.
+		return e.RunPlan(ctx, node)
+	}
+	return e.runSplitParallel(ctx, split)
+}
+
+// drainsFully reports whether executing plan n is guaranteed to consume the
+// target scan to exhaustion. A LimitNode stops pulling once satisfied, so
+// the target is only safe if a blocking operator — sort, aggregation, or a
+// join's build side, all of which materialize their input before emitting —
+// sits between the limit and the target.
+func drainsFully(n plan.Node, target *plan.ScanNode) bool {
+	path := pathTo(n, target)
+	if path == nil {
+		return false // target unreachable: be conservative
+	}
+	// Walk from the target upward; once a blocking operator is crossed,
+	// limits above it cannot cut the target's consumption short.
+	protected := false
+	for i := len(path) - 2; i >= 0; i-- {
+		switch x := path[i].(type) {
+		case *plan.SortNode, *plan.AggNode:
+			protected = true
+		case *plan.JoinNode:
+			if x.Right == path[i+1] {
+				protected = true
+			}
+		case *plan.LimitNode:
+			if !protected {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pathTo returns the root→target node path, or nil.
+func pathTo(n plan.Node, target *plan.ScanNode) []plan.Node {
+	if n == plan.Node(target) {
+		return []plan.Node{n}
+	}
+	for _, c := range n.Children() {
+		if p := pathTo(c, target); p != nil {
+			return append([]plan.Node{n}, p...)
+		}
+	}
+	return nil
+}
+
+// runSplitParallel fans the split's tasks out over goroutines and merges
+// their streamed outputs.
+func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(split.Tasks)
+	workerStats := make([]Stats, n)
+	workerErrs := make([]error, n)
+	chans := make([]chan *col.Batch, n)
+	for i := range chans {
+		chans[i] = make(chan *col.Batch, 2)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(chans[i])
+			workerErrs[i] = e.runWorkerStreaming(wctx, split, i, &workerStats[i], chans[i])
+			if workerErrs[i] != nil {
+				cancel() // abort sibling workers
+			}
+		}(i)
+	}
+
+	// The merge plan reads worker batches through the synthetic
+	// intermediate scan, partition by partition. Consuming in task order
+	// keeps group first-appearance order (and therefore output order)
+	// deterministic.
+	next := 0
+	iter := exec.BatchIterator(func() (*col.Batch, error) {
+		for {
+			if next >= n {
+				return nil, nil
+			}
+			b, ok := <-chans[next]
+			if !ok {
+				if err := workerErrs[next]; err != nil {
+					return nil, err
+				}
+				next++
+				continue
+			}
+			return b, nil
+		}
+	})
+
+	stats := &Stats{}
+	overrides := map[*plan.ScanNode]scanOverride{
+		split.interm: {iter: iter},
+	}
+	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides))
+	var out *col.Batch
+	if err == nil {
+		out, err = exec.Collect(op)
+	}
+
+	// Unblock any worker still producing, then wait for all of them so the
+	// per-worker stats reads below cannot race.
+	cancel()
+	for _, ch := range chans {
+		for range ch {
+		}
+	}
+	wg.Wait()
+
+	if err != nil {
+		// A worker canceled by a sibling's failure surfaces
+		// context.Canceled; prefer the root cause.
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			for _, werr := range workerErrs {
+				if werr != nil && !errors.Is(werr, context.Canceled) {
+					return nil, werr
+				}
+			}
+		}
+		return nil, err
+	}
+	for i := range workerStats {
+		stats.Add(workerStats[i])
+	}
+	return resultFromBatch(split.mergePlan.Schema(), out, *stats), nil
+}
+
+// runWorkerStreaming executes one task's fragment over its file partition
+// and streams result batches into out. Stats accumulate into the caller's
+// per-worker slot only — the caller folds them into the query total after
+// all workers have stopped.
+func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task int, stats *Stats, out chan<- *col.Batch) error {
+	overrides := map[*plan.ScanNode]scanOverride{
+		split.partScan: {files: split.Tasks[task].Files},
+	}
+	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides))
+	if err != nil {
+		return err
+	}
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		select {
+		case out <- b:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -65,6 +65,11 @@ type Options struct {
 	InitialVMs int
 	// GracePeriod bounds Relaxed pending time (default 5 minutes).
 	GracePeriod time.Duration
+	// Parallelism is the VM-side intra-query worker width: queries that run
+	// on a VM slot partition their dominant scan across this many
+	// in-process workers (0 = one per CPU, 1 = serial). Service-level
+	// scheduling decides where a query runs; this decides how wide.
+	Parallelism int
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
@@ -135,7 +140,7 @@ func Open(opts Options) (*DB, error) {
 		coreCfg.Prices = *opts.Prices
 	}
 	coord := core.NewCoordinator(clk, coreCfg, cluster, cf,
-		&core.PlannedExecutor{Engine: eng}, ledger)
+		&core.PlannedExecutor{Engine: eng, Parallelism: opts.Parallelism}, ledger)
 
 	xlator := opts.Translator
 	if xlator == nil {
