@@ -95,8 +95,8 @@ func main() {
 		res, err := c.Result(args[1])
 		check(err)
 		printResult(res.Columns, res.Rows)
-		fmt.Printf("-- scanned %d bytes, list price $%.9f, resource cost $%.9f\n",
-			res.BytesScanned, res.ListPrice, res.ResourceCost)
+		fmt.Printf("-- scanned %d bytes (cache %d hit / %d miss), list price $%.9f, resource cost $%.9f\n",
+			res.BytesScanned, res.CacheHits, res.CacheMisses, res.ListPrice, res.ResourceCost)
 
 	case "report":
 		sum, err := c.ReportSummary()

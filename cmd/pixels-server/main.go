@@ -23,6 +23,8 @@ func main() {
 		vms      = flag.Int("vms", 2, "initial warm VMs")
 		scaleInt = flag.Duration("autoscale", 15*time.Second, "autoscaler interval (0 = off)")
 		par      = flag.Int("parallelism", 0, "VM-side intra-query workers (0 = one per CPU, 1 = serial)")
+		cacheMB  = flag.Int("cache-mb", 0, "object-store read cache size in MiB (0 = off)")
+		readAh   = flag.Int("readahead", 0, "read-ahead depth in blocks (0 = default, negative = off)")
 	)
 	flag.Parse()
 
@@ -32,6 +34,8 @@ func main() {
 		GracePeriod:       *grace,
 		AutoscaleInterval: *scaleInt,
 		Parallelism:       *par,
+		CacheSize:         int64(*cacheMB) << 20,
+		CacheReadAhead:    *readAh,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -47,6 +51,9 @@ func main() {
 
 	p := db.PriceBook()
 	fmt.Printf("PixelsDB query server on %s (db=%s)\n", *addr, *database)
+	if *cacheMB > 0 {
+		fmt.Printf("object-store read cache: %d MiB, read-ahead %d blocks\n", *cacheMB, *readAh)
+	}
 	fmt.Printf("service levels: immediate $%.2f/TB | relaxed $%.2f/TB (grace %s) | best-of-effort $%.2f/TB\n",
 		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),
 		*grace, p.ScanPricePerTBAt(pixelsdb.BestEffort))

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
-	"repro/internal/objstore"
 	"repro/internal/workload"
 )
 
@@ -22,7 +21,7 @@ var VMParallelism int
 // across in-process goroutines, streaming partial results into the
 // coordinator merge without touching the object store.
 func A5IntraQueryParallel() Result {
-	eng := engine.New(catalog.New(), objstore.NewMemory())
+	eng := engine.New(catalog.New(), newRealStore())
 	// Many files so the scan partitions wide; SF 0.05 ≈ 300k lineitem rows.
 	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.05, Seed: 7, RowsPerFile: 8192}); err != nil {
 		panic(err)

@@ -7,7 +7,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/col"
 	"repro/internal/engine"
-	"repro/internal/objstore"
 	"repro/internal/pixfile"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -68,7 +67,7 @@ func A4StorageAblation() Result {
 	)
 
 	// --- Zone-map ablation: bytes scanned with and without pruning.
-	e := engine.New(catalog.New(), objstore.NewMemory())
+	e := engine.New(catalog.New(), newRealStore())
 	ctx := context.Background()
 	if _, err := e.Execute(ctx, "db", "CREATE DATABASE db"); err != nil {
 		panic(err)

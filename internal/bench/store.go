@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"repro/internal/objstore"
+	"repro/internal/objstore/cache"
+)
+
+// CacheMB is the object-store read cache size (MiB) for experiments that
+// execute real SQL; 0 disables the cache, matching the paper baseline.
+// cmd/pixels-bench sets it from the -cache-mb flag.
+var CacheMB int
+
+// ReadAhead is the cache's read-ahead depth in blocks (0 = cache default,
+// negative = off). cmd/pixels-bench sets it from the -readahead flag.
+var ReadAhead int
+
+// newRealStore builds the object-store stack real-SQL experiments read
+// through, honoring the cache flags.
+func newRealStore() objstore.Store {
+	base := objstore.NewMemory()
+	if CacheMB <= 0 {
+		return base
+	}
+	return cache.New(base, cache.Config{
+		Capacity:  int64(CacheMB) << 20,
+		ReadAhead: ReadAhead,
+	})
+}

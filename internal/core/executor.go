@@ -20,6 +20,9 @@ type RealPayload struct {
 // in-process parallel plan run (the scheduler decides *where* a query runs,
 // Parallelism decides *how wide*); CF execution uses the engine's sub-plan
 // splitting, with worker tasks writing intermediates to the object store.
+// All reads go through the engine's store stack — including the optional
+// read cache, whose per-query hit/miss counts ride back in Outcome.Stats
+// (SimExecutorConfig.CacheHitRatio is the modeled counterpart).
 // Completions arrive from goroutines, so it is meant for the real clock
 // (the live server path).
 type RealExecutor struct {

@@ -37,6 +37,14 @@ type SimExecutorConfig struct {
 	// run scans at VMSlotThroughput × VMParallelism. Default 1, which keeps
 	// the calibrated single-threaded cost model of the paper experiments.
 	VMParallelism int
+	// CacheHitRatio models the object-store read cache on the VM side: the
+	// fraction of a scan's bytes served from cache (0..1). Hits skip
+	// object-store I/O, so only the miss fraction pays scan time; billed
+	// bytes are unchanged — the cache is a physical-I/O optimization, not
+	// a billing one. CF workers run on fresh invocations with no warm
+	// cache, so the CF path is unaffected. Default 0 (cache off) preserves
+	// the paper calibration.
+	CacheHitRatio float64
 }
 
 func (c SimExecutorConfig) withDefaults() SimExecutorConfig {
@@ -57,6 +65,11 @@ func (c SimExecutorConfig) withDefaults() SimExecutorConfig {
 	}
 	if c.VMParallelism <= 0 {
 		c.VMParallelism = 1
+	}
+	if c.CacheHitRatio < 0 {
+		c.CacheHitRatio = 0
+	} else if c.CacheHitRatio > 1 {
+		c.CacheHitRatio = 1
 	}
 	return c
 }
@@ -86,8 +99,9 @@ func payloadOf(q *Query) (SimPayload, error) {
 	return p, nil
 }
 
-// VMRun implements Executor: duration = overhead + bytes / (slot throughput
-// × VM-side parallelism).
+// VMRun implements Executor: duration = overhead + miss-fraction bytes /
+// (slot throughput × VM-side parallelism). Cache hits skip the I/O term
+// but still count as scanned for billing.
 func (s *SimExecutor) VMRun(q *Query, done func(Outcome)) {
 	p, err := payloadOf(q)
 	if err != nil {
@@ -95,9 +109,16 @@ func (s *SimExecutor) VMRun(q *Query, done func(Outcome)) {
 		return
 	}
 	rate := s.cfg.VMSlotThroughput * float64(s.cfg.VMParallelism)
-	d := s.cfg.PerQueryOverhead + time.Duration(float64(p.Bytes)/rate*float64(time.Second))
+	ioBytes := float64(p.Bytes) * (1 - s.cfg.CacheHitRatio)
+	d := s.cfg.PerQueryOverhead + time.Duration(ioBytes/rate*float64(time.Second))
 	s.clock.AfterFunc(d, func() {
-		done(Outcome{Stats: simStats(p)})
+		stats := simStats(p)
+		if s.cfg.CacheHitRatio > 0 { // no cache modeled → no hit/miss stats
+			reads := int64(stats.RowGroupsRead)
+			stats.CacheHits = int64(s.cfg.CacheHitRatio * float64(reads))
+			stats.CacheMisses = reads - stats.CacheHits
+		}
+		done(Outcome{Stats: stats})
 	})
 }
 

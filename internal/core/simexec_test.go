@@ -45,3 +45,57 @@ func TestSimExecutorVMParallelism(t *testing.T) {
 		t.Fatalf("width-4 duration %v, want %v", wide, wantWide)
 	}
 }
+
+// TestSimExecutorCacheHitRatio checks the modeled read cache: hits skip
+// the I/O term of a VM run but never change the billed bytes, mirroring
+// the real CachingStore's billing invariant.
+func TestSimExecutorCacheHitRatio(t *testing.T) {
+	start := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	runOnce := func(ratio float64) (time.Duration, Outcome) {
+		clk := vclock.NewVirtual(start)
+		ex := NewSimExecutor(clk, SimExecutorConfig{CacheHitRatio: ratio})
+		q := &Query{ID: "q-sim", Payload: SimPayload{Bytes: 1e9}}
+		var took time.Duration
+		var got Outcome
+		done := false
+		ex.VMRun(q, func(out Outcome) {
+			if out.Err != nil {
+				t.Fatal(out.Err)
+			}
+			took = clk.Now().Sub(start)
+			got = out
+			done = true
+		})
+		clk.Advance(time.Hour)
+		if !done {
+			t.Fatalf("ratio %v: VM run never completed", ratio)
+		}
+		return took, got
+	}
+
+	coldDur, cold := runOnce(0)
+	warmDur, warm := runOnce(0.5)
+	cfg := SimExecutorConfig{}.withDefaults()
+	overhead := cfg.PerQueryOverhead
+	wantWarm := overhead + (coldDur-overhead)/2
+	if warmDur != wantWarm {
+		t.Fatalf("ratio-0.5 duration %v, want %v (cold %v)", warmDur, wantWarm, coldDur)
+	}
+	if cold.Stats.BytesScanned != warm.Stats.BytesScanned {
+		t.Fatalf("billed bytes changed with cache: cold %d warm %d",
+			cold.Stats.BytesScanned, warm.Stats.BytesScanned)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != 0 {
+		t.Fatalf("ratio 0 reported cache stats: %+v", cold.Stats)
+	}
+	reads := int64(warm.Stats.RowGroupsRead)
+	if warm.Stats.CacheHits == 0 || warm.Stats.CacheHits+warm.Stats.CacheMisses != reads {
+		t.Fatalf("hit/miss split %d/%d does not cover %d reads",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, reads)
+	}
+	// Full hit ratio degenerates to overhead-only scan time.
+	allDur, _ := runOnce(1)
+	if allDur != overhead {
+		t.Fatalf("ratio-1 duration %v, want bare overhead %v", allDur, overhead)
+	}
+}

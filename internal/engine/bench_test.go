@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/col"
 	"repro/internal/objstore"
+	"repro/internal/objstore/cache"
 	"repro/internal/pixfile"
 	"repro/internal/sql"
 )
@@ -184,6 +185,92 @@ func BenchmarkSerialScanAgg(b *testing.B) { benchScanAgg(b, 1) }
 // BenchmarkParallelScanAgg measures the intra-query parallel VM path at one
 // worker per CPU over the same query and data as BenchmarkSerialScanAgg.
 func BenchmarkParallelScanAgg(b *testing.B) { benchScanAgg(b, 0) }
+
+// cachedBenchEngine lazily loads one shared fact table behind the
+// CachingStore → Metered → Memory stack, so the cold/warm variants can
+// report physical store GETs per op alongside ns/op.
+var cachedBenchEngine struct {
+	once sync.Once
+	e    *Engine
+	met  *objstore.Metered
+	cs   *cache.CachingStore
+}
+
+func benchCachedEngine(b *testing.B) (*Engine, *objstore.Metered, *cache.CachingStore) {
+	b.Helper()
+	cachedBenchEngine.once.Do(func() {
+		met := objstore.NewMetered(objstore.NewMemory())
+		cs := cache.New(met, cache.Config{})
+		met.AttachCache(cs)
+		cachedBenchEngine.e = newPartitionedEngineOn(b, cs, 16, 50_000)
+		cachedBenchEngine.met = met
+		cachedBenchEngine.cs = cs
+	})
+	if cachedBenchEngine.e == nil {
+		b.Fatal("shared cached bench engine setup failed in an earlier benchmark")
+	}
+	return cachedBenchEngine.e, cachedBenchEngine.met, cachedBenchEngine.cs
+}
+
+// benchScanAggCached runs the same plan as benchScanAgg through the read
+// cache. warm primes the cache once and keeps it; cold flushes before
+// every iteration. Billed bytes-scanned are identical in both modes (and
+// to the cacheless benchmarks) — only the physical store-gets/op and
+// ns/op move.
+func benchScanAggCached(b *testing.B, parallelism int, warm bool) {
+	e, met, cs := benchCachedEngine(b)
+	ctx := context.Background()
+	stmt, err := sql.Parse("SELECT f_cat, COUNT(*), SUM(f_val), AVG(f_val) FROM fact WHERE f_val > 100 GROUP BY f_cat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*sql.Select)
+	runOnce := func() int64 {
+		node, err := e.PlanQuery("db", sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.RunPlanParallel(ctx, node, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Stats.BytesScanned
+	}
+	cs.Flush()
+	if warm {
+		runOnce()
+		cs.WaitReadAhead()
+	}
+	met.Reset()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			b.StopTimer()
+			cs.Flush()
+			met.Reset()
+			b.StartTimer()
+		}
+		bytes += runOnce()
+	}
+	b.StopTimer()
+	cs.WaitReadAhead()
+	u := met.Usage()
+	gets := float64(u.Gets)
+	if warm {
+		gets /= float64(b.N) // cold resets per iteration; warm accumulates
+	}
+	b.ReportMetric(gets, "store-gets/op")
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// Cold/warm cache variants of the ScanAgg benchmarks: same plan and data,
+// differing only in cache residency. Warm runs must show near-zero
+// store-gets/op and lower ns/op than cold; billed bytes are identical.
+func BenchmarkSerialScanAggColdCache(b *testing.B)   { benchScanAggCached(b, 1, false) }
+func BenchmarkSerialScanAggWarmCache(b *testing.B)   { benchScanAggCached(b, 1, true) }
+func BenchmarkParallelScanAggColdCache(b *testing.B) { benchScanAggCached(b, 0, false) }
+func BenchmarkParallelScanAggWarmCache(b *testing.B) { benchScanAggCached(b, 0, true) }
 
 // BenchmarkPixfileWrite measures columnar encoding throughput.
 func BenchmarkPixfileWrite(b *testing.B) {

@@ -50,6 +50,12 @@ type Stats struct {
 	BytesIntermediate int64
 	RowGroupsRead     int
 	RowGroupsPruned   int
+	// CacheHits/CacheMisses count this query's ranged reads served from
+	// the object-store read cache vs reads that paid a store request.
+	// Cache hits never reduce BytesScanned — the $/TB billing unit counts
+	// bytes scanned, not bytes physically fetched.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Add merges two stats.
@@ -60,6 +66,8 @@ func (s *Stats) Add(o Stats) {
 	s.BytesIntermediate += o.BytesIntermediate
 	s.RowGroupsRead += o.RowGroupsRead
 	s.RowGroupsPruned += o.RowGroupsPruned
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // Result is a fully materialized query result.
@@ -256,9 +264,7 @@ func (e *Engine) newFileIterator(ctx context.Context, files []catalog.FileMeta, 
 				}
 				meta := files[fileIdx]
 				fileIdx++
-				opened, err := pixfile.Open(func(off, length int64) ([]byte, error) {
-					return e.store.GetRange(meta.Key, off, length)
-				}, meta.Size)
+				opened, err := pixfile.Open(e.rangeReader(meta.Key, stats), meta.Size)
 				if err != nil {
 					return nil, fmt.Errorf("engine: open %s: %w", meta.Key, err)
 				}
@@ -286,6 +292,30 @@ func (e *Engine) newFileIterator(ctx context.Context, files []catalog.FileMeta, 
 			stats.RowGroupsRead++
 			return b, nil
 		}
+	}
+}
+
+// rangeReader builds the RangeReader a pixfile is opened with. When the
+// store is fronted by a read cache (objstore.CachedRanger) each read also
+// attributes a per-query cache hit or miss; the iterator that owns stats
+// runs single-goroutine, so the increments need no synchronization.
+func (e *Engine) rangeReader(key string, stats *Stats) pixfile.RangeReader {
+	cr, ok := e.store.(objstore.CachedRanger)
+	if !ok {
+		return func(off, length int64) ([]byte, error) {
+			return e.store.GetRange(key, off, length)
+		}
+	}
+	return func(off, length int64) ([]byte, error) {
+		data, hit, err := cr.GetRangeCached(key, off, length)
+		if err == nil {
+			if hit {
+				stats.CacheHits++
+			} else {
+				stats.CacheMisses++
+			}
+		}
+		return data, err
 	}
 }
 

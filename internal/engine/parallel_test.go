@@ -20,7 +20,15 @@ import (
 // compared bit-for-bit.
 func newPartitionedEngine(tb testing.TB, files, rowsPerFile int) *Engine {
 	tb.Helper()
-	e := New(catalog.New(), objstore.NewMemory())
+	return newPartitionedEngineOn(tb, objstore.NewMemory(), files, rowsPerFile)
+}
+
+// newPartitionedEngineOn is newPartitionedEngine over a caller-supplied
+// store (the cache integration tests and benchmarks layer caching and
+// metering under the engine).
+func newPartitionedEngineOn(tb testing.TB, store objstore.Store, files, rowsPerFile int) *Engine {
+	tb.Helper()
+	e := New(catalog.New(), store)
 	ctx := context.Background()
 	for _, q := range []string{
 		"CREATE DATABASE db",

@@ -46,6 +46,16 @@ type Store interface {
 	List(prefix string) ([]ObjectInfo, error)
 }
 
+// CachedRanger is implemented by stores layered over a read cache (see
+// internal/objstore/cache) that can report whether a ranged read was
+// served entirely from cache, without any request to the backing store.
+// The engine uses it to attribute per-query cache hits and misses in
+// query statistics; billed bytes-scanned are accounted reader-side and
+// are identical either way.
+type CachedRanger interface {
+	GetRangeCached(key string, off, length int64) (data []byte, hit bool, err error)
+}
+
 // Memory is an in-memory Store. It is safe for concurrent use.
 type Memory struct {
 	mu      sync.RWMutex

@@ -213,6 +213,89 @@ func TestMemoryConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestParallelGetRange exercises every backend under concurrent ranged
+// reads of shared and private keys — the access pattern of parallel
+// VM-side workers — and verifies served bytes. Run with -race.
+func TestParallelGetRange(t *testing.T) {
+	const n = 64 << 10
+	blob := make([]byte, n)
+	for i := range blob {
+		blob[i] = byte(i*31 + i/7)
+	}
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]Store{
+		"memory":  NewMemory(),
+		"disk":    disk,
+		"metered": NewMetered(NewMemory()),
+	}
+	for name, s := range backends {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("shared", blob); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					key := "shared"
+					if g%2 == 1 { // half the readers use a private key
+						key = fmt.Sprintf("own/%d", g)
+						if err := s.Put(key, blob); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					for i := 0; i < 64; i++ {
+						off := int64((g*997 + i*8191) % (n - 512))
+						got, err := s.GetRange(key, off, 512)
+						if err != nil || !bytes.Equal(got, blob[off:off+512]) {
+							t.Errorf("g%d read %s@%d: %v", g, key, off, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// fakeCacheSource is a settable CacheCounterSource.
+type fakeCacheSource struct{ hits, misses, wasted int64 }
+
+func (f *fakeCacheSource) CacheCounters() (int64, int64, int64) {
+	return f.hits, f.misses, f.wasted
+}
+
+func TestMeteredCacheCounters(t *testing.T) {
+	m := NewMetered(NewMemory())
+	if u := m.Usage(); u.CacheHits != 0 || u.CacheMisses != 0 || u.PrefetchWasted != 0 {
+		t.Fatalf("cache counters nonzero with no cache attached: %+v", u)
+	}
+	src := &fakeCacheSource{hits: 10, misses: 4, wasted: 1}
+	m.AttachCache(src)
+	u := m.Usage()
+	if u.CacheHits != 10 || u.CacheMisses != 4 || u.PrefetchWasted != 1 {
+		t.Fatalf("Usage cache counters = %+v", u)
+	}
+	// Reset re-baselines the monotonic cache counters.
+	m.Reset()
+	src.hits, src.misses, src.wasted = 13, 5, 2
+	u = m.Usage()
+	if u.CacheHits != 3 || u.CacheMisses != 1 || u.PrefetchWasted != 1 {
+		t.Fatalf("post-Reset deltas = %+v, want 3/1/1", u)
+	}
+	// Deltas via Sub carry the cache fields too.
+	d := u.Sub(Usage{CacheHits: 1})
+	if d.CacheHits != 2 {
+		t.Fatalf("Sub cache fields = %+v", d)
+	}
+}
+
 func TestRangeReadProperty(t *testing.T) {
 	s := NewMemory()
 	blob := make([]byte, 1024)

@@ -348,6 +348,8 @@ type ResultPayload struct {
 	Rows         [][]string `json:"rows"`
 	BytesScanned int64      `json:"bytesScanned"`
 	RowsReturned int64      `json:"rowsReturned"`
+	CacheHits    int64      `json:"cacheHits"`
+	CacheMisses  int64      `json:"cacheMisses"`
 	ListPrice    float64    `json:"listPrice"`
 	ResourceCost float64    `json:"resourceCost"`
 }
@@ -376,6 +378,8 @@ func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error
 		}
 		payload.BytesScanned = res.Stats.BytesScanned
 		payload.RowsReturned = res.Stats.RowsReturned
+		payload.CacheHits = res.Stats.CacheHits
+		payload.CacheMisses = res.Stats.CacheMisses
 	}
 	for _, b := range s.Coord.Ledger().All() {
 		if b.QueryID == q.ID {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/nl2sql"
 	"repro/internal/objstore"
+	"repro/internal/objstore/cache"
 	"repro/internal/rover"
 	"repro/internal/server"
 	"repro/internal/sql"
@@ -70,6 +71,16 @@ type Options struct {
 	// in-process workers (0 = one per CPU, 1 = serial). Service-level
 	// scheduling decides where a query runs; this decides how wide.
 	Parallelism int
+	// CacheSize enables the object-store read cache in front of every
+	// engine read (internal/objstore/cache): a block LRU of this many
+	// bytes plus a footer cache and sequential read-ahead. 0 disables the
+	// cache — every read pays a store request, the paper's baseline.
+	// Billed bytes-scanned are identical either way.
+	CacheSize int64
+	// CacheReadAhead is the read-ahead depth in blocks once a scan is
+	// detected as sequential (0 = default of 2 when the cache is enabled;
+	// negative disables prefetching). Ignored when CacheSize is 0.
+	CacheReadAhead int
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
@@ -95,6 +106,7 @@ type DB struct {
 	opts    Options
 	clock   vclock.Clock
 	store   *objstore.Metered
+	cache   *cache.CachingStore // nil when Options.CacheSize == 0
 	catalog *catalog.Catalog
 	engine  *engine.Engine
 	cluster *vmsim.Cluster
@@ -131,7 +143,21 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	clk := vclock.NewReal()
-	eng := engine.New(cat, store)
+	// Engine reads go through the optional read cache; metering sits
+	// beneath it, so Usage counts physical store requests (cache hits are
+	// the requests the store never saw) while billed bytes-scanned stay
+	// reader-side and cache-independent.
+	var engineStore objstore.Store = store
+	var rcache *cache.CachingStore
+	if opts.CacheSize > 0 {
+		rcache = cache.New(store, cache.Config{
+			Capacity:  opts.CacheSize,
+			ReadAhead: opts.CacheReadAhead,
+		})
+		store.AttachCache(rcache)
+		engineStore = rcache
+	}
+	eng := engine.New(cat, engineStore)
 	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
 	cf := cfsim.NewService(clk, opts.CF)
 	ledger := billing.NewLedger()
@@ -148,7 +174,7 @@ func Open(opts Options) (*DB, error) {
 	}
 
 	db := &DB{
-		opts: opts, clock: clk, store: store, catalog: cat, engine: eng,
+		opts: opts, clock: clk, store: store, cache: rcache, catalog: cat, engine: eng,
 		cluster: cluster, cf: cf, coord: coord, ledger: ledger, xlator: xlator,
 	}
 	if opts.AutoscaleInterval > 0 {
@@ -238,6 +264,19 @@ func (db *DB) PriceBook() billing.PriceBook { return db.coord.Config().Prices }
 
 // Engine exposes the embedded query engine (advanced use).
 func (db *DB) Engine() *engine.Engine { return db.engine }
+
+// CacheStats reports read-cache activity (hits, misses, prefetch
+// accounting); ok is false when Options.CacheSize left the cache off.
+func (db *DB) CacheStats() (stats cache.Stats, ok bool) {
+	if db.cache == nil {
+		return cache.Stats{}, false
+	}
+	return db.cache.Stats(), true
+}
+
+// StoreUsage reports object-store request/byte accounting (plus cache
+// counters when the cache is enabled).
+func (db *DB) StoreUsage() objstore.Usage { return db.store.Usage() }
 
 // Coordinator exposes the scheduler (advanced use).
 func (db *DB) Coordinator() *core.Coordinator { return db.coord }
