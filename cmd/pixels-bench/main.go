@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pixels-bench                   # run everything
-//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a5)
+//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a6)
 //	pixels-bench -parallelism 8    # VM-side intra-query width for real-SQL experiments
 //	pixels-bench -cache-mb 64      # object-store read cache for real-SQL experiments
 package main
@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a5)")
-	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments (0 = one per CPU, 1 = serial)")
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a6)")
+	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")
 	flag.Parse()

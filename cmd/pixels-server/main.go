@@ -22,7 +22,7 @@ func main() {
 		grace    = flag.Duration("grace", 5*time.Minute, "relaxed grace period")
 		vms      = flag.Int("vms", 2, "initial warm VMs")
 		scaleInt = flag.Duration("autoscale", 15*time.Second, "autoscaler interval (0 = off)")
-		par      = flag.Int("parallelism", 0, "VM-side intra-query workers (0 = one per CPU, 1 = serial)")
+		par      = flag.Int("parallelism", 0, "VM-side intra-query workers incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 		cacheMB  = flag.Int("cache-mb", 0, "object-store read cache size in MiB (0 = off)")
 		readAh   = flag.Int("readahead", 0, "read-ahead depth in blocks (0 = default, negative = off)")
 	)

@@ -16,6 +16,75 @@ import (
 // cmd/pixels-bench sets it from the -parallelism flag.
 var VMParallelism int
 
+// A6MergeSideParallel measures the merge-side splits: a fact-dim join runs
+// with the probe side partitioned across workers against one shared build
+// table, and an ORDER BY + LIMIT runs a bounded top-N per worker instead
+// of a coordinator-side full sort. Correctness shape: identical rows and
+// identical billed bytes-scanned to the serial plan, zero intermediates.
+func A6MergeSideParallel() Result {
+	eng := engine.New(catalog.New(), newRealStore())
+	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.05, Seed: 7, RowsPerFile: 8192}); err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	width := engine.DefaultParallelism(VMParallelism)
+	queries := []struct{ name, q string }{
+		{"join+agg", `SELECT c_mktsegment, COUNT(*), SUM(o_totalprice) FROM orders, customer
+			WHERE o_custkey = c_custkey GROUP BY c_mktsegment ORDER BY c_mktsegment`},
+		{"top-n", "SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC, l_orderkey LIMIT 10"},
+	}
+
+	r := Result{
+		ID:      "A6",
+		Title:   "Sec. III-A: merge-side parallelism (shared-build join, worker top-N)",
+		Paper:   "joins and top-N merges also decompose into worker fragments; only the small merge runs on the coordinator",
+		Headers: []string{"query", "path", "wall time", "bytes scanned", "rows"},
+	}
+	ok := true
+	for _, qq := range queries {
+		sel := mustSelect(qq.q)
+		run := func(parallelism int) (*engine.Result, time.Duration) {
+			node, err := eng.PlanQuery("tpch", sel)
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			res, err := eng.RunPlanParallel(ctx, node, parallelism)
+			if err != nil {
+				panic(err)
+			}
+			return res, time.Since(start)
+		}
+		run(1)
+		run(width) // warm both paths
+		serial, serialDur := run(1)
+		par, parDur := run(width)
+
+		identical := len(serial.Rows) == len(par.Rows)
+		if identical {
+			for i := range serial.Rows {
+				for c := range serial.Rows[i] {
+					if !serial.Rows[i][c].Equal(par.Rows[i][c]) {
+						identical = false
+					}
+				}
+			}
+		}
+		sameBytes := serial.Stats.BytesScanned == par.Stats.BytesScanned &&
+			par.Stats.BytesIntermediate == 0
+		ok = ok && identical && sameBytes
+		r.Rows = append(r.Rows,
+			[]string{qq.name, "serial", serialDur.Round(time.Microsecond).String(), fmt.Sprint(serial.Stats.BytesScanned), fmt.Sprint(len(serial.Rows))},
+			[]string{qq.name, fmt.Sprintf("parallel (%d workers)", width), parDur.Round(time.Microsecond).String(), fmt.Sprint(par.Stats.BytesScanned), fmt.Sprint(len(par.Rows))},
+		)
+	}
+	// As in A5, timing is reported but only the correctness shape gates.
+	r.ShapeOK = ok
+	r.Shape = fmt.Sprintf("identical results and billing bytes across merge-side splits: %v (width %d on %d CPUs)",
+		ok, width, runtime.NumCPU())
+	return r
+}
+
 // A5IntraQueryParallel measures the Sec. III-A partition-parallel design on
 // the VM side: the same plan decomposition that feeds CF workers runs
 // across in-process goroutines, streaming partial results into the

@@ -18,8 +18,11 @@ type RealPayload struct {
 
 // RealExecutor runs queries on the actual engine: VM execution is an
 // in-process parallel plan run (the scheduler decides *where* a query runs,
-// Parallelism decides *how wide*); CF execution uses the engine's sub-plan
-// splitting, with worker tasks writing intermediates to the object store.
+// Parallelism decides *how wide*) that also parallelizes the merge side —
+// shared-build partitioned joins and per-worker top-N; CF execution uses
+// the engine's default sub-plan splitting, with worker tasks writing
+// intermediates to the object store (separate processes cannot share a
+// build table, so the CF split keeps joins on the coordinator).
 // All reads go through the engine's store stack — including the optional
 // read cache, whose per-query hit/miss counts ride back in Outcome.Stats
 // (SimExecutorConfig.CacheHitRatio is the modeled counterpart).

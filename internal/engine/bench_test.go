@@ -152,16 +152,18 @@ func benchPartitionedEngine(b *testing.B) *Engine {
 	return parallelBenchEngine.e
 }
 
-// benchScanAgg runs the canonical partition-parallel shape — scan + filter
-// + grouped aggregation — at a given VM-side width.
-func benchScanAgg(b *testing.B, parallelism int) {
+// benchParallelQuery runs one query through RunPlanParallel at a given
+// VM-side width on the shared partitioned engine, reporting allocations so
+// the typed hash paths are accountable in -benchmem output.
+func benchParallelQuery(b *testing.B, query string, parallelism int) {
 	e := benchPartitionedEngine(b)
 	ctx := context.Background()
-	stmt, err := sql.Parse("SELECT f_cat, COUNT(*), SUM(f_val), AVG(f_val) FROM fact WHERE f_val > 100 GROUP BY f_cat")
+	stmt, err := sql.Parse(query)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sel := stmt.(*sql.Select)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var bytes int64
 	for i := 0; i < b.N; i++ {
@@ -178,13 +180,47 @@ func benchScanAgg(b *testing.B, parallelism int) {
 	b.SetBytes(bytes / int64(b.N))
 }
 
+// benchScanAgg runs the canonical partition-parallel shape — scan + filter
+// + grouped aggregation — at a given VM-side width.
+func benchScanAgg(b *testing.B, parallelism int) {
+	benchParallelQuery(b, "SELECT f_cat, COUNT(*), SUM(f_val), AVG(f_val) FROM fact WHERE f_val > 100 GROUP BY f_cat", parallelism)
+}
+
 // BenchmarkSerialScanAgg is the single-threaded baseline for
 // BenchmarkParallelScanAgg.
 func BenchmarkSerialScanAgg(b *testing.B) { benchScanAgg(b, 1) }
 
-// BenchmarkParallelScanAgg measures the intra-query parallel VM path at one
-// worker per CPU over the same query and data as BenchmarkSerialScanAgg.
-func BenchmarkParallelScanAgg(b *testing.B) { benchScanAgg(b, 0) }
+// BenchmarkParallelScanAgg measures the intra-query parallel VM path at
+// width 4 over the same query and data as BenchmarkSerialScanAgg.
+func BenchmarkParallelScanAgg(b *testing.B) { benchScanAgg(b, 4) }
+
+// benchJoinAgg runs the merge-side join shape: fact partitions probe one
+// shared dimension build table, partial aggregation rides in the workers.
+func benchJoinAgg(b *testing.B, parallelism int) {
+	benchParallelQuery(b, `SELECT d_name, COUNT(*), SUM(f_val) FROM fact, dim
+		WHERE f_dim = d_key GROUP BY d_name ORDER BY d_name`, parallelism)
+}
+
+// BenchmarkSerialJoinAgg is the single-threaded baseline for
+// BenchmarkParallelJoinAgg (same typed hash join, no partitioning).
+func BenchmarkSerialJoinAgg(b *testing.B) { benchJoinAgg(b, 1) }
+
+// BenchmarkParallelJoinAgg measures the shared-build partitioned hash join
+// at width 4.
+func BenchmarkParallelJoinAgg(b *testing.B) { benchJoinAgg(b, 4) }
+
+// benchTopN runs ORDER BY + LIMIT: serial materializes a full sort; the
+// parallel path runs a bounded top-N per worker and merges k·N rows.
+func benchTopN(b *testing.B, parallelism int) {
+	benchParallelQuery(b, "SELECT f_key, f_val FROM fact ORDER BY f_val DESC, f_key LIMIT 10", parallelism)
+}
+
+// BenchmarkSerialTopN is the single-threaded baseline for
+// BenchmarkParallelTopN.
+func BenchmarkSerialTopN(b *testing.B) { benchTopN(b, 1) }
+
+// BenchmarkParallelTopN measures the worker top-N pushdown at width 4.
+func BenchmarkParallelTopN(b *testing.B) { benchTopN(b, 4) }
 
 // cachedBenchEngine lazily loads one shared fact table behind the
 // CachingStore → Metered → Memory stack, so the cold/warm variants can

@@ -21,23 +21,34 @@ func DefaultParallelism(n int) int {
 }
 
 // RunPlanParallel executes a plan with intra-query parallelism on the VM
-// side. It reuses the CF decomposition (partial aggregation or scan
-// pushdown, Sec. III-A) to partition the dominant scan's files across up to
-// `parallelism` in-process workers, but unlike the CF path the worker
-// batches stream directly into the coordinator-side merge plan — no
-// intermediate pixfiles touch the object store, so BytesIntermediate stays
-// zero and BytesScanned remains exactly the $/TB-scan billing unit of
-// Sec. III-B.
+// side. It reuses the CF decomposition (Sec. III-A) to partition the
+// dominant scan's files across up to `parallelism` in-process workers, but
+// unlike the CF path the worker batches stream directly into the
+// coordinator-side merge plan — no intermediate pixfiles touch the object
+// store, so BytesIntermediate stays zero and BytesScanned remains exactly
+// the $/TB-scan billing unit of Sec. III-B.
+//
+// Being in-process also unlocks the merge-side splits CF workers cannot
+// run: single-join plans partition the probe side while all workers share
+// one immutable build-side hash table (built once, billed once), and ORDER
+// BY + LIMIT plans run a bounded top-N per worker so the coordinator merges
+// k·N rows instead of sorting every partition's output.
 //
 // Plans that cannot be decomposed (no scans, empty tables) and single-file
-// partitions fall back to the serial RunPlan. The merge consumes worker
-// outputs in partition order, so results are deterministic across runs.
+// partitions fall back to the serial RunPlan. Partitions are contiguous
+// file ranges and the merge consumes worker outputs in partition order, so
+// rows arrive at the merge in the serial plan's order — results match
+// serial execution exactly, including sort ties, top-N cutoffs and group
+// first-appearance order.
 func (e *Engine) RunPlanParallel(ctx context.Context, node plan.Node, parallelism int) (*Result, error) {
 	parallelism = DefaultParallelism(parallelism)
 	if parallelism <= 1 {
 		return e.RunPlan(ctx, node)
 	}
-	split, err := e.SplitForCF(node, "local", parallelism)
+	split, err := e.SplitForCFOpts(node, "local", parallelism, SplitOptions{
+		SharedJoinBuild: true,
+		TopN:            true,
+	})
 	if err != nil || len(split.Tasks) <= 1 {
 		return e.RunPlan(ctx, node)
 	}
@@ -101,6 +112,23 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// A shared-build split evaluates the join's build (right) side here,
+	// exactly once — the same number of scans the serial plan performs —
+	// and every probe worker gets the same immutable hash table.
+	var joinBuilds map[*plan.JoinNode]*exec.JoinBuild
+	var buildStats Stats
+	if split.buildJoin != nil {
+		rightOp, err := exec.Build(split.buildJoin.Right, e.scanFactory(wctx, &buildStats, nil))
+		if err != nil {
+			return nil, err
+		}
+		jb, err := exec.PrepareJoinBuild(split.buildJoin, rightOp)
+		if err != nil {
+			return nil, err
+		}
+		joinBuilds = map[*plan.JoinNode]*exec.JoinBuild{split.buildJoin: jb}
+	}
+
 	n := len(split.Tasks)
 	workerStats := make([]Stats, n)
 	workerErrs := make([]error, n)
@@ -115,7 +143,7 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 		go func(i int) {
 			defer wg.Done()
 			defer close(chans[i])
-			workerErrs[i] = e.runWorkerStreaming(wctx, split, i, &workerStats[i], chans[i])
+			workerErrs[i] = e.runWorkerStreaming(wctx, split, i, joinBuilds, &workerStats[i], chans[i])
 			if workerErrs[i] != nil {
 				cancel() // abort sibling workers
 			}
@@ -175,6 +203,7 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 		}
 		return nil, err
 	}
+	stats.Add(buildStats)
 	for i := range workerStats {
 		stats.Add(workerStats[i])
 	}
@@ -185,11 +214,14 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 // and streams result batches into out. Stats accumulate into the caller's
 // per-worker slot only — the caller folds them into the query total after
 // all workers have stopped.
-func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task int, stats *Stats, out chan<- *col.Batch) error {
+func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task int, joinBuilds map[*plan.JoinNode]*exec.JoinBuild, stats *Stats, out chan<- *col.Batch) error {
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.partScan: {files: split.Tasks[task].Files},
 	}
-	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides))
+	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
+		ScanFactory: e.scanFactory(ctx, stats, overrides),
+		JoinBuilds:  joinBuilds,
+	})
 	if err != nil {
 		return err
 	}

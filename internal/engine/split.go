@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/catalog"
 	"repro/internal/col"
@@ -19,16 +20,45 @@ type SplitMode uint8
 // ScanPushdown pushes scan+filter of the largest table and leaves joins
 // and aggregation to the coordinator-side top-level plan — exactly the
 // "push down the expensive operators into a sub-plan" flow of Sec. III-A.
+// JoinProbe pushes a whole single-join pipeline into the workers,
+// partitioning the probe side while the coordinator prepares one shared
+// build table; TopN replaces a worker-side ORDER BY + LIMIT with a bounded
+// top-N so each worker returns at most N rows.
 const (
 	SplitPartialAgg SplitMode = iota
 	SplitScanPushdown
+	SplitJoinProbe
+	SplitTopN
 )
 
 func (m SplitMode) String() string {
-	if m == SplitPartialAgg {
+	switch m {
+	case SplitPartialAgg:
 		return "partial-agg"
+	case SplitJoinProbe:
+		return "join-probe"
+	case SplitTopN:
+		return "top-n"
+	default:
+		return "scan-pushdown"
 	}
-	return "scan-pushdown"
+}
+
+// SplitOptions widen the decompositions SplitForCFOpts may choose beyond
+// the CF-safe default. Both default to off: the CF path runs workers in
+// separate processes where a build side cannot be shared, and keeping the
+// default split stable preserves the cloud-function billing calibration.
+type SplitOptions struct {
+	// SharedJoinBuild allows splits whose worker fragment contains the
+	// plan's single hash join: the coordinator evaluates the (smaller)
+	// build side exactly once and shares the immutable hash table across
+	// all probe workers. Only the in-process parallel VM path can honor
+	// this — RunWorker rejects such splits.
+	SharedJoinBuild bool
+	// TopN allows substituting a bounded per-worker top-N for a plan-level
+	// ORDER BY + LIMIT, so the coordinator merges k·N rows instead of
+	// k sorted partitions.
+	TopN bool
 }
 
 // WorkerTask is the unit of work one CF worker executes: the shared
@@ -49,15 +79,27 @@ type CFSplit struct {
 	partScan   *plan.ScanNode // the partitioned scan inside workerPlan
 	interm     *plan.ScanNode // synthetic scan over intermediates
 	mergePlan  plan.Node
+	// buildJoin, when set, is the join inside workerPlan whose build
+	// (right) side must be evaluated once by the coordinator and shared
+	// across workers (SplitOptions.SharedJoinBuild).
+	buildJoin *plan.JoinNode
 }
 
 // WorkerSchema is the schema of worker intermediate files.
 func (s *CFSplit) WorkerSchema() *col.Schema { return s.workerPlan.Schema() }
 
-// SplitForCF decomposes a bound plan into `parts` CF worker tasks. It
-// returns an error only on internal inconsistencies; any plan with at
-// least one scannable file can be split.
+// SplitForCF decomposes a bound plan into `parts` CF worker tasks with the
+// default (CF-safe) options. It returns an error only on internal
+// inconsistencies; any plan with at least one scannable file can be split.
 func (e *Engine) SplitForCF(node plan.Node, queryID string, parts int) (*CFSplit, error) {
+	return e.SplitForCFOpts(node, queryID, parts, SplitOptions{})
+}
+
+// SplitForCFOpts is SplitForCF with explicit decomposition options. The
+// shapes are tried most-specific first: partial aggregation (optionally
+// over a shared-build join), worker top-N for ORDER BY + LIMIT, whole-join
+// pushdown, and finally pushdown of the largest scan alone.
+func (e *Engine) SplitForCFOpts(node plan.Node, queryID string, parts int, opts SplitOptions) (*CFSplit, error) {
 	if parts < 1 {
 		parts = 1
 	}
@@ -69,15 +111,45 @@ func (e *Engine) SplitForCF(node plan.Node, queryID string, parts int) (*CFSplit
 		return nil, fmt.Errorf("engine: plan has no scans to push down")
 	}
 
-	if agg != nil && aggCount == 1 && joins == 0 && !hasDistinctAgg(agg) && singleScanBelow(agg) != nil {
-		if err := e.splitPartialAgg(split, node, agg); err != nil {
-			return nil, err
+	done := false
+	if agg != nil && aggCount == 1 && !hasDistinctAgg(agg) {
+		if join, probe, ok := pushableFragment(agg.Child, opts.SharedJoinBuild); ok {
+			if err := e.splitPartialAgg(split, node, agg, probe, join); err != nil {
+				return nil, err
+			}
+			done = true
 		}
-	} else {
+	}
+	if !done && opts.TopN {
+		if lim, srt, frag := topNShape(node); frag != nil {
+			if join, probe, ok := pushableFragment(frag, opts.SharedJoinBuild); ok {
+				e.splitTopN(split, node, lim, srt, probe, join)
+				done = true
+			}
+		}
+	}
+	if !done && opts.SharedJoinBuild && joins == 1 {
+		frag := pushdownRoot(node)
+		if join, probe, ok := pushableFragment(frag, true); ok && join != nil {
+			e.splitJoinProbe(split, node, frag, probe, join)
+			done = true
+		}
+	}
+	if !done {
 		e.splitScanPushdown(split, node, scans)
 	}
 
-	// Partition the chosen scan's files.
+	// Worker goroutines share the plan nodes; force every lazy Schema()
+	// cache now so they never race on it.
+	warmSchemas(split.workerPlan)
+	warmSchemas(split.mergePlan)
+
+	// Partition the chosen scan's files into contiguous ranges (sizes
+	// differing by at most one file). Contiguity matters beyond balance:
+	// consuming worker outputs in partition order then reproduces the
+	// serial plan's arrival order exactly, so sort ties, top-N cutoffs and
+	// group first-appearance orders resolve identically to serial
+	// execution — not merely deterministically.
 	files := split.partScan.Table.Files
 	if len(files) == 0 {
 		return nil, fmt.Errorf("engine: table %s has no files", split.partScan.Table.Name)
@@ -86,13 +158,117 @@ func (e *Engine) SplitForCF(node plan.Node, queryID string, parts int) (*CFSplit
 		parts = len(files)
 	}
 	for p := 0; p < parts; p++ {
-		var mine []catalog.FileMeta
-		for i := p; i < len(files); i += parts {
-			mine = append(mine, files[i])
-		}
-		split.Tasks = append(split.Tasks, WorkerTask{Part: p, Files: mine})
+		lo := p * len(files) / parts
+		hi := (p + 1) * len(files) / parts
+		split.Tasks = append(split.Tasks, WorkerTask{Part: p, Files: files[lo:hi]})
 	}
 	return split, nil
+}
+
+// warmSchemas forces the lazy Schema() caches throughout a (sub)plan before
+// it is shared across worker goroutines.
+func warmSchemas(n plan.Node) {
+	n.Schema()
+	for _, c := range n.Children() {
+		warmSchemas(c)
+	}
+}
+
+// pushableFragment reports whether subtree w can run per probe-partition in
+// a worker: it must be a row-local pipeline (scans, filters, projections)
+// containing at most one hash join. With no join, the fragment's single
+// scan is the probe. With one join — allowed only when the caller can share
+// one build side across workers — the probe is the single scan under the
+// join's left input, and it must be at least as large as the build side's
+// table so the partitioned scan is the dominant one.
+func pushableFragment(w plan.Node, sharedJoin bool) (*plan.JoinNode, *plan.ScanNode, bool) {
+	var join *plan.JoinNode
+	ok := true
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		if !ok {
+			return
+		}
+		switch x := n.(type) {
+		case *plan.ScanNode, *plan.FilterNode, *plan.ProjectNode:
+		case *plan.JoinNode:
+			if join != nil {
+				ok = false
+				return
+			}
+			join = x
+		default:
+			ok = false
+			return
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(w)
+	if !ok {
+		return nil, nil, false
+	}
+	if join == nil {
+		if scans := plan.Scans(w); len(scans) == 1 {
+			return nil, scans[0], true
+		}
+		return nil, nil, false
+	}
+	if !sharedJoin {
+		return nil, nil, false
+	}
+	probeScans := plan.Scans(join.Left)
+	if len(probeScans) != 1 {
+		return nil, nil, false
+	}
+	probe := probeScans[0]
+	buildScans := plan.Scans(join.Right)
+	if len(buildScans) != 1 {
+		return nil, nil, false
+	}
+	if probe.Table.TotalBytes() < buildScans[0].Table.TotalBytes() {
+		return nil, nil, false
+	}
+	return join, probe, true
+}
+
+// pushdownRoot descends through the coordinator-only operators (sort,
+// limit, aggregation) to the largest subtree a worker could execute
+// wholesale.
+func pushdownRoot(n plan.Node) plan.Node {
+	for {
+		switch x := n.(type) {
+		case *plan.SortNode:
+			n = x.Child
+		case *plan.LimitNode:
+			n = x.Child
+		case *plan.AggNode:
+			n = x.Child
+		default:
+			return n
+		}
+	}
+}
+
+// topNShape matches root = Limit(Sort(frag)) — allowing the hidden-sort-key
+// trim projection between the two — and returns the pieces, or nils.
+// LIMIT+OFFSET combinations that would overflow the per-worker bound fall
+// back to the ordinary split (the bound would be meaningless anyway).
+func topNShape(root plan.Node) (*plan.LimitNode, *plan.SortNode, plan.Node) {
+	lim, ok := root.(*plan.LimitNode)
+	if !ok || lim.Limit < 0 || lim.Offset > math.MaxInt64-lim.Limit {
+		return nil, nil, nil
+	}
+	child := lim.Child
+	if p, ok := child.(*plan.ProjectNode); ok {
+		child = p.Child
+	}
+	srt, ok := child.(*plan.SortNode)
+	if !ok {
+		return nil, nil, nil
+	}
+	return lim, srt, srt.Child
 }
 
 // analyze finds the unique AggNode (if any), the join count and agg count.
@@ -127,20 +303,13 @@ func hasDistinctAgg(a *plan.AggNode) bool {
 	return false
 }
 
-// singleScanBelow returns the unique scan under the agg, or nil.
-func singleScanBelow(a *plan.AggNode) *plan.ScanNode {
-	scans := plan.Scans(a.Child)
-	if len(scans) == 1 {
-		return scans[0]
-	}
-	return nil
-}
-
 // splitPartialAgg builds worker partial aggregation plus coordinator final
-// aggregation.
-func (e *Engine) splitPartialAgg(split *CFSplit, root plan.Node, agg *plan.AggNode) error {
+// aggregation. probe is the scan partitioned across workers; join, when
+// non-nil, is the fragment's shared-build join below the aggregation.
+func (e *Engine) splitPartialAgg(split *CFSplit, root plan.Node, agg *plan.AggNode, probe *plan.ScanNode, join *plan.JoinNode) error {
 	split.Mode = SplitPartialAgg
-	split.partScan = singleScanBelow(agg)
+	split.partScan = probe
+	split.buildJoin = join
 
 	ng := len(agg.GroupBy)
 	var partial []plan.AggSpec
@@ -246,6 +415,33 @@ func derived(ordinal int, f col.Field) *plan.BCol {
 	}
 }
 
+// splitTopN replaces the plan's ORDER BY + LIMIT with a per-worker bounded
+// top-N over the sort's input: each worker returns at most LIMIT+OFFSET
+// rows (sorted), and the coordinator's merge re-sorts the k·N survivors and
+// applies the limit and offset.
+func (e *Engine) splitTopN(split *CFSplit, root plan.Node, lim *plan.LimitNode, srt *plan.SortNode, probe *plan.ScanNode, join *plan.JoinNode) {
+	split.Mode = SplitTopN
+	split.partScan = probe
+	split.buildJoin = join
+	topn := &plan.TopNNode{Child: srt.Child, Keys: srt.Keys, N: lim.Limit + lim.Offset}
+	split.workerPlan = topn
+	split.interm = intermScan(split.QueryID, topn.Schema())
+	split.mergePlan = replaceNode(root, srt.Child, split.interm)
+}
+
+// splitJoinProbe pushes a whole single-join pipeline into the workers: the
+// probe side's files are partitioned, the coordinator prepares the shared
+// build side once, and whatever sits above the fragment (sort, limit,
+// non-splittable aggregation) merges the joined stream.
+func (e *Engine) splitJoinProbe(split *CFSplit, root, frag plan.Node, probe *plan.ScanNode, join *plan.JoinNode) {
+	split.Mode = SplitJoinProbe
+	split.partScan = probe
+	split.buildJoin = join
+	split.workerPlan = frag
+	split.interm = intermScan(split.QueryID, frag.Schema())
+	split.mergePlan = replaceNode(root, frag, split.interm)
+}
+
 // splitScanPushdown pushes the largest scan into workers.
 func (e *Engine) splitScanPushdown(split *CFSplit, root plan.Node, scans []*plan.ScanNode) {
 	split.Mode = SplitScanPushdown
@@ -306,6 +502,10 @@ func replaceNode(n, old, repl plan.Node) plan.Node {
 		cp := *x
 		cp.Child = replaceNode(x.Child, old, repl)
 		return &cp
+	case *plan.TopNNode:
+		cp := *x
+		cp.Child = replaceNode(x.Child, old, repl)
+		return &cp
 	case *plan.LimitNode:
 		cp := *x
 		cp.Child = replaceNode(x.Child, old, repl)
@@ -326,6 +526,13 @@ func intermKey(queryID string, part int) string {
 func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catalog.FileMeta, Stats, error) {
 	if task < 0 || task >= len(split.Tasks) {
 		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: task %d out of range %d", task, len(split.Tasks))
+	}
+	if split.buildJoin != nil {
+		// Each CF worker is its own process: it would have to rebuild the
+		// join's build side, scanning that table once per task and
+		// inflating the billed bytes. Only the in-process parallel VM path
+		// (runSplitParallel) can honor a shared-build split.
+		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: shared-build join split cannot run as a CF worker")
 	}
 	stats := &Stats{}
 	overrides := map[*plan.ScanNode]scanOverride{

@@ -9,6 +9,7 @@ import (
 	"repro/internal/col"
 	"repro/internal/objstore"
 	"repro/internal/pixfile"
+	"repro/internal/plan"
 	"repro/internal/sql"
 )
 
@@ -192,6 +193,133 @@ func TestSplitMoreWorkersThanFiles(t *testing.T) {
 	}
 	if r.Rows[0][0].I != 3000 {
 		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+}
+
+func planOf(t *testing.T, e *Engine, q string) plan.Node {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	node, err := e.PlanQuery("db", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return node
+}
+
+// TestSplitOptsChooseMergeSideModes pins which decomposition each plan
+// shape gets once the VM-side options are on — and that the default
+// options never pick a merge-side mode.
+func TestSplitOptsChooseMergeSideModes(t *testing.T) {
+	e := newSplitEngine(t)
+	opts := SplitOptions{SharedJoinBuild: true, TopN: true}
+	cases := []struct {
+		q        string
+		mode     SplitMode
+		hasBuild bool
+	}{
+		// Aggregation over a single join: partial agg with a shared build.
+		{"SELECT d_name, COUNT(*) FROM fact, dim WHERE f_dim = d_key GROUP BY d_name ORDER BY d_name", SplitPartialAgg, true},
+		// Join without aggregation: whole-join pushdown.
+		{"SELECT f_key, d_name FROM fact, dim WHERE f_dim = d_key ORDER BY f_key", SplitJoinProbe, true},
+		// ORDER BY + LIMIT over one scan: worker top-N.
+		{"SELECT f_key, f_val FROM fact ORDER BY f_val DESC, f_key LIMIT 3", SplitTopN, false},
+		// ORDER BY + LIMIT over a join: worker top-N over the shared build.
+		{"SELECT f_key, d_name FROM fact, dim WHERE f_dim = d_key ORDER BY f_key LIMIT 3", SplitTopN, true},
+		// Single-scan aggregation: unchanged partial agg, no build side.
+		{"SELECT f_cat, COUNT(*) FROM fact GROUP BY f_cat", SplitPartialAgg, false},
+		// Distinct aggregates still fall back to scan pushdown.
+		{"SELECT COUNT(DISTINCT f_cat) FROM fact", SplitScanPushdown, false},
+	}
+	for _, c := range cases {
+		split, err := e.SplitForCFOpts(planOf(t, e, c.q), "opts", 3, opts)
+		if err != nil {
+			t.Fatalf("split %q: %v", c.q, err)
+		}
+		if split.Mode != c.mode {
+			t.Errorf("%q: mode = %s, want %s", c.q, split.Mode, c.mode)
+		}
+		if (split.buildJoin != nil) != c.hasBuild {
+			t.Errorf("%q: buildJoin = %v, want hasBuild=%v", c.q, split.buildJoin, c.hasBuild)
+		}
+	}
+	// The CF-safe default must keep joins and top-N on the coordinator.
+	for _, q := range []string{
+		"SELECT f_key, d_name FROM fact, dim WHERE f_dim = d_key ORDER BY f_key",
+		"SELECT f_key, f_val FROM fact ORDER BY f_val DESC, f_key LIMIT 3",
+	} {
+		split, err := e.SplitForCF(planOf(t, e, q), "default", 3)
+		if err != nil {
+			t.Fatalf("split %q: %v", q, err)
+		}
+		if split.Mode != SplitScanPushdown {
+			t.Errorf("default opts %q: mode = %s, want scan-pushdown", q, split.Mode)
+		}
+	}
+}
+
+// TestSharedBuildSplitRejectedByCFWorker: a shared-build split cannot run
+// as a cloud-function worker (separate processes would re-scan the build
+// side once per task, inflating billed bytes).
+func TestSharedBuildSplitRejectedByCFWorker(t *testing.T) {
+	e := newSplitEngine(t)
+	node := planOf(t, e, "SELECT f_key, d_name FROM fact, dim WHERE f_dim = d_key ORDER BY f_key")
+	split, err := e.SplitForCFOpts(node, "cf-reject", 2, SplitOptions{SharedJoinBuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.buildJoin == nil {
+		t.Fatal("expected a shared-build split")
+	}
+	if _, _, err := e.RunWorker(context.Background(), split, 0); err == nil {
+		t.Fatal("RunWorker accepted a shared-build split")
+	}
+}
+
+// TestSplitTopNRunsThroughCFPath: the top-N split (without a shared build)
+// is CF-safe — workers write at most N rows each as intermediates and the
+// merge reproduces the serial answer.
+func TestSplitTopNRunsThroughCFPath(t *testing.T) {
+	e := newSplitEngine(t)
+	ctx := context.Background()
+	q := "SELECT f_key, f_val FROM fact WHERE f_val > 2 ORDER BY f_val DESC, f_key LIMIT 5 OFFSET 1"
+
+	local, err := e.RunPlan(ctx, planOf(t, e, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := e.SplitForCFOpts(planOf(t, e, q), "cf-topn", 3, SplitOptions{TopN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Mode != SplitTopN {
+		t.Fatalf("mode = %s, want top-n", split.Mode)
+	}
+	var interms []catalog.FileMeta
+	for i := range split.Tasks {
+		meta, _, err := e.RunWorker(ctx, split, i)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if meta.Rows > 6 { // LIMIT 5 + OFFSET 1
+			t.Fatalf("worker %d returned %d rows, want ≤ 6", i, meta.Rows)
+		}
+		interms = append(interms, meta)
+	}
+	merged, err := e.MergeResults(ctx, split, interms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, mg := rowsAsStrings(local), rowsAsStrings(merged)
+	if len(lg) != len(mg) {
+		t.Fatalf("rows: local %v vs cf %v", lg, mg)
+	}
+	for i := range lg {
+		if lg[i] != mg[i] {
+			t.Fatalf("row %d: local %q vs cf %q", i, lg[i], mg[i])
+		}
 	}
 }
 

@@ -120,14 +120,20 @@ func (a *HashAggOp) Open() error {
 	}
 	a.done = false
 
-	type group struct {
-		keyRow []col.Value
-		states []aggState
+	// Groups are dense ids handed out by the typed table in first-
+	// appearance order; the table's accumulated key columns double as the
+	// output key vectors, so no per-row key encoding or Value boxing
+	// happens on the hot update path.
+	keyTypes := make([]col.Type, len(a.node.GroupBy))
+	for i, g := range a.node.GroupBy {
+		keyTypes[i] = g.Type()
 	}
-	groups := make(map[string]*group)
-	var order []string // deterministic output order (first appearance)
+	table := newGroupTable(keyTypes)
+	var states [][]aggState // indexed by group id
 
-	var keyBuf, valBuf strings.Builder
+	var valBuf strings.Builder
+	keyVecs := make([]*col.Vector, len(a.node.GroupBy))
+	argVecs := make([]*col.Vector, len(a.node.Aggs))
 	for {
 		b, err := a.child.Next()
 		if err != nil {
@@ -137,7 +143,6 @@ func (a *HashAggOp) Open() error {
 			break
 		}
 		// Evaluate group keys and aggregate arguments once per batch.
-		keyVecs := make([]*col.Vector, len(a.node.GroupBy))
 		for i, g := range a.node.GroupBy {
 			v, err := a.ev.Eval(g, b)
 			if err != nil {
@@ -145,8 +150,8 @@ func (a *HashAggOp) Open() error {
 			}
 			keyVecs[i] = v
 		}
-		argVecs := make([]*col.Vector, len(a.node.Aggs))
 		for i := range a.node.Aggs {
+			argVecs[i] = nil
 			if a.node.Aggs[i].Arg == nil {
 				continue
 			}
@@ -157,51 +162,41 @@ func (a *HashAggOp) Open() error {
 			argVecs[i] = v
 		}
 		for r := 0; r < b.N; r++ {
-			key := groupKey(keyVecs, r, &keyBuf)
-			g, ok := groups[key]
-			if !ok {
-				g = &group{states: make([]aggState, len(a.node.Aggs))}
-				g.keyRow = make([]col.Value, len(keyVecs))
-				for i, kv := range keyVecs {
-					g.keyRow[i] = kv.Value(r)
-				}
-				groups[key] = g
-				order = append(order, key)
+			id, added := table.findOrAdd(keyVecs, r)
+			if added {
+				states = append(states, make([]aggState, len(a.node.Aggs)))
 			}
+			st := states[id]
 			for i := range a.node.Aggs {
 				spec := &a.node.Aggs[i]
 				var v col.Value
 				if argVecs[i] != nil {
 					v = argVecs[i].Value(r)
 				}
-				g.states[i].update(spec, v, &valBuf)
+				st[i].update(spec, v, &valBuf)
 			}
 		}
 	}
 
 	// Global aggregation over empty input still emits one row.
-	if len(a.node.GroupBy) == 0 && len(groups) == 0 {
-		g := &group{states: make([]aggState, len(a.node.Aggs))}
-		groups[""] = g
-		order = append(order, "")
+	if len(a.node.GroupBy) == 0 && len(states) == 0 {
+		states = append(states, make([]aggState, len(a.node.Aggs)))
 	}
 
 	schema := a.Schema()
-	out := col.EmptyBatch(schema)
 	ng := len(a.node.GroupBy)
-	for _, key := range order {
-		g := groups[key]
-		row := make([]col.Value, schema.Len())
-		copy(row, g.keyRow)
-		for i := range a.node.Aggs {
-			row[ng+i] = g.states[i].result(&a.node.Aggs[i])
-		}
-		for c, v := range row {
-			appendValue(out.Vecs[c], v)
-		}
-		out.N++
+	vecs := make([]*col.Vector, schema.Len())
+	for c := 0; c < ng; c++ {
+		vecs[c] = table.keys[c]
 	}
-	a.out = out
+	for i := range a.node.Aggs {
+		out := col.NewVector(schema.Fields[ng+i].Type, 0)
+		for g := range states {
+			appendValue(out, states[g][i].result(&a.node.Aggs[i]))
+		}
+		vecs[ng+i] = out
+	}
+	a.out = &col.Batch{Vecs: vecs, N: len(states)}
 	return nil
 }
 

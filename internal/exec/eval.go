@@ -9,22 +9,39 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/col"
 	"repro/internal/plan"
 )
 
-// Evaluator evaluates bound expressions over batches. It caches compiled
-// LIKE patterns across calls.
+// Evaluator evaluates bound expressions over batches. Compiled LIKE
+// patterns are cached process-wide (see likeCache); once that cache is
+// full, an evaluator falls back to a private overflow map so repeated
+// patterns still amortize within the operator's lifetime.
 type Evaluator struct {
-	likeCache map[string]*regexp.Regexp
+	likeOverflow map[string]*regexp.Regexp
 }
 
 // NewEvaluator returns an empty evaluator.
 func NewEvaluator() *Evaluator {
-	return &Evaluator{likeCache: make(map[string]*regexp.Regexp)}
+	return &Evaluator{}
 }
+
+// likeCache holds compiled LIKE patterns for the whole process. Every
+// Filter/Project/Join operator creates its own Evaluator, and a query fleet
+// keeps re-evaluating the same handful of patterns — one shared read-mostly
+// map beats a private compile per operator. The size cap bounds the
+// process's memory when patterns come from data values (col LIKE col) or
+// an adversarial query stream: once full, unseen patterns compile without
+// being retained.
+const likeCacheMax = 1024
+
+var likeCache = struct {
+	sync.RWMutex
+	m map[string]*regexp.Regexp
+}{m: make(map[string]*regexp.Regexp)}
 
 // Eval computes e over b, returning a vector of b.N rows.
 func (ev *Evaluator) Eval(e plan.BoundExpr, b *col.Batch) (*col.Vector, error) {
@@ -431,9 +448,15 @@ func (ev *Evaluator) evalLike(l, r *col.Vector) (*col.Vector, error) {
 }
 
 // likePattern compiles a SQL LIKE pattern ('%' any run, '_' any single
-// character) into an anchored regexp, with caching.
+// character) into an anchored regexp, consulting the process-wide cache.
 func (ev *Evaluator) likePattern(pat string) (*regexp.Regexp, error) {
-	if re, ok := ev.likeCache[pat]; ok {
+	likeCache.RLock()
+	re, ok := likeCache.m[pat]
+	likeCache.RUnlock()
+	if ok {
+		return re, nil
+	}
+	if re, ok := ev.likeOverflow[pat]; ok {
 		return re, nil
 	}
 	var sb strings.Builder
@@ -453,7 +476,20 @@ func (ev *Evaluator) likePattern(pat string) (*regexp.Regexp, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: bad LIKE pattern %q: %w", pat, err)
 	}
-	ev.likeCache[pat] = re
+	likeCache.Lock()
+	cached := len(likeCache.m) < likeCacheMax
+	if cached {
+		likeCache.m[pat] = re
+	}
+	likeCache.Unlock()
+	if !cached {
+		// Global cache full: remember the pattern privately so this
+		// operator still pays one compile per pattern, not one per row.
+		if ev.likeOverflow == nil {
+			ev.likeOverflow = make(map[string]*regexp.Regexp)
+		}
+		ev.likeOverflow[pat] = re
+	}
 	return re, nil
 }
 

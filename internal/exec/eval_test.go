@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -140,6 +142,54 @@ func TestEvalLikePatterns(t *testing.T) {
 				t.Errorf("%q LIKE %q = %v, want %v", v.Strs[i], pat, out.Bools[i], want[i])
 			}
 		}
+	}
+}
+
+// TestLikeCacheSharedAcrossEvaluators hammers the process-wide compiled-
+// LIKE cache from many evaluators at once (each operator creates its own
+// Evaluator, as the parallel join/filter workers do). Run under -race this
+// pins the RWMutex discipline; it also checks results stay correct while
+// patterns are being inserted concurrently.
+func TestLikeCacheSharedAcrossEvaluators(t *testing.T) {
+	v := col.NewVector(col.STRING, 3)
+	v.Strs = []string{"alpha", "alphabet", "beta"}
+	b := oneColBatch(v)
+	patterns := []string{"alpha%", "%bet%", "_eta", "%a", "alpha"}
+	want := map[string][]bool{
+		"alpha%": {true, true, false},
+		"%bet%":  {false, true, true},
+		"_eta":   {false, false, true},
+		"%a":     {true, false, true},
+		"alpha":  {true, false, false},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ev := NewEvaluator()
+			for i := 0; i < 50; i++ {
+				pat := patterns[(g+i)%len(patterns)]
+				expr := &plan.BBinary{Op: "LIKE", L: colRef(0, col.STRING), R: lit(col.Str(pat)), Ty: col.BOOL}
+				out, err := ev.Eval(expr, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r, w := range want[pat] {
+					if out.Bools[r] != w {
+						errs <- fmt.Errorf("%q LIKE %q = %v, want %v", v.Strs[r], pat, out.Bools[r], w)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

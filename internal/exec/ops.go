@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/col"
@@ -172,83 +171,100 @@ func (p *ProjectOp) Next() (*col.Batch, error) {
 // Close implements Operator.
 func (p *ProjectOp) Close() error { return p.child.Close() }
 
-// hashKey encodes key values of row i into a map key. NULL participation
-// is signalled through the bool result (false = key contains NULL).
-func hashKey(vals []*col.Vector, i int, sb *strings.Builder) (string, bool) {
-	sb.Reset()
-	for _, v := range vals {
-		if v.IsNull(i) {
-			return "", false
-		}
-		switch v.Type {
-		case col.BOOL:
-			if v.Bools[i] {
-				sb.WriteString("t|")
-			} else {
-				sb.WriteString("f|")
-			}
-		case col.INT64, col.DATE, col.TIMESTAMP:
-			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
-			sb.WriteByte('|')
-		case col.FLOAT64:
-			sb.WriteString(strconv.FormatFloat(v.Floats[i], 'x', -1, 64))
-			sb.WriteByte('|')
-		case col.STRING:
-			sb.WriteString(strconv.Itoa(len(v.Strs[i])))
-			sb.WriteByte(':')
-			sb.WriteString(v.Strs[i])
-			sb.WriteByte('|')
-		}
-	}
-	return sb.String(), true
+// JoinBuild is the materialized build (right) side of a hash join: the
+// concatenated batch plus the typed key index. It is immutable once
+// prepared, so one build can be probed by any number of join operators
+// concurrently (the parallel VM path prepares it once and shares it across
+// all probe workers).
+type JoinBuild struct {
+	batch *col.Batch
+	table *joinTable // nil for cross joins (no equi keys)
 }
 
-// groupKey is like hashKey but encodes NULLs (group-by treats NULLs as a
-// regular group).
-func groupKey(vals []*col.Vector, i int, sb *strings.Builder) string {
-	sb.Reset()
-	for _, v := range vals {
-		if v.IsNull(i) {
-			sb.WriteString("~|")
-			continue
-		}
-		switch v.Type {
-		case col.BOOL:
-			if v.Bools[i] {
-				sb.WriteString("t|")
-			} else {
-				sb.WriteString("f|")
-			}
-		case col.INT64, col.DATE, col.TIMESTAMP:
-			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
-			sb.WriteByte('|')
-		case col.FLOAT64:
-			sb.WriteString(strconv.FormatFloat(v.Floats[i], 'x', -1, 64))
-			sb.WriteByte('|')
-		case col.STRING:
-			sb.WriteString(strconv.Itoa(len(v.Strs[i])))
-			sb.WriteByte(':')
-			sb.WriteString(v.Strs[i])
-			sb.WriteByte('|')
-		}
+// PrepareJoinBuild drains the build-side operator (opening and closing it)
+// and indexes it on the join node's right keys.
+func PrepareJoinBuild(node *plan.JoinNode, right Operator) (*JoinBuild, error) {
+	if err := right.Open(); err != nil {
+		return nil, err
 	}
-	return sb.String()
+	defer right.Close()
+	build := col.EmptyBatch(right.Schema())
+	for {
+		b, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		appendBatch(build, b)
+	}
+	jb := &JoinBuild{batch: build}
+	if len(node.RightKeys) > 0 {
+		ev := NewEvaluator()
+		keyVecs := make([]*col.Vector, len(node.RightKeys))
+		for i, k := range node.RightKeys {
+			v, err := ev.Eval(k, build)
+			if err != nil {
+				return nil, err
+			}
+			if want := joinKeyType(node, i); want != col.UNKNOWN && v.Type != want {
+				if v, err = evalCast(v, want); err != nil {
+					return nil, err
+				}
+			}
+			keyVecs[i] = v
+		}
+		jb.table = newJoinTable(keyVecs, build.N)
+	}
+	return jb, nil
+}
+
+// joinKeyType is the vector type both sides of equi-key i are hashed and
+// compared at, or UNKNOWN when no coercion applies. The planner accepts
+// INT64 = FLOAT64 as a join edge (the comparison semantics widen to
+// float), so mixed numeric keys coerce to FLOAT64; any other mismatch is
+// left alone — rowsEqual's type guard keeps such keys unmatched rather
+// than risking a failing cast.
+func joinKeyType(node *plan.JoinNode, i int) col.Type {
+	lt, rt := node.LeftKeys[i].Type(), node.RightKeys[i].Type()
+	if lt != rt && lt.Numeric() && rt.Numeric() {
+		return col.FLOAT64
+	}
+	return col.UNKNOWN
 }
 
 // HashJoinOp implements inner/left hash joins and nested cross joins.
 // The right child is the build side.
 type HashJoinOp struct {
 	node        *plan.JoinNode
-	left, right Operator
+	left, right Operator // right is nil when the build side is shared
 	ev          *Evaluator
 
-	build     *col.Batch // materialized right side
-	buildKeys map[string][]int
+	shared *JoinBuild // pre-built by the caller; nil = build at Open
+	build  *JoinBuild
+
+	// Per-batch scratch, reused across Next calls.
+	keyVecs  []*col.Vector
+	leftIdx  []int
+	rightIdx []int
+	outLeft  []int
+	outRight []int
+	pass     []bool
+	matched  []bool
+	emitted  []bool
 }
 
-// NewHashJoinOp builds a join operator.
+// NewHashJoinOp builds a join operator that materializes its own build side
+// at Open.
 func NewHashJoinOp(node *plan.JoinNode, left, right Operator) *HashJoinOp {
 	return &HashJoinOp{node: node, left: left, right: right, ev: NewEvaluator()}
+}
+
+// NewHashJoinOpShared builds a join operator probing a pre-built shared
+// build side; only the probe (left) child is opened and drained.
+func NewHashJoinOpShared(node *plan.JoinNode, left Operator, build *JoinBuild) *HashJoinOp {
+	return &HashJoinOp{node: node, left: left, shared: build, ev: NewEvaluator()}
 }
 
 // Schema implements Operator.
@@ -259,40 +275,15 @@ func (j *HashJoinOp) Open() error {
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
+	if j.shared != nil {
+		j.build = j.shared
+		return nil
+	}
+	build, err := PrepareJoinBuild(j.node, j.right)
+	if err != nil {
 		return err
 	}
-	// Materialize and index the build side.
-	j.build = col.EmptyBatch(j.right.Schema())
-	for {
-		b, err := j.right.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		appendBatch(j.build, b)
-	}
-	if len(j.node.RightKeys) > 0 {
-		j.buildKeys = make(map[string][]int, j.build.N)
-		keyVecs := make([]*col.Vector, len(j.node.RightKeys))
-		for i, k := range j.node.RightKeys {
-			v, err := j.ev.Eval(k, j.build)
-			if err != nil {
-				return err
-			}
-			keyVecs[i] = v
-		}
-		var sb strings.Builder
-		for i := 0; i < j.build.N; i++ {
-			key, ok := hashKey(keyVecs, i, &sb)
-			if !ok {
-				continue // NULL keys never join
-			}
-			j.buildKeys[key] = append(j.buildKeys[key], i)
-		}
-	}
+	j.build = build
 	return nil
 }
 
@@ -314,44 +305,58 @@ func (j *HashJoinOp) Next() (*col.Batch, error) {
 }
 
 func (j *HashJoinOp) joinBatch(lb *col.Batch) (*col.Batch, error) {
-	var leftIdx, rightIdx []int // rightIdx -1 marks a NULL-extended row
+	// rightIdx -1 marks a NULL-extended row. Both index slices are scratch
+	// reused across batches; materialize copies out of them.
+	leftIdx, rightIdx := j.leftIdx[:0], j.rightIdx[:0]
 	switch {
 	case len(j.node.LeftKeys) > 0:
-		keyVecs := make([]*col.Vector, len(j.node.LeftKeys))
+		keyVecs := j.keyVecs[:0]
 		for i, k := range j.node.LeftKeys {
 			v, err := j.ev.Eval(k, lb)
 			if err != nil {
 				return nil, err
 			}
-			keyVecs[i] = v
-		}
-		var sb strings.Builder
-		for i := 0; i < lb.N; i++ {
-			key, ok := hashKey(keyVecs, i, &sb)
-			var matches []int
-			if ok {
-				matches = j.buildKeys[key]
+			if want := joinKeyType(j.node, i); want != col.UNKNOWN && v.Type != want {
+				if v, err = evalCast(v, want); err != nil {
+					return nil, err
+				}
 			}
-			if len(matches) == 0 {
+			keyVecs = append(keyVecs, v)
+		}
+		j.keyVecs = keyVecs
+		table := j.build.table
+		for i := 0; i < lb.N; i++ {
+			m := table.lookup(keyVecs, i)
+			if m < 0 {
 				if j.node.Kind == plan.JoinLeft {
 					leftIdx = append(leftIdx, i)
 					rightIdx = append(rightIdx, -1)
 				}
 				continue
 			}
-			for _, m := range matches {
+			for ; m >= 0; m = table.next[m] {
 				leftIdx = append(leftIdx, i)
-				rightIdx = append(rightIdx, m)
+				rightIdx = append(rightIdx, int(m))
 			}
 		}
-	default: // cross join
+	default: // cross join, or keyless LEFT JOIN (residual-only ON)
+		if j.build.batch.N == 0 && j.node.Kind == plan.JoinLeft {
+			// No build rows to pair with: every probe row survives
+			// NULL-extended.
+			for i := 0; i < lb.N; i++ {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			break
+		}
 		for i := 0; i < lb.N; i++ {
-			for m := 0; m < j.build.N; m++ {
+			for m := 0; m < j.build.batch.N; m++ {
 				leftIdx = append(leftIdx, i)
 				rightIdx = append(rightIdx, m)
 			}
 		}
 	}
+	j.leftIdx, j.rightIdx = leftIdx, rightIdx
 
 	joined := j.materialize(lb, leftIdx, rightIdx)
 	if j.node.Residual == nil || joined.N == 0 {
@@ -368,19 +373,21 @@ func (j *HashJoinOp) joinBatch(lb *col.Batch) (*col.Batch, error) {
 		return joined.Gather(sel), nil
 	}
 	// LEFT JOIN residual: rows failing the residual keep the left side
-	// with a NULL right side, once per left row.
-	pass := make(map[int]bool, len(sel))
+	// with a NULL right side, once per left row. The bookkeeping is three
+	// reused boolean scratch slices — pass indexed by joined row, matched
+	// and emitted by probe row.
+	pass := resizeBools(&j.pass, joined.N)
 	for _, s := range sel {
 		pass[s] = true
 	}
-	matched := make(map[int]bool)
+	matched := resizeBools(&j.matched, lb.N)
 	for r := 0; r < joined.N; r++ {
 		if pass[r] && rightIdx[r] >= 0 {
 			matched[leftIdx[r]] = true
 		}
 	}
-	var outLeft, outRight []int
-	emitted := make(map[int]bool)
+	emitted := resizeBools(&j.emitted, lb.N)
+	outLeft, outRight := j.outLeft[:0], j.outRight[:0]
 	for r := 0; r < joined.N; r++ {
 		li := leftIdx[r]
 		switch {
@@ -393,7 +400,23 @@ func (j *HashJoinOp) joinBatch(lb *col.Batch) (*col.Batch, error) {
 			emitted[li] = true
 		}
 	}
+	j.outLeft, j.outRight = outLeft, outRight
 	return j.materialize(lb, outLeft, outRight), nil
+}
+
+// resizeBools resizes *buf to n cleared entries, reusing its capacity.
+func resizeBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*buf = b
+	return b
 }
 
 // materialize assembles the joined batch from row-index pairs.
@@ -405,8 +428,8 @@ func (j *HashJoinOp) materialize(lb *col.Batch, leftIdx, rightIdx []int) *col.Ba
 	for c := 0; c < lw; c++ {
 		vecs[c] = lb.Vecs[c].Gather(leftIdx)
 	}
-	for c := 0; c < len(j.build.Vecs); c++ {
-		src := j.build.Vecs[c]
+	for c := 0; c < len(j.build.batch.Vecs); c++ {
+		src := j.build.batch.Vecs[c]
 		out := col.NewVector(src.Type, n)
 		for r, m := range rightIdx {
 			if m < 0 {
@@ -427,8 +450,11 @@ func (j *HashJoinOp) materialize(lb *col.Batch, leftIdx, rightIdx []int) *col.Ba
 // Close implements Operator.
 func (j *HashJoinOp) Close() error {
 	err1 := j.left.Close()
-	err2 := j.right.Close()
-	j.build, j.buildKeys = nil, nil
+	var err2 error
+	if j.right != nil {
+		err2 = j.right.Close()
+	}
+	j.build = nil
 	if err1 != nil {
 		return err1
 	}
@@ -481,37 +507,21 @@ func (s *SortOp) Open() error {
 	for i := range idx {
 		idx[i] = i
 	}
+	// compareStoredRows (shared with TopNOp) places NULLS LAST ascending,
+	// NULLS FIRST descending; SliceStable keeps arrival order on full ties.
 	sort.SliceStable(idx, func(a, b int) bool {
-		for _, k := range s.node.Keys {
-			v := all.Vecs[k.Ordinal]
-			an, bn := v.IsNull(idx[a]), v.IsNull(idx[b])
-			if an || bn {
-				if an == bn {
-					continue
-				}
-				// NULLS LAST ascending, NULLS FIRST descending.
-				return bn != k.Desc
-			}
-			cc := compareSame(v, idx[a], idx[b])
-			if cc == 0 {
-				continue
-			}
-			if k.Desc {
-				return cc > 0
-			}
-			return cc < 0
-		}
-		return false
+		return compareStoredRows(all, idx[a], all, idx[b], s.node.Keys) < 0
 	})
 	s.out = all.Gather(idx)
 	return nil
 }
 
-// compareSame compares rows a and b of one vector (non-null).
-func compareSame(v *col.Vector, a, b int) int {
-	switch v.Type {
+// compareVecs compares row a of va against row b of vb (non-null, same
+// type).
+func compareVecs(va *col.Vector, a int, vb *col.Vector, b int) int {
+	switch va.Type {
 	case col.BOOL:
-		x, y := v.Bools[a], v.Bools[b]
+		x, y := va.Bools[a], vb.Bools[b]
 		switch {
 		case x == y:
 			return 0
@@ -521,7 +531,7 @@ func compareSame(v *col.Vector, a, b int) int {
 			return 1
 		}
 	case col.INT64, col.DATE, col.TIMESTAMP:
-		x, y := v.Ints[a], v.Ints[b]
+		x, y := va.Ints[a], vb.Ints[b]
 		switch {
 		case x < y:
 			return -1
@@ -531,7 +541,7 @@ func compareSame(v *col.Vector, a, b int) int {
 			return 0
 		}
 	case col.FLOAT64:
-		x, y := v.Floats[a], v.Floats[b]
+		x, y := va.Floats[a], vb.Floats[b]
 		switch {
 		case x < y:
 			return -1
@@ -541,7 +551,7 @@ func compareSame(v *col.Vector, a, b int) int {
 			return 0
 		}
 	case col.STRING:
-		return strings.Compare(v.Strs[a], v.Strs[b])
+		return strings.Compare(va.Strs[a], vb.Strs[b])
 	default:
 		return 0
 	}
@@ -620,48 +630,71 @@ func (l *LimitOp) Next() (*col.Batch, error) {
 // Close implements Operator.
 func (l *LimitOp) Close() error { return l.child.Close() }
 
+// BuildEnv supplies the execution context for BuildWith: the per-scan
+// iterator factory plus optional pre-built join build sides (the parallel
+// VM path prepares one build per shared join and hands the same immutable
+// table to every probe worker).
+type BuildEnv struct {
+	ScanFactory func(*plan.ScanNode) func() (BatchIterator, error)
+	JoinBuilds  map[*plan.JoinNode]*JoinBuild
+}
+
 // Build constructs the operator tree for a plan. scanFactory supplies the
 // batch iterator for each scan node.
 func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (BatchIterator, error)) (Operator, error) {
+	return BuildWith(n, BuildEnv{ScanFactory: scanFactory})
+}
+
+// BuildWith is Build with an explicit environment.
+func BuildWith(n plan.Node, env BuildEnv) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.ScanNode:
-		return NewScanOp(x, scanFactory(x)), nil
+		return NewScanOp(x, env.ScanFactory(x)), nil
 	case *plan.FilterNode:
-		child, err := Build(x.Child, scanFactory)
+		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewFilterOp(x, child), nil
 	case *plan.ProjectNode:
-		child, err := Build(x.Child, scanFactory)
+		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewProjectOp(x, child), nil
 	case *plan.JoinNode:
-		left, err := Build(x.Left, scanFactory)
+		left, err := BuildWith(x.Left, env)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(x.Right, scanFactory)
+		if jb := env.JoinBuilds[x]; jb != nil {
+			return NewHashJoinOpShared(x, left, jb), nil
+		}
+		right, err := BuildWith(x.Right, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewHashJoinOp(x, left, right), nil
 	case *plan.AggNode:
-		child, err := Build(x.Child, scanFactory)
+		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewHashAggOp(x, child), nil
 	case *plan.SortNode:
-		child, err := Build(x.Child, scanFactory)
+		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewSortOp(x, child), nil
+	case *plan.TopNNode:
+		child, err := BuildWith(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return NewTopNOp(x, child), nil
 	case *plan.LimitNode:
-		child, err := Build(x.Child, scanFactory)
+		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}

@@ -139,6 +139,63 @@ func TestHashJoinNullKeysNeverMatch(t *testing.T) {
 	}
 }
 
+func TestHashJoinMixedNumericKeys(t *testing.T) {
+	// INT64 = FLOAT64 is a valid equi-join edge; keys must coerce so 1
+	// joins 1.0 (matching the comparison semantics of the same predicate
+	// as a filter).
+	floatSchema := col.NewSchema(
+		col.Field{Name: "k", Type: col.FLOAT64},
+		col.Field{Name: "v", Type: col.STRING},
+	)
+	fk := col.NewVector(col.FLOAT64, 3)
+	copy(fk.Floats, []float64{2.0, 3.5, 4.0})
+	fv := col.NewVector(col.STRING, 3)
+	copy(fv.Strs, []string{"X", "Y", "Z"})
+
+	node := &plan.JoinNode{
+		Kind:      plan.JoinInner,
+		Left:      fakeNode(kvSchema),
+		Right:     fakeNode(floatSchema),
+		LeftKeys:  []plan.BoundExpr{colRef(0, col.INT64)},
+		RightKeys: []plan.BoundExpr{colRef(0, col.FLOAT64)},
+	}
+	left := sliceSource(kvSchema, kvBatch([]int64{1, 2, 4}, []string{"a", "b", "c"}))
+	right := sliceSource(floatSchema, col.NewBatch(fk, fv))
+	out, err := Collect(NewHashJoinOp(node, left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsOf(out)
+	if len(rows) != 2 {
+		t.Fatalf("mixed-type join rows = %v, want keys 2 and 4 to match", rows)
+	}
+}
+
+func TestLeftJoinResidualOnlyEmptyBuild(t *testing.T) {
+	// Keyless LEFT JOIN (residual-only ON) against an empty build side
+	// must NULL-extend every probe row, not drop them.
+	node := &plan.JoinNode{
+		Kind:     plan.JoinLeft,
+		Left:     fakeNode(kvSchema),
+		Right:    fakeNode(kvSchema),
+		Residual: &plan.BBinary{Op: "<", L: colRef(0, col.INT64), R: colRef(2, col.INT64), Ty: col.BOOL},
+	}
+	left := sliceSource(kvSchema, kvBatch([]int64{1, 2}, []string{"a", "b"}))
+	right := sliceSource(kvSchema) // empty build
+	out, err := Collect(NewHashJoinOp(node, left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Fatalf("rows = %v, want both left rows NULL-extended", rowsOf(out))
+	}
+	for i := 0; i < out.N; i++ {
+		if !out.Vecs[2].IsNull(i) || !out.Vecs[3].IsNull(i) {
+			t.Fatalf("row %d right side not NULL: %v", i, out.Row(i))
+		}
+	}
+}
+
 func TestCrossJoin(t *testing.T) {
 	node := &plan.JoinNode{
 		Kind:  plan.JoinCross,

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// TopNOp keeps the first N rows of its input under the node's sort-key
+// order, using a bounded binary heap over at most N materialized rows. Ties
+// are broken by arrival order, so the output is exactly what a stable full
+// sort followed by LIMIT N would produce — which is what lets the engine
+// substitute it for SortOp+LimitOp inside worker fragments.
+//
+// Memory is O(N) instead of the full input, and each incoming row costs one
+// key comparison against the current worst row unless it displaces it.
+type TopNOp struct {
+	node  *plan.TopNNode
+	child Operator
+
+	out  *col.Batch
+	done bool
+}
+
+// NewTopNOp builds a top-N operator.
+func NewTopNOp(node *plan.TopNNode, child Operator) *TopNOp {
+	return &TopNOp{node: node, child: child}
+}
+
+// Schema implements Operator.
+func (t *TopNOp) Schema() *col.Schema { return t.node.Schema() }
+
+// topHeap is a max-heap of stored-row indexes ordered worst-first, so the
+// root is the row the next better arrival displaces.
+type topHeap struct {
+	idx   []int      // heap of row indexes into store
+	store *col.Batch // at most N materialized candidate rows
+	seq   []int64    // arrival order of each stored row (tie-break)
+	keys  []plan.SortKey
+}
+
+// after reports whether stored row a sorts strictly after stored row b
+// (i.e. a is worse). Equal keys fall back to arrival order: later is worse.
+func (h *topHeap) after(a, b int) bool {
+	if c := compareStoredRows(h.store, a, h.store, b, h.keys); c != 0 {
+		return c > 0
+	}
+	return h.seq[a] > h.seq[b]
+}
+
+// compareStoredRows orders row i of batch a against row j of batch b under
+// the sort keys, with SortOp's NULL placement (last ascending, first
+// descending).
+func compareStoredRows(a *col.Batch, i int, b *col.Batch, j int, keys []plan.SortKey) int {
+	for _, k := range keys {
+		va, vb := a.Vecs[k.Ordinal], b.Vecs[k.Ordinal]
+		an, bn := va.IsNull(i), vb.IsNull(j)
+		if an || bn {
+			if an == bn {
+				continue
+			}
+			// NULLS LAST ascending, NULLS FIRST descending: the NULL row
+			// sorts after unless the key is descending.
+			if an != k.Desc {
+				return 1
+			}
+			return -1
+		}
+		cc := compareVecs(va, i, vb, j)
+		if cc == 0 {
+			continue
+		}
+		if k.Desc {
+			return -cc
+		}
+		return cc
+	}
+	return 0
+}
+
+func (h *topHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.after(h.idx[i], h.idx[parent]) {
+			return
+		}
+		h.idx[i], h.idx[parent] = h.idx[parent], h.idx[i]
+		i = parent
+	}
+}
+
+func (h *topHeap) siftDown(i int) {
+	n := len(h.idx)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.after(h.idx[l], h.idx[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.after(h.idx[r], h.idx[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.idx[i], h.idx[worst] = h.idx[worst], h.idx[i]
+		i = worst
+	}
+}
+
+// Open implements Operator: it drains the child through the bounded heap.
+func (t *TopNOp) Open() error {
+	if err := t.child.Open(); err != nil {
+		return err
+	}
+	t.done = false
+	// Clamp the bound through int64 so a huge LIMIT degrades to "keep
+	// everything" instead of wrapping negative on 32-bit platforms.
+	const maxInt = int(^uint(0) >> 1)
+	n := maxInt
+	if t.node.N < 0 {
+		n = 0
+	} else if t.node.N < int64(maxInt) {
+		n = int(t.node.N)
+	}
+	h := &topHeap{store: col.EmptyBatch(t.child.Schema()), keys: t.node.Keys}
+	var arrivals int64
+	for {
+		b, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for r := 0; r < b.N; r++ {
+			arrivals++
+			if n == 0 {
+				continue
+			}
+			if h.store.N < n {
+				for c := range h.store.Vecs {
+					h.store.Vecs[c].Append(b.Vecs[c], r)
+				}
+				h.store.N++
+				h.seq = append(h.seq, arrivals)
+				h.idx = append(h.idx, h.store.N-1)
+				h.siftUp(len(h.idx) - 1)
+				continue
+			}
+			// Full: the arrival only enters if it sorts strictly before the
+			// current worst (equal keys lose — the stored row arrived
+			// first).
+			worst := h.idx[0]
+			if compareStoredRows(b, r, h.store, worst, h.keys) >= 0 {
+				continue
+			}
+			for c := range h.store.Vecs {
+				h.store.Vecs[c].Set(worst, b.Vecs[c].Value(r))
+			}
+			h.seq[worst] = arrivals
+			h.siftDown(0)
+		}
+	}
+
+	// Emit the survivors in sort order (arrival order on ties).
+	order := make([]int, len(h.idx))
+	copy(order, h.idx)
+	sort.Slice(order, func(a, b int) bool { return h.after(order[b], order[a]) })
+	t.out = h.store.Gather(order)
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopNOp) Next() (*col.Batch, error) {
+	if t.done || t.out == nil {
+		return nil, nil
+	}
+	t.done = true
+	return t.out, nil
+}
+
+// Close implements Operator.
+func (t *TopNOp) Close() error {
+	t.out = nil
+	return t.child.Close()
+}

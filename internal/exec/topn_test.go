@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// topnInput builds a deterministic pseudo-random input (with duplicate keys
+// and NULLs) split across several batches.
+func topnInput(rows int) (*col.Schema, []*col.Batch) {
+	schema := col.NewSchema(
+		col.Field{Name: "k", Type: col.INT64, Nullable: true},
+		col.Field{Name: "tag", Type: col.STRING},
+	)
+	var batches []*col.Batch
+	seed := uint64(42)
+	for start := 0; start < rows; start += 7 {
+		n := rows - start
+		if n > 7 {
+			n = 7
+		}
+		k := col.NewVector(col.INT64, n)
+		s := col.NewVector(col.STRING, n)
+		for i := 0; i < n; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			k.Ints[i] = int64(seed>>33) % 10 // heavy ties
+			s.Strs[i] = fmt.Sprintf("row-%04d", start+i)
+			if seed%11 == 0 {
+				k.SetNull(i)
+			}
+		}
+		batches = append(batches, col.NewBatch(k, s))
+	}
+	return schema, batches
+}
+
+// TestTopNMatchesSortLimit checks the defining property: TopN(N) equals a
+// stable full sort followed by LIMIT N — including tie-breaking by arrival
+// order and NULL placement — for ascending and descending keys and a range
+// of N around and beyond the input size.
+func TestTopNMatchesSortLimit(t *testing.T) {
+	const rows = 53
+	for _, desc := range []bool{false, true} {
+		keys := []plan.SortKey{{Ordinal: 0, Desc: desc}}
+		for _, n := range []int64{0, 1, 3, 10, int64(rows), int64(rows) + 5} {
+			schema, batches := topnInput(rows)
+			sortNode := &plan.SortNode{Child: fakeNode(schema), Keys: keys}
+			limitNode := &plan.LimitNode{Child: sortNode, Limit: n}
+			ref, err := Collect(NewLimitOp(limitNode, NewSortOp(sortNode, sliceSource(schema, batches...))))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			schema2, batches2 := topnInput(rows)
+			topNode := &plan.TopNNode{Child: fakeNode(schema2), Keys: keys, N: n}
+			got, err := Collect(NewTopNOp(topNode, sliceSource(schema2, batches2...)))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			refRows, gotRows := rowsOf(ref), rowsOf(got)
+			if len(refRows) != len(gotRows) {
+				t.Fatalf("desc=%v N=%d: %d rows vs sort+limit %d", desc, n, len(gotRows), len(refRows))
+			}
+			for i := range refRows {
+				if refRows[i] != gotRows[i] {
+					t.Fatalf("desc=%v N=%d row %d: topn %q vs sort+limit %q", desc, n, i, gotRows[i], refRows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopNStableTies pins the tie rule directly: with every key equal, the
+// survivors are the first N arrivals, in arrival order.
+func TestTopNStableTies(t *testing.T) {
+	schema := col.NewSchema(
+		col.Field{Name: "k", Type: col.INT64},
+		col.Field{Name: "tag", Type: col.STRING},
+	)
+	k := col.NewVector(col.INT64, 6)
+	s := col.NewVector(col.STRING, 6)
+	for i := range k.Ints {
+		k.Ints[i] = 7
+		s.Strs[i] = fmt.Sprintf("arrival-%d", i)
+	}
+	node := &plan.TopNNode{Child: fakeNode(schema), Keys: []plan.SortKey{{Ordinal: 0}}, N: 3}
+	out, err := Collect(NewTopNOp(node, sliceSource(schema, col.NewBatch(k, s))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"7|arrival-0", "7|arrival-1", "7|arrival-2"}
+	got := rowsOf(out)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTopNMultiKey exercises a two-key order (second key descending).
+func TestTopNMultiKey(t *testing.T) {
+	schema := col.NewSchema(
+		col.Field{Name: "a", Type: col.INT64},
+		col.Field{Name: "b", Type: col.STRING},
+	)
+	a := col.NewVector(col.INT64, 5)
+	b := col.NewVector(col.STRING, 5)
+	copy(a.Ints, []int64{2, 1, 2, 1, 3})
+	copy(b.Strs, []string{"x", "p", "z", "q", "m"})
+	keys := []plan.SortKey{{Ordinal: 0}, {Ordinal: 1, Desc: true}}
+	node := &plan.TopNNode{Child: fakeNode(schema), Keys: keys, N: 3}
+	out, err := Collect(NewTopNOp(node, sliceSource(schema, col.NewBatch(a, b))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1|q", "1|p", "2|z"}
+	got := rowsOf(out)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

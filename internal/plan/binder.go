@@ -361,8 +361,12 @@ func (b *Binder) buildJoins(sel *sql.Select, bd *binding, pushed map[int][]Bound
 }
 
 // greedyOrder picks a join order for comma-join lists: start from the
-// smallest relation, repeatedly take the smallest relation connected by an
-// equality edge (falling back to the smallest remaining).
+// largest relation, repeatedly take the smallest relation connected by an
+// equality edge (falling back to the smallest remaining). Largest-first
+// keeps the big fact table on the probe (left) side of the left-deep
+// chain, so every hash build indexes a dimension-sized input — and the
+// engine can partition the probe scan across parallel workers while
+// sharing one small build table.
 func greedyOrder(bd *binding, edges []joinEdge) []int {
 	n := len(bd.rels)
 	rows := func(r int) int64 {
@@ -376,15 +380,15 @@ func greedyOrder(bd *binding, edges []joinEdge) []int {
 	for i := 0; i < n; i++ {
 		remaining[i] = true
 	}
-	smallest := 0
+	largest := 0
 	for r := range remaining {
-		if rows(r) < rows(smallest) {
-			smallest = r
+		if rows(r) > rows(largest) {
+			largest = r
 		}
 	}
-	order := []int{smallest}
-	delete(remaining, smallest)
-	inOrder := map[int]bool{smallest: true}
+	order := []int{largest}
+	delete(remaining, largest)
+	inOrder := map[int]bool{largest: true}
 	for len(remaining) > 0 {
 		best, bestConn := -1, false
 		for r := range remaining {

@@ -324,6 +324,37 @@ func (s *SortNode) Label() string {
 	return "Sort " + strings.Join(keys, ", ")
 }
 
+// TopNNode keeps the first N rows of its input under the sort-key order
+// (ties broken by arrival order, matching a stable sort followed by LIMIT)
+// and emits them sorted. The engine substitutes it for ORDER BY + LIMIT in
+// worker fragments so each worker returns at most N rows instead of its
+// whole sorted partition.
+type TopNNode struct {
+	Child Node
+	Keys  []SortKey
+	N     int64 // rows to keep (LIMIT + OFFSET of the plan it replaces)
+}
+
+// Schema implements Node.
+func (t *TopNNode) Schema() *col.Schema { return t.Child.Schema() }
+
+// Children implements Node.
+func (t *TopNNode) Children() []Node { return []Node{t.Child} }
+
+// Label implements Node.
+func (t *TopNNode) Label() string {
+	keys := make([]string, len(t.Keys))
+	names := t.Child.Schema().Names()
+	for i, k := range t.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		keys[i] = fmt.Sprintf("%s %s", names[k.Ordinal], dir)
+	}
+	return fmt.Sprintf("TopN %d by %s", t.N, strings.Join(keys, ", "))
+}
+
 // LimitNode truncates its input.
 type LimitNode struct {
 	Child  Node

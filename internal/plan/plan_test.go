@@ -55,18 +55,34 @@ func bindQuery(t *testing.T, q string) Node {
 	return node
 }
 
-func TestGreedyJoinOrderStartsSmall(t *testing.T) {
+func TestGreedyJoinOrderProbesLarge(t *testing.T) {
 	node := bindQuery(t, `SELECT s.s_name, COUNT(*) FROM big b, mid m, small s
 		WHERE b.b_small = s.s_id AND b.b_mid = m.m_id GROUP BY s.s_name`)
 	scans := Scans(node)
 	if len(scans) != 3 {
 		t.Fatalf("scans = %d", len(scans))
 	}
-	// Greedy order: smallest first; the big fact table joins last-ish. The
-	// left-deep chain's first scan (deepest left) must be `small`.
-	if scans[0].Table.Name != "small" {
-		t.Fatalf("join order starts with %s, want small (explain:\n%s)", scans[0].Table.Name, Explain(node))
+	// Greedy order: largest first, so the fact table is the probe (left)
+	// side of the left-deep chain and every hash build is dimension-sized.
+	// The chain's deepest-left scan must be `big`.
+	if scans[0].Table.Name != "big" {
+		t.Fatalf("join order starts with %s, want big (explain:\n%s)", scans[0].Table.Name, Explain(node))
 	}
+	// Builds (right children) must be the small relations.
+	var rec func(Node)
+	rec = func(n Node) {
+		if j, ok := n.(*JoinNode); ok {
+			for _, s := range Scans(j.Right) {
+				if s.Table.Name == "big" {
+					t.Fatalf("big table on the build side:\n%s", Explain(node))
+				}
+			}
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(node)
 }
 
 func TestExplicitJoinKeepsUserOrder(t *testing.T) {

@@ -68,7 +68,11 @@ type Options struct {
 	GracePeriod time.Duration
 	// Parallelism is the VM-side intra-query worker width: queries that run
 	// on a VM slot partition their dominant scan across this many
-	// in-process workers (0 = one per CPU, 1 = serial). Service-level
+	// in-process workers (0 = one per CPU, 1 = serial). The split also
+	// parallelizes the merge side — single-join plans probe one shared
+	// build-side hash table from every worker, and ORDER BY + LIMIT plans
+	// run a bounded per-worker top-N — with results and billed
+	// bytes-scanned identical to serial execution. Service-level
 	// scheduling decides where a query runs; this decides how wide.
 	Parallelism int
 	// CacheSize enables the object-store read cache in front of every
