@@ -23,10 +23,12 @@ func main() {
 	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")
+	var scanPrefetch = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = engine default, negative = synchronous)")
 	flag.Parse()
 	bench.VMParallelism = *parallelism
 	bench.CacheMB = *cacheMB
 	bench.ReadAhead = *readAhead
+	bench.ScanPrefetch = *scanPrefetch
 
 	ran := 0
 	matched := 0

@@ -25,6 +25,7 @@ func main() {
 		par      = flag.Int("parallelism", 0, "VM-side intra-query workers incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 		cacheMB  = flag.Int("cache-mb", 0, "object-store read cache size in MiB (0 = off)")
 		readAh   = flag.Int("readahead", 0, "read-ahead depth in blocks (0 = default, negative = off)")
+		scanPf   = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = default, negative = synchronous)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Parallelism:       *par,
 		CacheSize:         int64(*cacheMB) << 20,
 		CacheReadAhead:    *readAh,
+		ScanPrefetch:      *scanPf,
 	})
 	if err != nil {
 		log.Fatal(err)

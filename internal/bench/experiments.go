@@ -6,10 +6,8 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/billing"
-	"repro/internal/catalog"
 	"repro/internal/cfsim"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/nl2sql"
 	"repro/internal/survey"
 	"repro/internal/vclock"
@@ -247,7 +245,7 @@ func E5SpikeAcceleration() Result {
 // E6PriceTable verifies the listed prices end-to-end on the real engine:
 // $5 / $2 / $0.5 per TB scanned at the three levels.
 func E6PriceTable() Result {
-	eng := engine.New(catalog.New(), newRealStore())
+	eng := newRealEngine()
 	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.005, Seed: 3}); err != nil {
 		panic(err)
 	}
@@ -294,7 +292,7 @@ func E6PriceTable() Result {
 
 // E7TextToSQL evaluates both translators on the mini-Spider suite.
 func E7TextToSQL() Result {
-	eng := engine.New(catalog.New(), newRealStore())
+	eng := newRealEngine()
 	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.005, Seed: 4}); err != nil {
 		panic(err)
 	}

@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/workload"
 )
@@ -22,7 +21,7 @@ var VMParallelism int
 // of a coordinator-side full sort. Correctness shape: identical rows and
 // identical billed bytes-scanned to the serial plan, zero intermediates.
 func A6MergeSideParallel() Result {
-	eng := engine.New(catalog.New(), newRealStore())
+	eng := newRealEngine()
 	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.05, Seed: 7, RowsPerFile: 8192}); err != nil {
 		panic(err)
 	}
@@ -90,7 +89,7 @@ func A6MergeSideParallel() Result {
 // across in-process goroutines, streaming partial results into the
 // coordinator merge without touching the object store.
 func A5IntraQueryParallel() Result {
-	eng := engine.New(catalog.New(), newRealStore())
+	eng := newRealEngine()
 	// Many files so the scan partitions wide; SF 0.05 ≈ 300k lineitem rows.
 	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.05, Seed: 7, RowsPerFile: 8192}); err != nil {
 		panic(err)

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/objstore"
 	"repro/internal/objstore/cache"
 )
@@ -14,6 +16,11 @@ var CacheMB int
 // negative = off). cmd/pixels-bench sets it from the -readahead flag.
 var ReadAhead int
 
+// ScanPrefetch is how many row groups ahead the engine's pipelined scans
+// decode in real-SQL experiments (0 = engine default, negative =
+// synchronous). cmd/pixels-bench sets it from the -scan-prefetch flag.
+var ScanPrefetch int
+
 // newRealStore builds the object-store stack real-SQL experiments read
 // through, honoring the cache flags.
 func newRealStore() objstore.Store {
@@ -25,4 +32,12 @@ func newRealStore() objstore.Store {
 		Capacity:  int64(CacheMB) << 20,
 		ReadAhead: ReadAhead,
 	})
+}
+
+// newRealEngine builds the engine real-SQL experiments run on, honoring
+// the cache and scan-prefetch flags.
+func newRealEngine() *engine.Engine {
+	e := engine.New(catalog.New(), newRealStore())
+	e.SetScanPrefetch(ScanPrefetch)
+	return e
 }

@@ -7,6 +7,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/catalog"
@@ -24,13 +25,30 @@ type Engine struct {
 	cat   *catalog.Catalog
 	store objstore.Store
 
+	prefetch int // row groups a draining scan decodes ahead; 0 = synchronous
+
 	mu      sync.Mutex
 	fileSeq map[string]int // per-table file sequence for unique keys
 }
 
 // New builds an engine over a catalog and store.
 func New(cat *catalog.Catalog, store objstore.Store) *Engine {
-	return &Engine{cat: cat, store: store, fileSeq: make(map[string]int)}
+	return &Engine{cat: cat, store: store, prefetch: DefaultScanPrefetch, fileSeq: make(map[string]int)}
+}
+
+// SetScanPrefetch sets how many row groups ahead a fully-draining
+// base-table scan may fetch and decode in its pipeline (see scanpipe.go).
+// 0 restores DefaultScanPrefetch; negative disables the pipeline so every
+// scan runs synchronously. Call before issuing queries.
+func (e *Engine) SetScanPrefetch(n int) {
+	switch {
+	case n == 0:
+		e.prefetch = DefaultScanPrefetch
+	case n < 0:
+		e.prefetch = 0
+	default:
+		e.prefetch = n
+	}
 }
 
 // Catalog exposes the metadata service.
@@ -50,6 +68,14 @@ type Stats struct {
 	BytesIntermediate int64
 	RowGroupsRead     int
 	RowGroupsPruned   int
+	// ColumnChunksSkipped counts projected column chunks a scan never
+	// fetched or decoded because the row group's predicate columns selected
+	// zero rows (late materialization). Unlike cache hits, skipped chunks
+	// do reduce BytesScanned: the bytes were genuinely not scanned.
+	ColumnChunksSkipped int64
+	// RowsFiltered counts rows dropped by scans' pushed-down filters
+	// (RowsScanned still counts them; they were decoded to be judged).
+	RowsFiltered int64
 	// CacheHits/CacheMisses count this query's ranged reads served from
 	// the object-store read cache vs reads that paid a store request.
 	// Cache hits never reduce BytesScanned — the $/TB billing unit counts
@@ -66,6 +92,8 @@ func (s *Stats) Add(o Stats) {
 	s.BytesIntermediate += o.BytesIntermediate
 	s.RowGroupsRead += o.RowGroupsRead
 	s.RowGroupsPruned += o.RowGroupsPruned
+	s.ColumnChunksSkipped += o.ColumnChunksSkipped
+	s.RowsFiltered += o.RowsFiltered
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 }
@@ -78,7 +106,10 @@ type Result struct {
 	Stats   Stats
 }
 
-// resultFromBatch converts an output batch.
+// resultFromBatch converts an output batch. String values are detached
+// from the batch's backing arrays: decoded string vectors alias per-chunk
+// blobs (and callers may retain Results long after the query), so a small
+// result must not pin chunk-sized buffers.
 func resultFromBatch(schema *col.Schema, b *col.Batch, stats Stats) *Result {
 	r := &Result{Stats: stats}
 	for _, f := range schema.Fields {
@@ -86,7 +117,13 @@ func resultFromBatch(schema *col.Schema, b *col.Batch, stats Stats) *Result {
 		r.Types = append(r.Types, f.Type)
 	}
 	for i := 0; i < b.N; i++ {
-		r.Rows = append(r.Rows, b.Row(i))
+		row := b.Row(i)
+		for c := range row {
+			if row[c].Type == col.STRING && !row[c].Null {
+				row[c].S = strings.Clone(row[c].S)
+			}
+		}
+		r.Rows = append(r.Rows, row)
 	}
 	r.Stats.RowsReturned = int64(b.N)
 	return r
@@ -192,8 +229,13 @@ func splitLines(s string) []string {
 // RunPlan executes a plan locally (single process — the "VM side" path)
 // and materializes the result.
 func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
+	// Scope the query's scan pipelines to this call: whenever RunPlan
+	// returns — success, error, or early abandonment of an operator — the
+	// cancel releases any prefetch goroutines still in flight.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	stats := &Stats{}
-	op, err := exec.Build(node, e.scanFactory(ctx, stats, nil))
+	op, err := exec.Build(node, e.scanFactory(ctx, stats, nil, pipelineEligible(node)))
 	if err != nil {
 		return nil, err
 	}
@@ -204,22 +246,29 @@ func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	return resultFromBatch(node.Schema(), out, *stats), nil
 }
 
-// scanFactory builds per-scan batch iterators. overrides maps a ScanNode to
+// scanFactory builds per-scan batch streams. overrides maps a ScanNode to
 // a replacement file list (used for CF partitioning and intermediate
-// reads); nil means the table's own files.
-func (e *Engine) scanFactory(ctx context.Context, stats *Stats, overrides map[*plan.ScanNode]scanOverride) func(*plan.ScanNode) func() (exec.BatchIterator, error) {
-	return func(node *plan.ScanNode) func() (exec.BatchIterator, error) {
-		return func() (exec.BatchIterator, error) {
+// reads); nil means the table's own files. pipelined marks the scans that
+// may run the asynchronous prefetch/decode pipeline — only scans proven to
+// drain fully qualify (see pipelineEligible), everything else runs the
+// synchronous lazy iterator so early-stopping plans bill the minimum.
+func (e *Engine) scanFactory(ctx context.Context, stats *Stats, overrides map[*plan.ScanNode]scanOverride, pipelined map[*plan.ScanNode]bool) func(*plan.ScanNode) func() (exec.ScanStream, error) {
+	return func(node *plan.ScanNode) func() (exec.ScanStream, error) {
+		return func() (exec.ScanStream, error) {
 			files := node.Table.Files
 			interm := false
 			if ov, ok := overrides[node]; ok {
 				if ov.iter != nil {
-					return ov.iter, nil
+					return exec.ScanStream{Iter: ov.iter}, nil
 				}
 				files = ov.files
 				interm = ov.interm
 			}
-			return e.newFileIterator(ctx, files, node.Cols, node.ZonePreds, stats, interm), nil
+			sc := e.newScanContext(ctx, node, files, stats, interm)
+			if !interm && pipelined[node] && e.prefetch > 0 {
+				return exec.ScanStream{Iter: sc.pipelined(e.prefetch), Filtered: true}, nil
+			}
+			return exec.ScanStream{Iter: sc.sequential(), Filtered: true}, nil
 		}
 	}
 }
@@ -238,61 +287,6 @@ func identity(n int) []int {
 		out[i] = i
 	}
 	return out
-}
-
-// newFileIterator streams row groups of a list of pixfiles, applying
-// zone-map pruning and projection, and accounting scanned bytes.
-func (e *Engine) newFileIterator(ctx context.Context, files []catalog.FileMeta, cols []int, preds []pixfile.ColPredicate, stats *Stats, interm bool) exec.BatchIterator {
-	fileIdx := 0
-	var f *pixfile.File
-	rg := 0
-	account := func(n int64) {
-		if interm {
-			stats.BytesIntermediate += n
-		} else {
-			stats.BytesScanned += n
-		}
-	}
-	return func() (*col.Batch, error) {
-		for {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if f == nil {
-				if fileIdx >= len(files) {
-					return nil, nil
-				}
-				meta := files[fileIdx]
-				fileIdx++
-				opened, err := pixfile.Open(e.rangeReader(meta.Key, stats), meta.Size)
-				if err != nil {
-					return nil, fmt.Errorf("engine: open %s: %w", meta.Key, err)
-				}
-				account(opened.BytesRead()) // footer
-				f = opened
-				rg = 0
-			}
-			if rg >= f.NumRowGroups() {
-				f = nil
-				continue
-			}
-			g := rg
-			rg++
-			if len(preds) > 0 && f.PruneRowGroup(g, preds) {
-				stats.RowGroupsPruned++
-				continue
-			}
-			before := f.BytesRead()
-			b, err := f.ReadColumns(g, cols)
-			if err != nil {
-				return nil, err
-			}
-			account(f.BytesRead() - before)
-			stats.RowsScanned += int64(b.N)
-			stats.RowGroupsRead++
-			return b, nil
-		}
-	}
 }
 
 // rangeReader builds the RangeReader a pixfile is opened with. When the

@@ -118,7 +118,8 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	var joinBuilds map[*plan.JoinNode]*exec.JoinBuild
 	var buildStats Stats
 	if split.buildJoin != nil {
-		rightOp, err := exec.Build(split.buildJoin.Right, e.scanFactory(wctx, &buildStats, nil))
+		rightOp, err := exec.Build(split.buildJoin.Right,
+			e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)))
 		if err != nil {
 			return nil, err
 		}
@@ -151,32 +152,55 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	}
 
 	// The merge plan reads worker batches through the synthetic
-	// intermediate scan, partition by partition. Consuming in task order
-	// keeps group first-appearance order (and therefore output order)
-	// deterministic.
-	next := 0
-	iter := exec.BatchIterator(func() (*col.Batch, error) {
-		for {
-			if next >= n {
-				return nil, nil
-			}
-			b, ok := <-chans[next]
+	// intermediate scan. Top-N splits stream the k already-sorted worker
+	// outputs through a heap merge — O(k·N log k) instead of a full
+	// coordinator re-sort — with key ties resolving toward the
+	// lower-indexed (earlier-partition) worker, exactly as the serial
+	// stable sort would. Every other mode consumes partition by partition,
+	// in task order, which keeps group first-appearance order (and
+	// therefore output order) deterministic.
+	streams := make([]exec.BatchIterator, n)
+	for i := range streams {
+		i := i
+		streams[i] = func() (*col.Batch, error) {
+			b, ok := <-chans[i]
 			if !ok {
-				if err := workerErrs[next]; err != nil {
+				if err := workerErrs[i]; err != nil {
 					return nil, err
 				}
-				next++
-				continue
+				return nil, nil
 			}
 			return b, nil
 		}
-	})
+	}
+	mergePlan := split.mergePlan
+	var iter exec.BatchIterator
+	if split.Mode == SplitTopN && split.sortedMerge != nil {
+		mergePlan = split.sortedMerge
+		iter = exec.MergeSorted(streams, split.mergeKeys, split.workerPlan.Schema())
+	} else {
+		next := 0
+		iter = func() (*col.Batch, error) {
+			for next < n {
+				b, err := streams[next]()
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					next++
+					continue
+				}
+				return b, nil
+			}
+			return nil, nil
+		}
+	}
 
 	stats := &Stats{}
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.interm: {iter: iter},
 	}
-	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides))
+	op, err := exec.Build(mergePlan, e.scanFactory(ctx, stats, overrides, nil))
 	var out *col.Batch
 	if err == nil {
 		out, err = exec.Collect(op)
@@ -207,7 +231,7 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	for i := range workerStats {
 		stats.Add(workerStats[i])
 	}
-	return resultFromBatch(split.mergePlan.Schema(), out, *stats), nil
+	return resultFromBatch(mergePlan.Schema(), out, *stats), nil
 }
 
 // runWorkerStreaming executes one task's fragment over its file partition
@@ -219,7 +243,7 @@ func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task in
 		split.partScan: {files: split.Tasks[task].Files},
 	}
 	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides),
+		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
 		JoinBuilds:  joinBuilds,
 	})
 	if err != nil {

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/objstore"
+	"repro/internal/pixfile"
+	"repro/internal/plan"
+)
+
+// DefaultScanPrefetch is how many row groups ahead of the consumer a
+// fully-draining base-table scan fetches and decodes by default.
+const DefaultScanPrefetch = 4
+
+// pipelineLive counts live scan-pipeline goroutines (producer + decode
+// workers). It exists so tests can assert that cancellation mid-pipeline
+// leaks nothing.
+var pipelineLive atomic.Int64
+
+// PipelineGoroutines reports the number of scan-pipeline goroutines
+// currently alive across all engines in the process. Test hook.
+func PipelineGoroutines() int64 { return pipelineLive.Load() }
+
+// scanContext carries what one base-table (or intermediate) scan needs to
+// turn (file, row group) pairs into filtered, compacted batches: the scan
+// node (projection, pushed-down filter, zone-map predicates), the file
+// list, and the stats accumulator owned by the consuming goroutine.
+//
+// The scan is filter-aware and late-materializing: for every surviving row
+// group it decodes the filter's predicate columns first, evaluates the
+// filter into a selection, and only fetches + decodes the remaining
+// projected columns when at least one row survives. Zero-match row groups
+// therefore cost exactly the predicate chunks; partially matching ones emit
+// an already-compacted batch (survivors gathered), so no selection vector
+// travels downstream.
+type scanContext struct {
+	e      *Engine
+	ctx    context.Context
+	node   *plan.ScanNode
+	files  []catalog.FileMeta
+	stats  *Stats
+	interm bool
+
+	predPos []int // positions in node.Cols the filter references
+	restPos []int // the complement: decoded only for matching row groups
+}
+
+func (e *Engine) newScanContext(ctx context.Context, node *plan.ScanNode, files []catalog.FileMeta, stats *Stats, interm bool) *scanContext {
+	sc := &scanContext{e: e, ctx: ctx, node: node, files: files, stats: stats, interm: interm}
+	if node.Filter == nil {
+		return sc
+	}
+	pred := plan.FilterOrdinals(node.Filter)
+	inPred := make(map[int]bool, len(pred))
+	for _, p := range pred {
+		if p < 0 || p >= len(node.Cols) {
+			// Internal inconsistency (unfinalized ordinal): decode every
+			// column up front rather than evaluating over a sparse batch.
+			pred = nil
+			for i := range node.Cols {
+				pred = append(pred, i)
+			}
+			inPred = nil
+			break
+		}
+		inPred[p] = true
+	}
+	sc.predPos = pred
+	for i := range node.Cols {
+		if inPred == nil || !inPred[i] {
+			sc.restPos = append(sc.restPos, i)
+		}
+	}
+	if inPred == nil {
+		sc.restPos = nil
+	}
+	return sc
+}
+
+// account routes n scanned bytes to the proper stats bucket.
+func account(st *Stats, interm bool, n int64) {
+	if interm {
+		st.BytesIntermediate += n
+	} else {
+		st.BytesScanned += n
+	}
+}
+
+// chunkFetcher builds the per-read fetcher chunk reads go through: the
+// engine's cache-attributing rangeReader plus scanned-bytes accounting.
+// Everything lands in st, so a pipeline can give every row-group job its
+// own accumulator and fold the totals deterministically on consumption.
+func (sc *scanContext) chunkFetcher(key string, st *Stats) pixfile.RangeReader {
+	fetch := sc.e.rangeReader(key, st)
+	return func(off, length int64) ([]byte, error) {
+		data, err := fetch(off, length)
+		if err != nil {
+			return nil, err
+		}
+		account(st, sc.interm, int64(len(data)))
+		return data, nil
+	}
+}
+
+// parsedFooter is the immutable value the engine caches in a store's
+// ParsedFooterCache: the decoded footer plus its billed byte size.
+type parsedFooter struct {
+	footer *pixfile.Footer
+	bytes  int64
+}
+
+// openPixfile opens one file, serving the decoded footer from the store's
+// parsed-footer cache when available. Billed footer bytes are accounted
+// identically on the hit and miss paths — the cache skips the fetch, the
+// parse and the tail validation, never the bill.
+func (sc *scanContext) openPixfile(meta catalog.FileMeta, st *Stats) (*pixfile.File, error) {
+	fetch := sc.e.rangeReader(meta.Key, st)
+	fc, hasFC := sc.e.store.(objstore.ParsedFooterCache)
+	if hasFC {
+		if v, ok := fc.ParsedFooter(meta.Key, meta.Size); ok {
+			pf := v.(*parsedFooter)
+			account(st, sc.interm, pf.bytes)
+			return pixfile.OpenWithFooter(fetch, meta.Size, pf.footer, pf.bytes), nil
+		}
+	}
+	f, err := pixfile.Open(fetch, meta.Size)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open %s: %w", meta.Key, err)
+	}
+	account(st, sc.interm, f.FooterBytes())
+	if hasFC {
+		fc.StoreParsedFooter(meta.Key, meta.Size, &parsedFooter{footer: f.Footer(), bytes: f.FooterBytes()})
+	}
+	return f, nil
+}
+
+// rgDecoder turns one row group into a filtered batch. Each decoder owns
+// per-column scratch buffers reused across the row groups it processes
+// (one decoder per pipeline worker, or one for a whole sequential scan);
+// buffers are detached whenever a decoded vector escapes into an emitted
+// batch.
+type rgDecoder struct {
+	sc      *scanContext
+	ev      *exec.Evaluator
+	scratch []*pixfile.ChunkScratch
+}
+
+func newRGDecoder(sc *scanContext) *rgDecoder {
+	d := &rgDecoder{sc: sc}
+	if sc.node.Filter != nil {
+		d.ev = exec.NewEvaluator()
+		d.scratch = make([]*pixfile.ChunkScratch, len(sc.node.Cols))
+		for i := range d.scratch {
+			d.scratch[i] = &pixfile.ChunkScratch{}
+		}
+	}
+	return d
+}
+
+// decode reads row group g of f, evaluates the pushed-down filter and
+// returns the compacted batch — nil when no row survives. Stats go to st
+// (which may be a per-job accumulator, not the query total).
+func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.Batch, error) {
+	if err := d.sc.ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := d.sc
+	cols := sc.node.Cols
+	fetch := sc.chunkFetcher(key, st)
+	n := f.RowGroup(g).NumRows
+
+	if sc.node.Filter == nil {
+		vecs := make([]*col.Vector, len(cols))
+		for i, c := range cols {
+			v, err := f.ReadColumnChunkVia(fetch, g, c, nil)
+			if err != nil {
+				return nil, err
+			}
+			vecs[i] = v
+		}
+		st.RowsScanned += int64(n)
+		st.RowGroupsRead++
+		return &col.Batch{Vecs: vecs, N: n}, nil
+	}
+
+	// Late materialization: predicate columns first. The filter is
+	// evaluated over a sparse batch — only the predicate positions are
+	// populated, which is safe because the expression references exactly
+	// those ordinals.
+	vecs := make([]*col.Vector, len(cols))
+	for _, pos := range sc.predPos {
+		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
+		if err != nil {
+			return nil, err
+		}
+		vecs[pos] = v
+	}
+	sel, err := d.ev.EvalBool(sc.node.Filter, &col.Batch{Vecs: vecs, N: n})
+	if err != nil {
+		return nil, err
+	}
+	st.RowsScanned += int64(n)
+	st.RowGroupsRead++
+	st.RowsFiltered += int64(n - len(sel))
+	if len(sel) == 0 {
+		st.ColumnChunksSkipped += int64(len(sc.restPos))
+		return nil, nil
+	}
+	for _, pos := range sc.restPos {
+		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
+		if err != nil {
+			return nil, err
+		}
+		vecs[pos] = v
+	}
+	if len(sel) == n {
+		// The whole row group survives: the batch escapes downstream still
+		// aliasing the scratch buffers, so detach them.
+		for _, s := range d.scratch {
+			s.Detach()
+		}
+		return &col.Batch{Vecs: vecs, N: n}, nil
+	}
+	return (&col.Batch{Vecs: vecs, N: n}).Gather(sel), nil
+}
+
+// sequential is the synchronous scan: one row group at a time, decoded on
+// the consumer's goroutine. It is the path for scans that may stop early
+// (LIMIT without a blocking operator) — it bills the lazy minimum.
+func (sc *scanContext) sequential() exec.BatchIterator {
+	dec := newRGDecoder(sc)
+	fileIdx, rg := 0, 0
+	var f *pixfile.File
+	var key string
+	return func() (*col.Batch, error) {
+		for {
+			if err := sc.ctx.Err(); err != nil {
+				return nil, err
+			}
+			if f == nil {
+				if fileIdx >= len(sc.files) {
+					return nil, nil
+				}
+				meta := sc.files[fileIdx]
+				fileIdx++
+				opened, err := sc.openPixfile(meta, sc.stats)
+				if err != nil {
+					return nil, err
+				}
+				f, key, rg = opened, meta.Key, 0
+			}
+			if rg >= f.NumRowGroups() {
+				f = nil
+				continue
+			}
+			g := rg
+			rg++
+			if len(sc.node.ZonePreds) > 0 && f.PruneRowGroup(g, sc.node.ZonePreds) {
+				sc.stats.RowGroupsPruned++
+				continue
+			}
+			b, err := dec.decode(f, key, g, sc.stats)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil || b.N == 0 {
+				continue
+			}
+			return b, nil
+		}
+	}
+}
+
+// rgJob is one unit of pipeline work: a row group to decode, or a
+// stats-only marker (footer accounting, pruned group). done is closed when
+// batch/err/stats are final.
+type rgJob struct {
+	f    *pixfile.File
+	key  string
+	g    int
+	done chan struct{}
+
+	batch *col.Batch
+	stats Stats
+	err   error
+}
+
+// closedCh is a pre-closed channel for jobs that are born complete.
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// pipelined is the asynchronous scan: a producer walks files and row
+// groups in order (opening footers and zone-pruning), decode workers fetch
+// and decode up to `depth` row groups ahead, and the consumer receives
+// batches strictly in file/row-group order — so results and stats are
+// bit-identical to the sequential path, just overlapped.
+//
+// Billing stays deterministic because the pipeline is only used for scans
+// that are provably drained to exhaustion (pipelineEligible): every
+// prefetched chunk is consumed and accounted exactly once, in order, by
+// the consumer folding each job's private stats into the query total.
+// Goroutines exit when the scan is drained or sc.ctx is canceled — every
+// query path wraps its context with a cancel scoped to the query.
+func (sc *scanContext) pipelined(depth int) exec.BatchIterator {
+	ordered := make(chan *rgJob, depth) // delivery order + in-flight bound
+	work := make(chan *rgJob, depth)    // dispatch to decode workers
+
+	send := func(ch chan<- *rgJob, j *rgJob) bool {
+		select {
+		case ch <- j:
+			return true
+		case <-sc.ctx.Done():
+			return false
+		}
+	}
+
+	// Producer: footers, pruning, job creation — metadata only, no chunk
+	// I/O, so it runs far ahead of the decoders up to the channel bound.
+	pipelineLive.Add(1)
+	go func() {
+		defer pipelineLive.Add(-1)
+		defer close(work)
+		defer close(ordered)
+		for _, meta := range sc.files {
+			var fst Stats
+			f, err := sc.openPixfile(meta, &fst)
+			if err != nil {
+				j := &rgJob{done: closedCh, err: err}
+				j.stats = fst
+				send(ordered, j)
+				return
+			}
+			if !send(ordered, &rgJob{done: closedCh, stats: fst}) {
+				return
+			}
+			for g := 0; g < f.NumRowGroups(); g++ {
+				if len(sc.node.ZonePreds) > 0 && f.PruneRowGroup(g, sc.node.ZonePreds) {
+					if !send(ordered, &rgJob{done: closedCh, stats: Stats{RowGroupsPruned: 1}}) {
+						return
+					}
+					continue
+				}
+				j := &rgJob{f: f, key: meta.Key, g: g, done: make(chan struct{})}
+				if !send(ordered, j) || !send(work, j) {
+					return
+				}
+			}
+		}
+	}()
+
+	// Decode workers: each owns a decoder (and its scratch) and writes
+	// results into the job before closing done.
+	workers := min(depth, runtime.NumCPU())
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pipelineLive.Add(1)
+		wg.Add(1)
+		go func() {
+			defer pipelineLive.Add(-1)
+			defer wg.Done()
+			dec := newRGDecoder(sc)
+			for j := range work {
+				j.batch, j.err = dec.decode(j.f, j.key, j.g, &j.stats)
+				close(j.done)
+			}
+		}()
+	}
+
+	// Consumer: runs on the query goroutine, folds stats in order.
+	return func() (*col.Batch, error) {
+		for {
+			var j *rgJob
+			var ok bool
+			select {
+			case j, ok = <-ordered:
+			case <-sc.ctx.Done():
+				return nil, sc.ctx.Err()
+			}
+			if !ok {
+				return nil, nil
+			}
+			select {
+			case <-j.done:
+			case <-sc.ctx.Done():
+				return nil, sc.ctx.Err()
+			}
+			sc.stats.Add(j.stats)
+			if j.err != nil {
+				return nil, j.err
+			}
+			if j.batch == nil || j.batch.N == 0 {
+				continue
+			}
+			return j.batch, nil
+		}
+	}
+}
+
+// pipelineEligible returns the scans of the plan that are guaranteed to be
+// drained to exhaustion — the precondition for prefetching row groups
+// ahead of consumption. A scan under a LIMIT with no blocking operator in
+// between may stop early; prefetching there would inflate BytesScanned
+// (the billing unit) by however far the pipeline ran ahead, and make it
+// timing-dependent. Those scans run sequentially instead.
+func pipelineEligible(root plan.Node) map[*plan.ScanNode]bool {
+	out := make(map[*plan.ScanNode]bool)
+	for _, s := range plan.Scans(root) {
+		if drainsFully(root, s) {
+			out[s] = true
+		}
+	}
+	return out
+}

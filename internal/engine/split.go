@@ -83,6 +83,14 @@ type CFSplit struct {
 	// (right) side must be evaluated once by the coordinator and shared
 	// across workers (SplitOptions.SharedJoinBuild).
 	buildJoin *plan.JoinNode
+	// sortedMerge/mergeKeys, set for top-N splits, are the merge plan with
+	// the coordinator SortNode elided: the in-process parallel path feeds
+	// it the k worker streams through a streaming k-way merge (the worker
+	// outputs are already sorted under mergeKeys), so the coordinator never
+	// re-sorts the k·N survivors. The CF path keeps mergePlan — its
+	// intermediates arrive as unordered files.
+	sortedMerge plan.Node
+	mergeKeys   []plan.SortKey
 }
 
 // WorkerSchema is the schema of worker intermediate files.
@@ -143,6 +151,9 @@ func (e *Engine) SplitForCFOpts(node plan.Node, queryID string, parts int, opts 
 	// cache now so they never race on it.
 	warmSchemas(split.workerPlan)
 	warmSchemas(split.mergePlan)
+	if split.sortedMerge != nil {
+		warmSchemas(split.sortedMerge)
+	}
 
 	// Partition the chosen scan's files into contiguous ranges (sizes
 	// differing by at most one file). Contiguity matters beyond balance:
@@ -427,6 +438,10 @@ func (e *Engine) splitTopN(split *CFSplit, root plan.Node, lim *plan.LimitNode, 
 	split.workerPlan = topn
 	split.interm = intermScan(split.QueryID, topn.Schema())
 	split.mergePlan = replaceNode(root, srt.Child, split.interm)
+	// For the in-process path: worker outputs arrive pre-sorted, so the
+	// coordinator can skip the SortNode entirely and k-way-merge instead.
+	split.sortedMerge = replaceNode(root, srt, split.interm)
+	split.mergeKeys = srt.Keys
 }
 
 // splitJoinProbe pushes a whole single-join pipeline into the workers: the
@@ -534,11 +549,14 @@ func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catal
 		// (runSplitParallel) can honor a shared-build split.
 		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: shared-build join split cannot run as a CF worker")
 	}
+	// Scope the worker's scan pipelines to this task.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	stats := &Stats{}
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.partScan: {files: split.Tasks[task].Files},
 	}
-	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides))
+	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)))
 	if err != nil {
 		return catalog.FileMeta{}, Stats{}, err
 	}
@@ -569,7 +587,7 @@ func (e *Engine) MergeResults(ctx context.Context, split *CFSplit, interms []cat
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.interm: {files: interms, interm: true},
 	}
-	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides))
+	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides, nil))
 	if err != nil {
 		return nil, err
 	}

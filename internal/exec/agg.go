@@ -68,17 +68,31 @@ func (st *aggState) update(spec *plan.AggSpec, v col.Value, keyBuf *strings.Buil
 			st.sumF += float64(v.I)
 		}
 	case plan.AggMin, plan.AggMax:
+		// detachValue: min/max state outlives the batch, and decoded string
+		// vectors alias per-chunk backing blobs — one retained value must
+		// not pin its whole chunk. Cloning happens only when the running
+		// extremum changes, not per row.
 		if !st.hasMM {
+			v = detachValue(v)
 			st.min, st.max, st.hasMM = v, v, true
 			return
 		}
 		if v.Compare(st.min) < 0 {
-			st.min = v
+			st.min = detachValue(v)
 		}
 		if v.Compare(st.max) > 0 {
-			st.max = v
+			st.max = detachValue(v)
 		}
 	}
+}
+
+// detachValue copies a string value out of its source batch's backing so
+// retaining it across batches cannot pin chunk-sized decode blobs.
+func detachValue(v col.Value) col.Value {
+	if v.Type == col.STRING && !v.Null {
+		v.S = strings.Clone(v.S)
+	}
+	return v
 }
 
 func (st *aggState) result(spec *plan.AggSpec) col.Value {

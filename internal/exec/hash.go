@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"strings"
 
 	"repro/internal/col"
 )
@@ -262,6 +263,12 @@ func (t *groupTable) findOrAdd(vecs []*col.Vector, i int) (id int, added bool) {
 	t.groupHash = append(t.groupHash, h)
 	for c, v := range t.keys {
 		v.Append(vecs[c], i)
+		// Stored group keys live for the whole aggregation; clone string
+		// keys (once per group) so they don't pin their source chunk's
+		// shared decode blob.
+		if v.Type == col.STRING && !v.IsNull(v.N-1) {
+			v.Strs[v.N-1] = strings.Clone(v.Strs[v.N-1])
+		}
 	}
 	t.n++
 	if 2*t.n >= len(t.slots) {

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// mergeBatchRows is how many rows MergeSorted packs into each emitted
+// batch.
+const mergeBatchRows = 1024
+
+// mergeCursor walks one sorted input stream row by row, pulling batches
+// lazily.
+type mergeCursor struct {
+	src BatchIterator
+	idx int // input index; lower wins key ties (arrival order)
+	b   *col.Batch
+	pos int
+}
+
+// advance moves to the next row, fetching batches as needed. It reports
+// whether a row is available.
+func (c *mergeCursor) advance() (bool, error) {
+	c.pos++
+	for c.b == nil || c.pos >= c.b.N {
+		b, err := c.src()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			c.b = nil
+			return false, nil
+		}
+		c.b, c.pos = b, 0
+	}
+	return true, nil
+}
+
+// MergeSorted merges k input streams — each already sorted under keys —
+// into one globally sorted stream of batches. Key ties resolve toward the
+// lower-indexed input, and rows within one input keep their order, so
+// merging the outputs of workers that hold contiguous partitions (in
+// partition order) reproduces exactly what a stable sort over the serially
+// concatenated input would produce. Cost is O(total · log k) comparisons
+// via a binary heap of cursors — this is what replaces the coordinator's
+// full re-sort of k·N parallel top-N survivor rows.
+//
+// schema describes the row shape of every input (and of the output).
+func MergeSorted(inputs []BatchIterator, keys []plan.SortKey, schema *col.Schema) BatchIterator {
+	var heap []*mergeCursor
+	initialized := false
+
+	// less orders cursor a strictly before b: by sort keys, then by input
+	// index (arrival order of the contiguous partitions).
+	less := func(a, b *mergeCursor) bool {
+		if c := compareStoredRows(a.b, a.pos, b.b, b.pos, keys); c != 0 {
+			return c < 0
+		}
+		return a.idx < b.idx
+	}
+	siftDown := func(i int) {
+		n := len(heap)
+		for {
+			best := i
+			if l := 2*i + 1; l < n && less(heap[l], heap[best]) {
+				best = l
+			}
+			if r := 2*i + 2; r < n && less(heap[r], heap[best]) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+	}
+
+	return func() (*col.Batch, error) {
+		if !initialized {
+			initialized = true
+			for i, src := range inputs {
+				c := &mergeCursor{src: src, idx: i, pos: -1}
+				ok, err := c.advance()
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					heap = append(heap, c)
+				}
+			}
+			for i := len(heap)/2 - 1; i >= 0; i-- {
+				siftDown(i)
+			}
+		}
+		if len(heap) == 0 {
+			return nil, nil
+		}
+		out := col.EmptyBatch(schema)
+		for out.N < mergeBatchRows && len(heap) > 0 {
+			cur := heap[0]
+			for c := range out.Vecs {
+				out.Vecs[c].Append(cur.b.Vecs[c], cur.pos)
+			}
+			out.N++
+			ok, err := cur.advance()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				heap[0] = heap[len(heap)-1]
+				heap = heap[:len(heap)-1]
+			}
+			siftDown(0)
+		}
+		if out.N == 0 {
+			return nil, nil
+		}
+		return out, nil
+	}
+}

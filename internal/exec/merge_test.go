@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+func batchOf(vals ...int64) *col.Batch {
+	v := col.NewVector(col.INT64, len(vals))
+	copy(v.Ints, vals)
+	tag := col.NewVector(col.INT64, len(vals))
+	return col.NewBatch(v, tag)
+}
+
+// tagged marks every row of b with the given source tag in column 1, so
+// tie-break order is observable.
+func tagged(b *col.Batch, tag int64) *col.Batch {
+	for i := 0; i < b.N; i++ {
+		b.Vecs[1].Ints[i] = tag
+	}
+	return b
+}
+
+func iterOf(batches ...*col.Batch) BatchIterator {
+	i := 0
+	return func() (*col.Batch, error) {
+		if i >= len(batches) {
+			return nil, nil
+		}
+		b := batches[i]
+		i++
+		return b, nil
+	}
+}
+
+var mergeSchema = col.NewSchema(
+	col.Field{Name: "v", Type: col.INT64},
+	col.Field{Name: "src", Type: col.INT64},
+)
+
+func drainMerge(t *testing.T, it BatchIterator) ([]int64, []int64) {
+	t.Helper()
+	var vals, srcs []int64
+	for {
+		b, err := it()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return vals, srcs
+		}
+		vals = append(vals, b.Vecs[0].Ints[:b.N]...)
+		srcs = append(srcs, b.Vecs[1].Ints[:b.N]...)
+	}
+}
+
+func TestMergeSortedOrdersAndBreaksTiesByInput(t *testing.T) {
+	keys := []plan.SortKey{{Ordinal: 0}}
+	it := MergeSorted([]BatchIterator{
+		iterOf(tagged(batchOf(1, 3, 5, 7), 0)),
+		iterOf(tagged(batchOf(2, 3, 3, 8), 1)),
+		iterOf(tagged(batchOf(3, 4), 2)),
+	}, keys, mergeSchema)
+	vals, srcs := drainMerge(t, it)
+	wantVals := []int64{1, 2, 3, 3, 3, 3, 4, 5, 7, 8}
+	wantSrcs := []int64{0, 1, 0, 1, 1, 2, 2, 0, 0, 1}
+	for i := range wantVals {
+		if vals[i] != wantVals[i] || srcs[i] != wantSrcs[i] {
+			t.Fatalf("row %d = (%d from %d), want (%d from %d)\nvals %v\nsrcs %v",
+				i, vals[i], srcs[i], wantVals[i], wantSrcs[i], vals, srcs)
+		}
+	}
+	if len(vals) != len(wantVals) {
+		t.Fatalf("got %d rows, want %d", len(vals), len(wantVals))
+	}
+}
+
+func TestMergeSortedMultiBatchAndEmptyInputs(t *testing.T) {
+	keys := []plan.SortKey{{Ordinal: 0}}
+	it := MergeSorted([]BatchIterator{
+		iterOf(), // empty stream
+		iterOf(tagged(batchOf(1, 4), 1), tagged(batchOf(6, 9), 1)),
+		iterOf(tagged(batchOf(), 2), tagged(batchOf(5), 2)), // empty batch mid-stream
+	}, keys, mergeSchema)
+	vals, _ := drainMerge(t, it)
+	want := []int64{1, 4, 5, 6, 9}
+	if len(vals) != len(want) {
+		t.Fatalf("got %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("got %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestMergeSortedDescWithLargeStreams(t *testing.T) {
+	keys := []plan.SortKey{{Ordinal: 0, Desc: true}}
+	// Enough rows to cross the internal output-batch boundary.
+	mk := func(start, n int64) *col.Batch {
+		v := col.NewVector(col.INT64, int(n))
+		for i := range v.Ints {
+			v.Ints[i] = start - int64(i)*2
+		}
+		tag := col.NewVector(col.INT64, int(n))
+		return col.NewBatch(v, tag)
+	}
+	it := MergeSorted([]BatchIterator{
+		iterOf(mk(4000, 1000)),
+		iterOf(mk(3999, 1000)),
+	}, keys, mergeSchema)
+	vals, _ := drainMerge(t, it)
+	if len(vals) != 2000 {
+		t.Fatalf("got %d rows, want 2000", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatalf("descending order violated at %d: %d > %d", i, vals[i], vals[i-1])
+		}
+	}
+}
+
+func TestMergeSortedPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func() (*col.Batch, error) { return nil, boom }
+	it := MergeSorted([]BatchIterator{
+		iterOf(tagged(batchOf(1), 0)),
+		bad,
+	}, []plan.SortKey{{Ordinal: 0}}, mergeSchema)
+	if _, err := it(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

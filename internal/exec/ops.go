@@ -23,18 +23,31 @@ type Operator interface {
 // object store (applying projection and zone-map pruning).
 type BatchIterator func() (*col.Batch, error)
 
+// ScanStream is what a scan factory yields at Open: the batch iterator plus
+// whether it already evaluated the node's pushed-down filter. The engine's
+// file iterators filter at the row-group level (late materialization:
+// predicate columns are decoded first and non-matching row groups skip the
+// rest entirely) and emit already-compacted batches, so re-filtering here
+// would only waste a second predicate pass.
+type ScanStream struct {
+	Iter BatchIterator
+	// Filtered reports that Iter already applied the node's Filter and
+	// compacted its batches.
+	Filtered bool
+}
+
 // ScanOp reads a base table through a BatchIterator and applies the
-// pushed-down filter.
+// pushed-down filter unless the stream already did.
 type ScanOp struct {
 	node    *plan.ScanNode
-	newIter func() (BatchIterator, error)
-	iter    BatchIterator
+	newIter func() (ScanStream, error)
+	stream  ScanStream
 	ev      *Evaluator
 }
 
 // NewScanOp builds a scan operator. newIter is called at Open, so an
 // operator can be re-opened.
-func NewScanOp(node *plan.ScanNode, newIter func() (BatchIterator, error)) *ScanOp {
+func NewScanOp(node *plan.ScanNode, newIter func() (ScanStream, error)) *ScanOp {
 	return &ScanOp{node: node, newIter: newIter, ev: NewEvaluator()}
 }
 
@@ -43,25 +56,25 @@ func (s *ScanOp) Schema() *col.Schema { return s.node.Schema() }
 
 // Open implements Operator.
 func (s *ScanOp) Open() error {
-	iter, err := s.newIter()
+	stream, err := s.newIter()
 	if err != nil {
 		return err
 	}
-	s.iter = iter
+	s.stream = stream
 	return nil
 }
 
 // Next implements Operator.
 func (s *ScanOp) Next() (*col.Batch, error) {
 	for {
-		b, err := s.iter()
+		b, err := s.stream.Iter()
 		if err != nil {
 			return nil, err
 		}
 		if b == nil {
 			return nil, nil
 		}
-		if s.node.Filter == nil {
+		if s.node.Filter == nil || s.stream.Filtered {
 			return b, nil
 		}
 		sel, err := s.ev.EvalBool(s.node.Filter, b)
@@ -80,7 +93,7 @@ func (s *ScanOp) Next() (*col.Batch, error) {
 
 // Close implements Operator.
 func (s *ScanOp) Close() error {
-	s.iter = nil
+	s.stream = ScanStream{}
 	return nil
 }
 
@@ -635,13 +648,13 @@ func (l *LimitOp) Close() error { return l.child.Close() }
 // VM path prepares one build per shared join and hands the same immutable
 // table to every probe worker).
 type BuildEnv struct {
-	ScanFactory func(*plan.ScanNode) func() (BatchIterator, error)
+	ScanFactory func(*plan.ScanNode) func() (ScanStream, error)
 	JoinBuilds  map[*plan.JoinNode]*JoinBuild
 }
 
 // Build constructs the operator tree for a plan. scanFactory supplies the
-// batch iterator for each scan node.
-func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (BatchIterator, error)) (Operator, error) {
+// batch stream for each scan node.
+func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (ScanStream, error)) (Operator, error) {
 	return BuildWith(n, BuildEnv{ScanFactory: scanFactory})
 }
 

@@ -103,6 +103,9 @@ type Stats struct {
 	Hits, Misses int64
 	// FooterHits counts reads served from the pinned footer cache.
 	FooterHits int64
+	// ParsedFooterHits counts reopens served from the decoded-footer cache
+	// (no fetch, no CRC/tail validation, no parse).
+	ParsedFooterHits int64
 	// BytesFromCache / BytesFetched split served bytes by origin.
 	BytesFromCache, BytesFetched int64
 	// PrefetchIssued / PrefetchUsed / PrefetchWasted account read-ahead:
@@ -136,19 +139,28 @@ type CachingStore struct {
 	prefetchWG  sync.WaitGroup
 
 	hits, misses, footerHits         atomic.Int64
+	parsedFooterHits                 atomic.Int64
 	bytesFromCache, bytesFetched     atomic.Int64
 	prefIssued, prefUsed, prefWasted atomic.Int64
 	sfShared, evictions              atomic.Int64
 }
 
 // fileMeta is the pinned per-file entry: size, mod time, the trailing
-// footer bytes, and the sequential-access detector state.
+// footer bytes, the decoded-footer object, and the sequential-access
+// detector state.
 type fileMeta struct {
 	key       string
 	size      int64
 	modTime   time.Time
 	footerOff int64  // size - FooterSpan, clamped to 0
 	footer    []byte // nil until first footer-region read; guarded by s.mu
+
+	// parsed is the reader's decoded footer for (key, parsedSize), stored
+	// via StoreParsedFooter; guarded by s.mu. It rides the same entry — and
+	// therefore the same MaxFiles LRU bound and Put/Delete invalidation —
+	// as the pinned footer bytes.
+	parsed     any
+	parsedSize int64
 
 	lastEnd int64 // end offset of the previous block-path read; s.mu
 	streak  int   // consecutive sequential reads; s.mu
@@ -228,6 +240,7 @@ func (s *CachingStore) Stats() Stats {
 		Hits:               s.hits.Load(),
 		Misses:             s.misses.Load(),
 		FooterHits:         s.footerHits.Load(),
+		ParsedFooterHits:   s.parsedFooterHits.Load(),
 		BytesFromCache:     s.bytesFromCache.Load(),
 		BytesFetched:       s.bytesFetched.Load(),
 		PrefetchIssued:     s.prefIssued.Load(),
@@ -354,6 +367,36 @@ func (s *CachingStore) footer(fm *fileMeta) (data []byte, cached bool, err error
 	f = fm.footer
 	s.mu.Unlock()
 	return f, false, nil
+}
+
+// ParsedFooter implements objstore.ParsedFooterCache: it returns the
+// decoded footer previously stored for key, provided the key is still
+// resident and its size matches (a rewrite through this store invalidates
+// the entry, so a size check suffices to reject entries stored before an
+// observed write).
+func (s *CachingStore) ParsedFooter(key string, size int64) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fm, ok := s.files[key]
+	if !ok || fm.parsed == nil || fm.parsedSize != size {
+		return nil, false
+	}
+	s.fileList.MoveToFront(fm.elem)
+	s.parsedFooterHits.Add(1)
+	return fm.parsed, true
+}
+
+// StoreParsedFooter implements objstore.ParsedFooterCache. The value must
+// be immutable; it is dropped with the file entry on Put/Delete or under
+// MaxFiles pressure.
+func (s *CachingStore) StoreParsedFooter(key string, size int64, footer any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fm, ok := s.files[key]
+	if !ok || fm.noStore || fm.size != size {
+		return
+	}
+	fm.parsed, fm.parsedSize = footer, size
 }
 
 // blockData returns one block of the file, from cache or via a
@@ -694,6 +737,7 @@ func (sh *shard) flush(s *CachingStore) {
 }
 
 var (
-	_ objstore.Store        = (*CachingStore)(nil)
-	_ objstore.CachedRanger = (*CachingStore)(nil)
+	_ objstore.Store             = (*CachingStore)(nil)
+	_ objstore.CachedRanger      = (*CachingStore)(nil)
+	_ objstore.ParsedFooterCache = (*CachingStore)(nil)
 )

@@ -477,3 +477,66 @@ func TestCountersAttachToMetered(t *testing.T) {
 		t.Fatalf("post-reset delta = %+v, want 1 hit", u)
 	}
 }
+
+// TestParsedFooterCacheContract covers the decoded-footer cache: store and
+// hit, size-mismatch miss, Put/Delete invalidation, and the requirement
+// that a never-seen key neither stores nor panics.
+func TestParsedFooterCacheContract(t *testing.T) {
+	inner := objstore.NewMemory()
+	c := New(inner, Config{})
+	type footer struct{ id int }
+
+	// Storing for a key the cache has never resolved is a no-op.
+	c.StoreParsedFooter("ghost", 10, &footer{id: 0})
+	if _, ok := c.ParsedFooter("ghost", 10); ok {
+		t.Fatal("parsed footer stored for an unresolved key")
+	}
+
+	data := bytes.Repeat([]byte{7}, 1024)
+	if err := c.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetRange("k", 0, 16); err != nil { // resolves fileMeta
+		t.Fatal(err)
+	}
+	f1 := &footer{id: 1}
+	c.StoreParsedFooter("k", 1024, f1)
+	got, ok := c.ParsedFooter("k", 1024)
+	if !ok || got.(*footer) != f1 {
+		t.Fatalf("parsed footer roundtrip failed: %v %v", got, ok)
+	}
+	if c.Stats().ParsedFooterHits != 1 {
+		t.Fatalf("ParsedFooterHits = %d, want 1", c.Stats().ParsedFooterHits)
+	}
+
+	// A size mismatch must miss (entry was parsed from other bytes).
+	if _, ok := c.ParsedFooter("k", 999); ok {
+		t.Fatal("parsed footer served despite size mismatch")
+	}
+
+	// Storing under a stale size is refused.
+	c.StoreParsedFooter("k", 999, &footer{id: 2})
+	if got, ok := c.ParsedFooter("k", 1024); !ok || got.(*footer) != f1 {
+		t.Fatal("stale-size store clobbered the valid entry")
+	}
+
+	// A rewrite through the store drops the entry.
+	if err := c.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.ParsedFooter("k", 1024); ok {
+		t.Fatal("Put did not invalidate the parsed footer")
+	}
+
+	// Re-resolve, store, then Delete must invalidate too.
+	if _, err := c.GetRange("k", 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	c.StoreParsedFooter("k", 1024, &footer{id: 3})
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.ParsedFooter("k", 1024); ok {
+		t.Fatal("Delete did not invalidate the parsed footer")
+	}
+}

@@ -198,11 +198,16 @@ func packBits(bits []bool) []byte {
 	return out
 }
 
-func unpackBits(p []byte, n int) ([]bool, error) {
+func unpackBits(p []byte, n int, dst []bool) ([]bool, error) {
 	if len(p) < (n+7)/8 {
 		return nil, fmt.Errorf("%w: bitmap too short for %d bits", ErrCorrupt, n)
 	}
-	out := make([]bool, n)
+	out := dst
+	if cap(out) >= n {
+		out = out[:n]
+	} else {
+		out = make([]bool, n)
+	}
 	for i := range out {
 		out[i] = p[i/8]&(1<<(i%8)) != 0
 	}

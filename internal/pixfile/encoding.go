@@ -81,10 +81,14 @@ func encodeInts(enc Encoding, vals []int64) []byte {
 	return w.bytes()
 }
 
-// decodeInts decodes n int64 values.
-func decodeInts(enc Encoding, p []byte, n int) ([]int64, error) {
+// decodeInts decodes n int64 values, reusing dst's capacity when it
+// suffices.
+func decodeInts(enc Encoding, p []byte, n int, dst []int64) ([]int64, error) {
 	r := newRdr(p)
-	out := make([]int64, 0, n)
+	out := dst[:0]
+	if cap(out) < n {
+		out = make([]int64, 0, n)
+	}
 	switch enc {
 	case EncPlain:
 		for len(out) < n {
@@ -149,9 +153,9 @@ func encodeFloats(vals []float64) []byte {
 	return w.bytes()
 }
 
-func decodeFloats(p []byte, n int) ([]float64, error) {
+func decodeFloats(p []byte, n int, dst []float64) ([]float64, error) {
 	r := newRdr(p)
-	out := make([]float64, n)
+	out := resizeSlice(dst, n)
 	for i := range out {
 		v, err := r.f64()
 		if err != nil {
@@ -171,17 +175,35 @@ func encodeStringsPlain(vals []string) []byte {
 	return w.bytes()
 }
 
-func decodeStringsPlain(p []byte, n int) ([]string, error) {
+// decodeStringsPlain decodes length-prefixed strings. All values are
+// sliced out of one shared backing allocation covering the chunk payload,
+// so a plain string chunk costs one allocation for the bytes (plus the
+// header slice) instead of one per row.
+func decodeStringsPlain(p []byte, n int, dst []string) ([]string, error) {
 	r := newRdr(p)
-	out := make([]string, n)
+	out := resizeSlice(dst, n)
+	blob := string(p)
 	for i := range out {
-		s, err := r.str()
+		ln, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		out[i] = s
+		if ln > uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w: string length %d exceeds remaining %d", ErrCorrupt, ln, r.remaining())
+		}
+		out[i] = blob[r.off : r.off+int(ln)]
+		r.off += int(ln)
 	}
 	return out, nil
+}
+
+// resizeSlice returns s resized to length n, reusing its capacity when
+// possible.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // encodeStringsDict stores a dictionary followed by indexes.
@@ -210,7 +232,12 @@ func encodeStringsDict(vals []string) ([]byte, bool) {
 	return w.bytes(), true
 }
 
-func decodeStringsDict(p []byte, n int) ([]string, error) {
+// decodeStringsDict decodes a dictionary chunk. The dictionary entries are
+// substrings of a single shared backing allocation (one string conversion
+// of the dictionary region), and every output row aliases its dictionary
+// entry — repeated values share one allocation no matter how many rows
+// carry them.
+func decodeStringsDict(p []byte, n int, dst []string) ([]string, error) {
 	r := newRdr(p)
 	dn, err := r.uvarint()
 	if err != nil {
@@ -219,14 +246,28 @@ func decodeStringsDict(p []byte, n int) ([]string, error) {
 	if dn > uint64(len(p)) {
 		return nil, fmt.Errorf("%w: dict size %d too large", ErrCorrupt, dn)
 	}
-	dict := make([]string, dn)
-	for i := range dict {
-		dict[i], err = r.str()
+	// Pass 1: walk the entries to find the end of the dictionary region.
+	dictStart := r.off
+	for i := uint64(0); i < dn; i++ {
+		ln, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
+		if ln > uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w: dict entry length %d exceeds remaining %d", ErrCorrupt, ln, r.remaining())
+		}
+		r.off += int(ln)
 	}
-	out := make([]string, n)
+	// One backing allocation for every entry; pass 2 slices it up.
+	blob := string(p[dictStart:r.off])
+	dict := make([]string, dn)
+	dr := &rdr{b: p, off: dictStart}
+	for i := range dict {
+		ln, _ := dr.uvarint()
+		dict[i] = blob[dr.off-dictStart : dr.off-dictStart+int(ln)]
+		dr.off += int(ln)
+	}
+	out := resizeSlice(dst, n)
 	for i := range out {
 		idx, err := r.uvarint()
 		if err != nil {
@@ -319,19 +360,39 @@ func encodeVector(v *col.Vector) (Encoding, []byte, int) {
 	return enc, w.bytes(), nulls
 }
 
-// decodeVector decodes a chunk payload back into a vector of n rows.
-func decodeVector(t col.Type, enc Encoding, p []byte, n, nulls int) (*col.Vector, error) {
+// ChunkScratch holds reusable buffers for decoding column chunks. A vector
+// decoded with a scratch aliases its buffers, so the scratch must not be
+// reused until the caller is done with that vector; when the vector escapes
+// (is retained beyond the next decode), call Detach so the next decode
+// allocates fresh backing.
+type ChunkScratch struct {
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	valid  []bool
+}
+
+// Detach disowns the buffers so the previously decoded vector keeps them.
+func (s *ChunkScratch) Detach() { *s = ChunkScratch{} }
+
+// decodeVector decodes a chunk payload back into a vector of n rows. A
+// non-nil scratch donates reusable backing slices (see ChunkScratch).
+func decodeVector(t col.Type, enc Encoding, p []byte, n, nulls int, scratch *ChunkScratch) (*col.Vector, error) {
+	if scratch == nil {
+		scratch = &ChunkScratch{}
+	}
 	v := &col.Vector{Type: t, N: n}
 	if nulls > 0 {
 		bmLen := (n + 7) / 8
 		if len(p) < bmLen {
 			return nil, fmt.Errorf("%w: chunk shorter than validity bitmap", ErrCorrupt)
 		}
-		valid, err := unpackBits(p[:bmLen], n)
+		valid, err := unpackBits(p[:bmLen], n, scratch.valid)
 		if err != nil {
 			return nil, err
 		}
-		v.Valid = valid
+		v.Valid, scratch.valid = valid, valid
 		p = p[bmLen:]
 	}
 	var err error
@@ -340,17 +401,21 @@ func decodeVector(t col.Type, enc Encoding, p []byte, n, nulls int) (*col.Vector
 		if enc != EncBitpack {
 			return nil, fmt.Errorf("%w: bool chunk with encoding %s", ErrCorrupt, enc)
 		}
-		v.Bools, err = unpackBits(p, n)
+		v.Bools, err = unpackBits(p, n, scratch.bools)
+		scratch.bools = v.Bools
 	case col.INT64, col.DATE, col.TIMESTAMP:
-		v.Ints, err = decodeInts(enc, p, n)
+		v.Ints, err = decodeInts(enc, p, n, scratch.ints)
+		scratch.ints = v.Ints
 	case col.FLOAT64:
-		v.Floats, err = decodeFloats(p, n)
+		v.Floats, err = decodeFloats(p, n, scratch.floats)
+		scratch.floats = v.Floats
 	case col.STRING:
 		if enc == EncDict {
-			v.Strs, err = decodeStringsDict(p, n)
+			v.Strs, err = decodeStringsDict(p, n, scratch.strs)
 		} else {
-			v.Strs, err = decodeStringsPlain(p, n)
+			v.Strs, err = decodeStringsPlain(p, n, scratch.strs)
 		}
+		scratch.strs = v.Strs
 	default:
 		return nil, fmt.Errorf("%w: cannot decode type %s", ErrCorrupt, t)
 	}

@@ -378,7 +378,7 @@ func TestIntEncodingRoundTripProperty(t *testing.T) {
 	f := func(vals []int64) bool {
 		for _, enc := range []Encoding{EncPlain, EncRLE, EncDelta} {
 			b := encodeInts(enc, vals)
-			got, err := decodeInts(enc, b, len(vals))
+			got, err := decodeInts(enc, b, len(vals), nil)
 			if err != nil || len(got) != len(vals) {
 				return false
 			}
@@ -406,7 +406,7 @@ func TestStringDictRoundTripProperty(t *testing.T) {
 		if !ok {
 			return len(vals) == 0 // tiny inputs may skip dict; that's fine
 		}
-		got, err := decodeStringsDict(b, len(vals))
+		got, err := decodeStringsDict(b, len(vals), nil)
 		if err != nil {
 			return false
 		}
@@ -425,7 +425,7 @@ func TestStringDictRoundTripProperty(t *testing.T) {
 func TestBitpackRoundTripProperty(t *testing.T) {
 	f := func(bits []bool) bool {
 		p := packBits(bits)
-		got, err := unpackBits(p, len(bits))
+		got, err := unpackBits(p, len(bits), nil)
 		if err != nil {
 			return false
 		}
@@ -444,7 +444,7 @@ func TestBitpackRoundTripProperty(t *testing.T) {
 func TestFloatEncodingRoundTripProperty(t *testing.T) {
 	f := func(vals []float64) bool {
 		b := encodeFloats(vals)
-		got, err := decodeFloats(b, len(vals))
+		got, err := decodeFloats(b, len(vals), nil)
 		if err != nil {
 			return false
 		}

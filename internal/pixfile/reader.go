@@ -19,7 +19,8 @@ type File struct {
 	size   int64
 	footer *Footer
 
-	bytesRead int64
+	footerBytes int64 // billed size of the footer region (tail + footer)
+	bytesRead   int64
 }
 
 // Open reads the footer of a file of the given size via fetch.
@@ -52,9 +53,20 @@ func Open(fetch RangeReader, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &File{fetch: fetch, size: size, footer: footer}
-	f.bytesRead += tailLen + int64(footerLen)
+	f := &File{fetch: fetch, size: size, footer: footer, footerBytes: tailLen + int64(footerLen)}
+	f.bytesRead = f.footerBytes
 	return f, nil
+}
+
+// OpenWithFooter constructs a File from an already-parsed footer without
+// performing any I/O — the reopen path when a parsed-footer cache holds the
+// decoded footer for this (key, size). footerBytes must be the billed size
+// of the footer region exactly as Open would have fetched it, so BytesRead
+// (the billing counter) is identical whether the footer was re-fetched or
+// served from cache. The footer must be treated as immutable: it may be
+// shared by any number of concurrently open Files.
+func OpenWithFooter(fetch RangeReader, size int64, footer *Footer, footerBytes int64) *File {
+	return &File{fetch: fetch, size: size, footer: footer, footerBytes: footerBytes, bytesRead: footerBytes}
 }
 
 // OpenBytes opens a file held fully in memory.
@@ -72,6 +84,14 @@ func OpenBytes(data []byte) (*File, error) {
 
 // Schema returns the file schema.
 func (f *File) Schema() *col.Schema { return f.footer.Schema }
+
+// Footer exposes the parsed footer so callers can cache it across reopens
+// (see OpenWithFooter). It must be treated as immutable.
+func (f *File) Footer() *Footer { return f.footer }
+
+// FooterBytes is the billed size of the footer region (tail + footer) as
+// fetched by Open.
+func (f *File) FooterBytes() int64 { return f.footerBytes }
 
 // NumRows returns the total row count.
 func (f *File) NumRows() int64 { return f.footer.NumRows }
@@ -92,32 +112,49 @@ func (f *File) ReadColumns(g int, cols []int) (*col.Batch, error) {
 	if g < 0 || g >= len(f.footer.RowGroups) {
 		return nil, fmt.Errorf("pixfile: row group %d out of range %d", g, len(f.footer.RowGroups))
 	}
-	rg := f.footer.RowGroups[g]
 	vecs := make([]*col.Vector, len(cols))
 	for i, c := range cols {
-		if c < 0 || c >= len(rg.Chunks) {
-			return nil, fmt.Errorf("pixfile: column %d out of range %d", c, len(rg.Chunks))
-		}
-		ch := rg.Chunks[c]
-		raw, err := f.fetch(ch.Offset, ch.Length)
-		if err != nil {
-			return nil, fmt.Errorf("pixfile: read chunk rg=%d col=%d: %w", g, c, err)
-		}
-		f.bytesRead += ch.Length
-		if crc := crc32.ChecksumIEEE(raw); crc != ch.CRC {
-			return nil, fmt.Errorf("%w: CRC mismatch rg=%d col=%d", ErrCorrupt, g, c)
-		}
-		payload, err := decompress(ch.Compression, raw)
+		vec, err := f.ReadColumnChunkVia(f.fetch, g, c, nil)
 		if err != nil {
 			return nil, err
 		}
-		vec, err := decodeVector(f.footer.Schema.Fields[c].Type, ch.Encoding, payload, rg.NumRows, ch.Stats.NullCount)
-		if err != nil {
-			return nil, fmt.Errorf("pixfile: decode chunk rg=%d col=%d: %w", g, c, err)
-		}
+		f.bytesRead += f.footer.RowGroups[g].Chunks[c].Length
 		vecs[i] = vec
 	}
 	return col.NewBatch(vecs...), nil
+}
+
+// ReadColumnChunkVia fetches, verifies and decodes the single column chunk
+// (g, c) through an explicit fetcher, leaving the File's own BytesRead
+// counter untouched. It exists for concurrent readers — a pipelined scan
+// decoding several row groups of one File at once — which need per-call
+// fetch accounting and must not race on shared counters. A non-nil scratch
+// donates reusable decode buffers (see ChunkScratch).
+func (f *File) ReadColumnChunkVia(fetch RangeReader, g, c int, scratch *ChunkScratch) (*col.Vector, error) {
+	if g < 0 || g >= len(f.footer.RowGroups) {
+		return nil, fmt.Errorf("pixfile: row group %d out of range %d", g, len(f.footer.RowGroups))
+	}
+	rg := f.footer.RowGroups[g]
+	if c < 0 || c >= len(rg.Chunks) {
+		return nil, fmt.Errorf("pixfile: column %d out of range %d", c, len(rg.Chunks))
+	}
+	ch := rg.Chunks[c]
+	raw, err := fetch(ch.Offset, ch.Length)
+	if err != nil {
+		return nil, fmt.Errorf("pixfile: read chunk rg=%d col=%d: %w", g, c, err)
+	}
+	if crc := crc32.ChecksumIEEE(raw); crc != ch.CRC {
+		return nil, fmt.Errorf("%w: CRC mismatch rg=%d col=%d", ErrCorrupt, g, c)
+	}
+	payload, err := decompress(ch.Compression, raw)
+	if err != nil {
+		return nil, err
+	}
+	vec, err := decodeVector(f.footer.Schema.Fields[c].Type, ch.Encoding, payload, rg.NumRows, ch.Stats.NullCount, scratch)
+	if err != nil {
+		return nil, fmt.Errorf("pixfile: decode chunk rg=%d col=%d: %w", g, c, err)
+	}
+	return vec, nil
 }
 
 // ReadAll materializes the whole file (all columns, all groups). Intended

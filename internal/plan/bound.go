@@ -10,6 +10,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/col"
@@ -220,6 +221,24 @@ func walk(e BoundExpr, fn func(BoundExpr)) {
 	case *BCast:
 		walk(x.X, fn)
 	}
+}
+
+// FilterOrdinals returns the sorted, deduplicated set of input-schema
+// ordinals a finalized expression references. The engine uses it on a
+// scan's pushed-down filter to know which projected columns must be
+// decoded before the filter can run (late materialization): predicate
+// columns first, every other column only for row groups that select rows.
+func FilterOrdinals(e BoundExpr) []int {
+	seen := make(map[int]bool)
+	var out []int
+	walk(e, func(n BoundExpr) {
+		if c, ok := n.(*BCol); ok && !seen[c.Ordinal] {
+			seen[c.Ordinal] = true
+			out = append(out, c.Ordinal)
+		}
+	})
+	sort.Ints(out)
+	return out
 }
 
 // relsOf returns the set of base relations an expression references.

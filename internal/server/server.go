@@ -348,10 +348,17 @@ type ResultPayload struct {
 	Rows         [][]string `json:"rows"`
 	BytesScanned int64      `json:"bytesScanned"`
 	RowsReturned int64      `json:"rowsReturned"`
-	CacheHits    int64      `json:"cacheHits"`
-	CacheMisses  int64      `json:"cacheMisses"`
-	ListPrice    float64    `json:"listPrice"`
-	ResourceCost float64    `json:"resourceCost"`
+	// ColumnChunksSkipped and RowsFiltered expose the scan's late
+	// materialization: chunks never fetched because their row group's
+	// predicate columns selected no rows, and rows the pushed-down filter
+	// dropped. Skipped chunks are the one legitimate way BytesScanned (and
+	// so the bill) shrinks without changing the answer.
+	ColumnChunksSkipped int64   `json:"columnChunksSkipped"`
+	RowsFiltered        int64   `json:"rowsFiltered"`
+	CacheHits           int64   `json:"cacheHits"`
+	CacheMisses         int64   `json:"cacheMisses"`
+	ListPrice           float64 `json:"listPrice"`
+	ResourceCost        float64 `json:"resourceCost"`
 }
 
 func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error {
@@ -378,6 +385,8 @@ func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error
 		}
 		payload.BytesScanned = res.Stats.BytesScanned
 		payload.RowsReturned = res.Stats.RowsReturned
+		payload.ColumnChunksSkipped = res.Stats.ColumnChunksSkipped
+		payload.RowsFiltered = res.Stats.RowsFiltered
 		payload.CacheHits = res.Stats.CacheHits
 		payload.CacheMisses = res.Stats.CacheMisses
 	}

@@ -85,6 +85,13 @@ type Options struct {
 	// detected as sequential (0 = default of 2 when the cache is enabled;
 	// negative disables prefetching). Ignored when CacheSize is 0.
 	CacheReadAhead int
+	// ScanPrefetch is how many row groups ahead a fully-draining table
+	// scan fetches and decodes in its pipelined stage (0 = engine default,
+	// negative = disable the pipeline; scans then decode synchronously).
+	// Prefetching never changes results or billed bytes-scanned: it only
+	// applies to scans proven to drain completely, and batches are
+	// delivered in file/row-group order.
+	ScanPrefetch int
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
@@ -162,6 +169,7 @@ func Open(opts Options) (*DB, error) {
 		engineStore = rcache
 	}
 	eng := engine.New(cat, engineStore)
+	eng.SetScanPrefetch(opts.ScanPrefetch)
 	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
 	cf := cfsim.NewService(clk, opts.CF)
 	ledger := billing.NewLedger()
