@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pixels-bench                   # run everything
-//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a6)
+//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a7)
 //	pixels-bench -parallelism 8    # VM-side intra-query width for real-SQL experiments
 //	pixels-bench -cache-mb 64      # object-store read cache for real-SQL experiments
 package main
@@ -19,16 +19,20 @@ import (
 )
 
 func main() {
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a6)")
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a7)")
 	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")
 	var scanPrefetch = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = engine default, negative = synchronous)")
+	var scanBudget = flag.Int("scan-budget", 0, "process-wide cap on concurrent pipeline decode workers (0 = one per CPU, negative = unlimited)")
+	var vecOn = flag.Bool("vec", true, "vectorized expression kernels for real-SQL experiments; false = interpreted evaluation")
 	flag.Parse()
 	bench.VMParallelism = *parallelism
 	bench.CacheMB = *cacheMB
 	bench.ReadAhead = *readAhead
 	bench.ScanPrefetch = *scanPrefetch
+	bench.ScanBudget = *scanBudget
+	bench.Interpreted = !*vecOn
 
 	ran := 0
 	matched := 0

@@ -26,6 +26,8 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 0, "object-store read cache size in MiB (0 = off)")
 		readAh   = flag.Int("readahead", 0, "read-ahead depth in blocks (0 = default, negative = off)")
 		scanPf   = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = default, negative = synchronous)")
+		scanBud  = flag.Int("scan-budget", 0, "process-wide cap on concurrent pipeline decode workers (0 = one per CPU, negative = unlimited)")
+		vecOn    = flag.Bool("vec", true, "vectorized expression kernels (selection-vector filters + selection-aware decode); false = interpreted evaluation")
 	)
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		CacheSize:         int64(*cacheMB) << 20,
 		CacheReadAhead:    *readAh,
 		ScanPrefetch:      *scanPf,
+		ScanBudget:        *scanBud,
+		NoVectorize:       !*vecOn,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -41,7 +41,7 @@ func Registry() []Experiment {
 		{"E7", E7TextToSQL}, {"E8", E8PendingTimes}, {"E9", E9CostReport},
 		{"A1", A1LazyScaleIn}, {"A2", A2GraceSweep}, {"A3", A3Policies},
 		{"A4", A4StorageAblation}, {"A5", A5IntraQueryParallel},
-		{"A6", A6MergeSideParallel},
+		{"A6", A6MergeSideParallel}, {"A7", A7VectorizedEval},
 	}
 }
 

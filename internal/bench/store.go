@@ -21,6 +21,17 @@ var ReadAhead int
 // synchronous). cmd/pixels-bench sets it from the -scan-prefetch flag.
 var ScanPrefetch int
 
+// ScanBudget caps the process-wide pipeline decode concurrency (0 = keep
+// the process default of one token per CPU, negative = unlimited).
+// cmd/pixels-bench sets it from the -scan-budget flag.
+var ScanBudget int
+
+// Interpreted disables the vectorized expression kernels for real-SQL
+// experiments, forcing row-at-a-time evaluation. cmd/pixels-bench sets it
+// from the -vec flag (Interpreted = !vec); the default — vectorized — is
+// the engine's default.
+var Interpreted bool
+
 // newRealStore builds the object-store stack real-SQL experiments read
 // through, honoring the cache flags.
 func newRealStore() objstore.Store {
@@ -35,9 +46,13 @@ func newRealStore() objstore.Store {
 }
 
 // newRealEngine builds the engine real-SQL experiments run on, honoring
-// the cache and scan-prefetch flags.
+// the cache, scan-prefetch, scan-budget and vectorization flags.
 func newRealEngine() *engine.Engine {
 	e := engine.New(catalog.New(), newRealStore())
 	e.SetScanPrefetch(ScanPrefetch)
+	e.SetVectorized(!Interpreted)
+	if ScanBudget != 0 {
+		engine.SetPrefetchBudget(ScanBudget)
+	}
 	return e
 }

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The scan-prefetch budget is a process-wide semaphore over pipeline decode
+// workers. Without it the decode concurrency of a host is the product of
+// every live scan's workers (parallel query workers × min(ScanPrefetch,
+// NumCPU) each), which oversubscribes small hosts as soon as a few
+// pipelined scans overlap. With it, at most `budget` decode workers hold a
+// token at any instant across all engines in the process.
+//
+// Deadlock-freedom: worker 0 of every pipeline is exempt (it never takes a
+// token), so each scan always makes progress even at budget 0 of free
+// tokens; and tokens are held only for the duration of one row-group
+// decode — never across a wait on another pipeline — so every acquisition
+// eventually succeeds.
+
+// DefaultPrefetchBudget is the token count the process starts with: one
+// per CPU, the point past which extra concurrent decodes only thrash.
+var DefaultPrefetchBudget = runtime.NumCPU()
+
+var prefetchBudget = struct {
+	mu sync.RWMutex
+	ch chan struct{} // nil = unlimited
+
+	inUse     atomic.Int64
+	highWater atomic.Int64
+}{ch: make(chan struct{}, DefaultPrefetchBudget)}
+
+// SetPrefetchBudget resizes the process-wide scan-prefetch budget: n > 0
+// sets the token count, 0 restores DefaultPrefetchBudget, negative removes
+// the bound entirely. In-flight decodes finish against the budget they
+// acquired under.
+func SetPrefetchBudget(n int) {
+	var ch chan struct{}
+	switch {
+	case n == 0:
+		ch = make(chan struct{}, DefaultPrefetchBudget)
+	case n > 0:
+		ch = make(chan struct{}, n)
+	}
+	prefetchBudget.mu.Lock()
+	prefetchBudget.ch = ch
+	prefetchBudget.mu.Unlock()
+}
+
+// prefetchBudgetCh snapshots the current semaphore; acquire and release
+// must use the same snapshot so a concurrent SetPrefetchBudget cannot
+// unbalance it.
+func prefetchBudgetCh() chan struct{} {
+	prefetchBudget.mu.RLock()
+	defer prefetchBudget.mu.RUnlock()
+	return prefetchBudget.ch
+}
+
+// acquirePrefetchToken blocks for a token (or context cancellation).
+func acquirePrefetchToken(ctx context.Context, ch chan struct{}) bool {
+	select {
+	case ch <- struct{}{}:
+	case <-ctx.Done():
+		return false
+	}
+	v := prefetchBudget.inUse.Add(1)
+	for {
+		hw := prefetchBudget.highWater.Load()
+		if v <= hw || prefetchBudget.highWater.CompareAndSwap(hw, v) {
+			return true
+		}
+	}
+}
+
+func releasePrefetchToken(ch chan struct{}) {
+	prefetchBudget.inUse.Add(-1)
+	<-ch
+}
+
+// PrefetchBudgetHighWater reports the maximum number of simultaneously
+// held prefetch tokens since the last reset. Test hook.
+func PrefetchBudgetHighWater() int64 { return prefetchBudget.highWater.Load() }
+
+// ResetPrefetchBudgetStats clears the high-water mark. Test hook.
+func ResetPrefetchBudgetStats() { prefetchBudget.highWater.Store(0) }

@@ -25,16 +25,30 @@ type Engine struct {
 	cat   *catalog.Catalog
 	store objstore.Store
 
-	prefetch int // row groups a draining scan decodes ahead; 0 = synchronous
+	prefetch int  // row groups a draining scan decodes ahead; 0 = synchronous
+	interp   bool // evaluate expressions with the interpreter only (no vec kernels)
 
 	mu      sync.Mutex
 	fileSeq map[string]int // per-table file sequence for unique keys
 }
 
-// New builds an engine over a catalog and store.
+// New builds an engine over a catalog and store. Vectorized expression
+// evaluation (internal/vec) is on by default.
 func New(cat *catalog.Catalog, store objstore.Store) *Engine {
 	return &Engine{cat: cat, store: store, prefetch: DefaultScanPrefetch, fileSeq: make(map[string]int)}
 }
+
+// SetVectorized toggles the vectorized expression kernels (internal/vec):
+// scan filters compile to selection-vector kernel programs with
+// selection-aware payload decode, and executor filters/projections use the
+// same kernels. Off means every expression runs through the row-at-a-time
+// exec.Evaluator. Results, stats and billed bytes are bit-identical either
+// way — the switch exists for the interpreted-vs-vectorized ablation.
+// Call before issuing queries.
+func (e *Engine) SetVectorized(on bool) { e.interp = !on }
+
+// Vectorized reports whether the vec kernels are enabled.
+func (e *Engine) Vectorized() bool { return !e.interp }
 
 // SetScanPrefetch sets how many row groups ahead a fully-draining
 // base-table scan may fetch and decode in its pipeline (see scanpipe.go).
@@ -235,7 +249,10 @@ func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stats := &Stats{}
-	op, err := exec.Build(node, e.scanFactory(ctx, stats, nil, pipelineEligible(node)))
+	op, err := exec.BuildWith(node, exec.BuildEnv{
+		ScanFactory: e.scanFactory(ctx, stats, nil, pipelineEligible(node)),
+		Interpreted: e.interp,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -118,8 +118,10 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	var joinBuilds map[*plan.JoinNode]*exec.JoinBuild
 	var buildStats Stats
 	if split.buildJoin != nil {
-		rightOp, err := exec.Build(split.buildJoin.Right,
-			e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)))
+		rightOp, err := exec.BuildWith(split.buildJoin.Right, exec.BuildEnv{
+			ScanFactory: e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
+			Interpreted: e.interp,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +202,10 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.interm: {iter: iter},
 	}
-	op, err := exec.Build(mergePlan, e.scanFactory(ctx, stats, overrides, nil))
+	op, err := exec.BuildWith(mergePlan, exec.BuildEnv{
+		ScanFactory: e.scanFactory(ctx, stats, overrides, nil),
+		Interpreted: e.interp,
+	})
 	var out *col.Batch
 	if err == nil {
 		out, err = exec.Collect(op)
@@ -245,6 +250,7 @@ func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task in
 	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
 		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
 		JoinBuilds:  joinBuilds,
+		Interpreted: e.interp,
 	})
 	if err != nil {
 		return err

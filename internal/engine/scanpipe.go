@@ -13,6 +13,7 @@ import (
 	"repro/internal/objstore"
 	"repro/internal/pixfile"
 	"repro/internal/plan"
+	"repro/internal/vec"
 )
 
 // DefaultScanPrefetch is how many row groups ahead of the consumer a
@@ -50,6 +51,13 @@ type scanContext struct {
 
 	predPos []int // positions in node.Cols the filter references
 	restPos []int // the complement: decoded only for matching row groups
+
+	// prog is the filter compiled to a selection-vector kernel program
+	// (internal/vec); nil when vectorized evaluation is off or the
+	// expression is outside the kernel set. The program is immutable and
+	// shared by every decoder of the scan — per-run state lives in each
+	// decoder's vec.Scratch.
+	prog *vec.Program
 }
 
 func (e *Engine) newScanContext(ctx context.Context, node *plan.ScanNode, files []catalog.FileMeta, stats *Stats, interm bool) *scanContext {
@@ -80,6 +88,9 @@ func (e *Engine) newScanContext(ctx context.Context, node *plan.ScanNode, files 
 	}
 	if inPred == nil {
 		sc.restPos = nil
+	}
+	if !e.interp {
+		sc.prog, _ = vec.Compile(node.Filter)
 	}
 	return sc
 }
@@ -150,6 +161,7 @@ type rgDecoder struct {
 	sc      *scanContext
 	ev      *exec.Evaluator
 	scratch []*pixfile.ChunkScratch
+	vs      vec.Scratch // per-decoder state for the shared kernel program
 }
 
 func newRGDecoder(sc *scanContext) *rgDecoder {
@@ -202,9 +214,22 @@ func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.
 		}
 		vecs[pos] = v
 	}
-	sel, err := d.ev.EvalBool(sc.node.Filter, &col.Batch{Vecs: vecs, N: n})
-	if err != nil {
-		return nil, err
+	predBatch := &col.Batch{Vecs: vecs, N: n}
+	var sel []int
+	kernelRan := false
+	if sc.prog != nil {
+		// A nil selection with ok=true is a legitimate zero-match result
+		// (distinct from the ok=false layout-mismatch fallback signal), so
+		// branch on ok — re-evaluating through the interpreter would pay
+		// the full per-row walk on exactly the zero-match row groups the
+		// kernels are fastest on.
+		sel, kernelRan = sc.prog.Run(predBatch, &d.vs)
+	}
+	if !kernelRan {
+		var err error
+		if sel, err = d.ev.EvalBool(sc.node.Filter, predBatch); err != nil {
+			return nil, err
+		}
 	}
 	st.RowsScanned += int64(n)
 	st.RowGroupsRead++
@@ -212,6 +237,27 @@ func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.
 	if len(sel) == 0 {
 		st.ColumnChunksSkipped += int64(len(sc.restPos))
 		return nil, nil
+	}
+	if len(sel) < n && !sc.e.interp {
+		// Selection pushdown into decode: payload columns materialize only
+		// the surviving rows (run-skipping for RLE, direct indexing for
+		// fixed-width, survivors-only blobs for strings). Chunk bytes
+		// fetched — and billed — are identical to the full decode, and the
+		// compacted batch matches decode+gather exactly. The sel-decoded
+		// vectors escape with the batch, so their scratches detach; the
+		// gathered predicate columns are copies, so theirs stay.
+		for _, pos := range sc.restPos {
+			v, err := f.ReadColumnChunkSelVia(fetch, g, cols[pos], sel, d.scratch[pos])
+			if err != nil {
+				return nil, err
+			}
+			vecs[pos] = v
+			d.scratch[pos].Detach()
+		}
+		for _, pos := range sc.predPos {
+			vecs[pos] = vecs[pos].Gather(sel)
+		}
+		return &col.Batch{Vecs: vecs, N: len(sel)}, nil
 	}
 	for _, pos := range sc.restPos {
 		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
@@ -359,24 +405,38 @@ func (sc *scanContext) pipelined(depth int) exec.BatchIterator {
 	}()
 
 	// Decode workers: each owns a decoder (and its scratch) and writes
-	// results into the job before closing done.
+	// results into the job before closing done. Worker 0 is exempt from the
+	// process-wide prefetch budget so this scan always progresses; the rest
+	// take a token per row-group decode, bounding the host's total decode
+	// concurrency no matter how many pipelines overlap.
 	workers := min(depth, runtime.NumCPU())
 	if workers < 1 {
 		workers = 1
 	}
+	budgetCh := prefetchBudgetCh()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		pipelineLive.Add(1)
 		wg.Add(1)
-		go func() {
+		go func(exempt bool) {
 			defer pipelineLive.Add(-1)
 			defer wg.Done()
 			dec := newRGDecoder(sc)
 			for j := range work {
+				if !exempt && budgetCh != nil {
+					if !acquirePrefetchToken(sc.ctx, budgetCh) {
+						j.err = sc.ctx.Err()
+						close(j.done)
+						continue
+					}
+				}
 				j.batch, j.err = dec.decode(j.f, j.key, j.g, &j.stats)
+				if !exempt && budgetCh != nil {
+					releasePrefetchToken(budgetCh)
+				}
 				close(j.done)
 			}
-		}()
+		}(w == 0)
 	}
 
 	// Consumer: runs on the query goroutine, folds stats in order.

@@ -122,6 +122,19 @@ const (
 func benchSelectiveScan(b *testing.B, query string) {
 	e, _, _ := selBenchEngines(b)
 	ctx := context.Background()
+	benchSelectiveScanOn(b, e, ctx, query)
+}
+
+// benchSelectiveScanInterpreted is the same scan with the vec kernels off —
+// the row-at-a-time Evaluator baseline of the A7 ablation.
+func benchSelectiveScanInterpreted(b *testing.B, query string) {
+	e, _, _ := selBenchEngines(b)
+	e.SetVectorized(false)
+	defer e.SetVectorized(true)
+	benchSelectiveScanOn(b, e, context.Background(), query)
+}
+
+func benchSelectiveScanOn(b *testing.B, e *Engine, ctx context.Context, query string) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		b.Fatal(err)
@@ -149,8 +162,19 @@ func benchSelectiveScan(b *testing.B, query string) {
 func BenchmarkSelectiveScan1pct(b *testing.B) { benchSelectiveScan(b, selQuery1pct) }
 
 // BenchmarkSelectiveScan50pct: ~50% selectivity spread over every row
-// group — no chunk can be skipped; measures filter-first compaction.
+// group — no chunk can be skipped; measures filter-first compaction (and,
+// with the kernels on, selection-aware payload decode of partial groups).
 func BenchmarkSelectiveScan50pct(b *testing.B) { benchSelectiveScan(b, selQuery50pct) }
+
+// The Interp variants run the identical scans with vectorized evaluation
+// disabled — the interpreted baseline the BENCH_5 ablation records.
+func BenchmarkSelectiveScan1pctInterp(b *testing.B) {
+	benchSelectiveScanInterpreted(b, selQuery1pct)
+}
+
+func BenchmarkSelectiveScan50pctInterp(b *testing.B) {
+	benchSelectiveScanInterpreted(b, selQuery50pct)
+}
 
 // benchSelectiveScanCached is the same scan through the read cache, cold
 // (flushed before every iteration) or warm.

@@ -556,7 +556,10 @@ func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catal
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.partScan: {files: split.Tasks[task].Files},
 	}
-	op, err := exec.Build(split.workerPlan, e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)))
+	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
+		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
+		Interpreted: e.interp,
+	})
 	if err != nil {
 		return catalog.FileMeta{}, Stats{}, err
 	}
@@ -587,7 +590,10 @@ func (e *Engine) MergeResults(ctx context.Context, split *CFSplit, interms []cat
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.interm: {files: interms, interm: true},
 	}
-	op, err := exec.Build(split.mergePlan, e.scanFactory(ctx, stats, overrides, nil))
+	op, err := exec.BuildWith(split.mergePlan, exec.BuildEnv{
+		ScanFactory: e.scanFactory(ctx, stats, overrides, nil),
+		Interpreted: e.interp,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/col"
 	"repro/internal/plan"
+	"repro/internal/vec"
 )
 
 // Operator is a pull-based executor node. Next returns (nil, nil) at end
@@ -43,12 +44,24 @@ type ScanOp struct {
 	newIter func() (ScanStream, error)
 	stream  ScanStream
 	ev      *Evaluator
+	// prog is compiled lazily on the first batch that actually needs
+	// re-filtering: engine base-table streams arrive already Filtered (the
+	// engine compiled its own program for the scan), so eager compilation
+	// here would duplicate that work for a path that never runs.
+	prog        *vec.Program
+	progTried   bool
+	interpreted bool
+	vs          vec.Scratch
 }
 
 // NewScanOp builds a scan operator. newIter is called at Open, so an
 // operator can be re-opened.
 func NewScanOp(node *plan.ScanNode, newIter func() (ScanStream, error)) *ScanOp {
-	return &ScanOp{node: node, newIter: newIter, ev: NewEvaluator()}
+	return newScanOp(node, newIter, false)
+}
+
+func newScanOp(node *plan.ScanNode, newIter func() (ScanStream, error), interpreted bool) *ScanOp {
+	return &ScanOp{node: node, newIter: newIter, ev: NewEvaluator(), interpreted: interpreted}
 }
 
 // Schema implements Operator.
@@ -77,7 +90,11 @@ func (s *ScanOp) Next() (*col.Batch, error) {
 		if s.node.Filter == nil || s.stream.Filtered {
 			return b, nil
 		}
-		sel, err := s.ev.EvalBool(s.node.Filter, b)
+		if !s.progTried && !s.interpreted {
+			s.prog, _ = vec.Compile(s.node.Filter)
+			s.progTried = true
+		}
+		sel, err := evalSelection(s.node.Filter, b, s.prog, &s.vs, s.ev)
 		if err != nil {
 			return nil, err
 		}
@@ -97,16 +114,48 @@ func (s *ScanOp) Close() error {
 	return nil
 }
 
+// progAt is a nil-safe index into a projection's kernel programs (the
+// slice is dropped entirely when a build is forced interpreted).
+func progAt(progs []*vec.ValueProgram, i int) *vec.ValueProgram {
+	if i >= len(progs) {
+		return nil
+	}
+	return progs[i]
+}
+
+// evalSelection evaluates a predicate into the selected row indexes,
+// through the compiled kernel program when one exists and the batch
+// matches its column layout, and through the interpreter otherwise. Both
+// paths return the identical selection.
+func evalSelection(cond plan.BoundExpr, b *col.Batch, prog *vec.Program, vs *vec.Scratch, ev *Evaluator) ([]int, error) {
+	if prog != nil {
+		if sel, ok := prog.Run(b, vs); ok {
+			return sel, nil
+		}
+	}
+	return ev.EvalBool(cond, b)
+}
+
 // FilterOp drops rows whose condition is not TRUE.
 type FilterOp struct {
 	node  *plan.FilterNode
 	child Operator
 	ev    *Evaluator
+	prog  *vec.Program
+	vs    vec.Scratch
 }
 
 // NewFilterOp builds a filter operator.
 func NewFilterOp(node *plan.FilterNode, child Operator) *FilterOp {
-	return &FilterOp{node: node, child: child, ev: NewEvaluator()}
+	return newFilterOp(node, child, false)
+}
+
+func newFilterOp(node *plan.FilterNode, child Operator, interpreted bool) *FilterOp {
+	f := &FilterOp{node: node, child: child, ev: NewEvaluator()}
+	if !interpreted {
+		f.prog, _ = vec.Compile(node.Cond)
+	}
+	return f
 }
 
 // Schema implements Operator.
@@ -122,7 +171,7 @@ func (f *FilterOp) Next() (*col.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		sel, err := f.ev.EvalBool(f.node.Cond, b)
+		sel, err := evalSelection(f.node.Cond, b, f.prog, &f.vs, f.ev)
 		if err != nil {
 			return nil, err
 		}
@@ -144,11 +193,25 @@ type ProjectOp struct {
 	node  *plan.ProjectNode
 	child Operator
 	ev    *Evaluator
+	progs []*vec.ValueProgram // per expression; nil = interpret
+	vs    vec.Scratch
 }
 
 // NewProjectOp builds a projection operator.
 func NewProjectOp(node *plan.ProjectNode, child Operator) *ProjectOp {
-	return &ProjectOp{node: node, child: child, ev: NewEvaluator()}
+	return newProjectOp(node, child, false)
+}
+
+func newProjectOp(node *plan.ProjectNode, child Operator, interpreted bool) *ProjectOp {
+	p := &ProjectOp{node: node, child: child, ev: NewEvaluator()}
+	if interpreted {
+		return p
+	}
+	p.progs = make([]*vec.ValueProgram, len(node.Exprs))
+	for i, e := range node.Exprs {
+		p.progs[i], _ = vec.CompileValue(e)
+	}
+	return p
 }
 
 // Schema implements Operator.
@@ -165,16 +228,26 @@ func (p *ProjectOp) Next() (*col.Batch, error) {
 	}
 	vecs := make([]*col.Vector, len(p.node.Exprs))
 	for i, e := range p.node.Exprs {
-		v, err := p.ev.Eval(e, b)
-		if err != nil {
-			return nil, err
+		var v *col.Vector
+		if pg := progAt(p.progs, i); pg != nil {
+			if kv, ok := pg.Eval(b, &p.vs); ok {
+				v = kv
+			}
 		}
-		// Projection may widen INT64 expressions into FLOAT64 outputs.
-		if want := p.node.Schema().Fields[i].Type; v.Type != want {
-			v, err = evalCast(v, want)
+		if v == nil {
+			var err error
+			v, err = p.ev.Eval(e, b)
 			if err != nil {
 				return nil, err
 			}
+		}
+		// Projection may widen INT64 expressions into FLOAT64 outputs.
+		if want := p.node.Schema().Fields[i].Type; v.Type != want {
+			cv, err := evalCast(v, want)
+			if err != nil {
+				return nil, err
+			}
+			v = cv
 		}
 		vecs[i] = v
 	}
@@ -650,6 +723,12 @@ func (l *LimitOp) Close() error { return l.child.Close() }
 type BuildEnv struct {
 	ScanFactory func(*plan.ScanNode) func() (ScanStream, error)
 	JoinBuilds  map[*plan.JoinNode]*JoinBuild
+	// Interpreted disables the vectorized expression kernels for this
+	// build: scan/filter predicates and projections evaluate through the
+	// row-at-a-time Evaluator only. Results are bit-identical either way —
+	// the flag exists for the interpreted-vs-vectorized ablation and as an
+	// escape hatch.
+	Interpreted bool
 }
 
 // Build constructs the operator tree for a plan. scanFactory supplies the
@@ -662,19 +741,19 @@ func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (ScanStream, err
 func BuildWith(n plan.Node, env BuildEnv) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.ScanNode:
-		return NewScanOp(x, env.ScanFactory(x)), nil
+		return newScanOp(x, env.ScanFactory(x), env.Interpreted), nil
 	case *plan.FilterNode:
 		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
-		return NewFilterOp(x, child), nil
+		return newFilterOp(x, child, env.Interpreted), nil
 	case *plan.ProjectNode:
 		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err
 		}
-		return NewProjectOp(x, child), nil
+		return newProjectOp(x, child, env.Interpreted), nil
 	case *plan.JoinNode:
 		left, err := BuildWith(x.Left, env)
 		if err != nil {

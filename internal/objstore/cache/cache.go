@@ -67,6 +67,16 @@ type Config struct {
 	// row-group-ordered access is monotonic, not contiguous (default
 	// 4×BlockSize).
 	MaxSeqGap int64
+	// ScanResistMin makes the block LRU scan-resistant: once a file at
+	// least this large is being read sequentially (a one-pass scan of data
+	// that cannot all fit), its blocks are admitted at the cold end of the
+	// LRU — and skipped entirely under capacity pressure — so a large scan
+	// cannot flush the hot small-table blocks that the front of the LRU
+	// protects. 0 picks the default of half the per-shard capacity
+	// (Capacity/Shards/2 — one key's blocks all land in one shard, so a
+	// shard is the flush domain a scan threatens); negative disables scan
+	// resistance (every block is admitted hot, the pre-existing behavior).
+	ScanResistMin int64
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +103,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSeqGap <= 0 {
 		c.MaxSeqGap = 4 * c.BlockSize
 	}
+	switch {
+	case c.ScanResistMin == 0:
+		// All blocks of one key hash to a single shard, so the flush
+		// domain a scan threatens is a shard, not the whole cache: scale
+		// the default threshold to per-shard capacity.
+		c.ScanResistMin = c.Capacity / int64(c.Shards) / 2
+	case c.ScanResistMin < 0:
+		c.ScanResistMin = 0 // disabled
+	}
 	return c
 }
 
@@ -117,6 +136,11 @@ type Stats struct {
 	SingleFlightShared int64
 	// Evictions counts blocks dropped under capacity pressure.
 	Evictions int64
+	// ColdAdmits / ScanBypasses account the scan-resistant admission
+	// policy: blocks of a streaming large file inserted at the LRU's cold
+	// end, and blocks not cached at all because inserting them would have
+	// evicted hot data.
+	ColdAdmits, ScanBypasses int64
 }
 
 // CachingStore wraps an objstore.Store with the block LRU, footer cache
@@ -143,6 +167,13 @@ type CachingStore struct {
 	bytesFromCache, bytesFetched     atomic.Int64
 	prefIssued, prefUsed, prefWasted atomic.Int64
 	sfShared, evictions              atomic.Int64
+	coldAdmits, scanBypasses         atomic.Int64
+
+	// winIssued/winWasted are the decaying-window counterparts of
+	// prefIssued/prefWasted: effectiveReadAhead clamps on these so one bad
+	// early phase cannot depress read-ahead for the process's lifetime
+	// (the monotonic Stats counters stay untouched).
+	winIssued, winWasted atomic.Int64
 }
 
 // fileMeta is the pinned per-file entry: size, mod time, the trailing
@@ -248,6 +279,8 @@ func (s *CachingStore) Stats() Stats {
 		PrefetchWasted:     s.prefWasted.Load(),
 		SingleFlightShared: s.sfShared.Load(),
 		Evictions:          s.evictions.Load(),
+		ColdAdmits:         s.coldAdmits.Load(),
+		ScanBypasses:       s.scanBypasses.Load(),
 	}
 }
 
@@ -399,10 +432,19 @@ func (s *CachingStore) StoreParsedFooter(key string, size int64, footer any) {
 	fm.parsed, fm.parsedSize = footer, size
 }
 
+// isStreaming classifies a file as mid-one-pass-scan: large relative to
+// the cache (ScanResistMin) and currently being read sequentially (streak
+// from the sequential detector, read by the caller under s.mu). Its blocks
+// then take the cold admission path.
+func (s *CachingStore) isStreaming(fm *fileMeta, streak int) bool {
+	return s.cfg.ScanResistMin > 0 && fm.size >= s.cfg.ScanResistMin && streak >= 2
+}
+
 // blockData returns one block of the file, from cache or via a
 // single-flight inner fetch. demand distinguishes reader-driven fetches
-// from read-ahead for the prefetch accounting.
-func (s *CachingStore) blockData(fm *fileMeta, idx int64, demand bool) (data []byte, cached bool, err error) {
+// from read-ahead for the prefetch accounting; cold routes the block
+// through the scan-resistant admission path.
+func (s *CachingStore) blockData(fm *fileMeta, idx int64, demand, cold bool) (data []byte, cached bool, err error) {
 	sh := s.shardFor(fm.key)
 	if data, ok := sh.get(fm.key, idx, s); ok {
 		return data, true, nil
@@ -423,6 +465,7 @@ func (s *CachingStore) blockData(fm *fileMeta, idx int64, demand bool) (data []b
 		s.bytesFetched.Add(int64(len(c.data)))
 		if !demand {
 			s.prefIssued.Add(1)
+			s.winIssued.Add(1)
 		}
 		// A prefetched block whose fetch a demand reader joined mid-flight
 		// was already useful.
@@ -431,7 +474,7 @@ func (s *CachingStore) blockData(fm *fileMeta, idx int64, demand bool) (data []b
 			s.prefUsed.Add(1)
 		}
 		if !fm.noStore && !c.noStore.Load() {
-			sh.add(fm.key, idx, c.data, !demand, used, s)
+			sh.add(fm.key, idx, c.data, !demand, used, cold, s)
 		}
 	}
 	return c.data, false, nil
@@ -481,8 +524,17 @@ func (s *CachingStore) GetRangeCached(key string, off, length int64) ([]byte, bo
 
 	B := s.cfg.BlockSize
 	first, last := off/B, (end-1)/B
+	cold := false
+	if s.cfg.ScanResistMin > 0 && fm.size >= s.cfg.ScanResistMin {
+		// One lock, only for files large enough to qualify: the cold
+		// classification uses the streak as of the previous reads.
+		s.mu.Lock()
+		streak := fm.streak
+		s.mu.Unlock()
+		cold = s.isStreaming(fm, streak)
+	}
 	for idx := first; idx <= last; idx++ {
-		data, cached, err := s.blockData(fm, idx, true)
+		data, cached, err := s.blockData(fm, idx, true, cold)
 		if err != nil {
 			return nil, false, err
 		}
@@ -505,14 +557,40 @@ func (s *CachingStore) recordCall(hit bool, n int64) {
 	}
 }
 
+// effectiveReadAhead is the configured depth clamped by the measured
+// prefetch waste: once a meaningful share of recently prefetched blocks
+// dies unread (PrefetchWasted — the tuning signal the cold-admission
+// policy feeds when the cache is saturated), the window shrinks to one
+// block so read-ahead stops amplifying a losing bet. The ratio is taken
+// over a decaying window — both counters halve once enough samples
+// accumulate — so the clamp recovers when the workload does instead of
+// dragging process-lifetime history.
+func (s *CachingStore) effectiveReadAhead() int {
+	ra := s.cfg.ReadAhead
+	if ra <= 1 {
+		return ra
+	}
+	issued := s.winIssued.Load()
+	if issued > 1024 {
+		// Approximate halving; racy by design — this is a heuristic, and
+		// a lost update only delays one decay step.
+		s.winIssued.Store(issued / 2)
+		s.winWasted.Store(s.winWasted.Load() / 2)
+		issued /= 2
+	}
+	if issued >= 64 && s.winWasted.Load()*4 > issued {
+		return 1
+	}
+	return ra
+}
+
 // maybeReadAhead advances the per-file sequential detector and, once two
 // monotonically forward reads are seen, prefetches the next ReadAhead
 // blocks asynchronously. Prefetch never blocks the caller: when the
 // prefetcher is saturated the window is simply skipped.
 func (s *CachingStore) maybeReadAhead(fm *fileMeta, off, end, last int64) {
-	if s.cfg.ReadAhead <= 0 {
-		return
-	}
+	// The sequential detector always advances: it feeds both read-ahead
+	// and the scan-resistant admission classifier (isStreaming).
 	s.mu.Lock()
 	seq := fm.lastEnd > 0 && off >= fm.lastEnd && off-fm.lastEnd <= s.cfg.MaxSeqGap
 	if seq {
@@ -521,14 +599,23 @@ func (s *CachingStore) maybeReadAhead(fm *fileMeta, off, end, last int64) {
 		fm.streak = 1
 	}
 	fm.lastEnd = end
-	trigger := fm.streak >= 2
+	streak := fm.streak
 	s.mu.Unlock()
-	if !trigger {
+	if s.cfg.ReadAhead <= 0 || streak < 2 {
 		return
 	}
+	cold := s.isStreaming(fm, streak)
 	maxIdx := (fm.size - 1) / s.cfg.BlockSize
 	sh := s.shardFor(fm.key)
-	for i := int64(1); i <= int64(s.cfg.ReadAhead); i++ {
+	if cold && sh.atCapacity(s.cfg.BlockSize) {
+		// Cold admission would bypass these blocks anyway: prefetching them
+		// would fetch bytes that get dropped and then fetched again by the
+		// demand read — read-ahead is pure waste for a streaming scan of a
+		// full cache.
+		return
+	}
+	ra := int64(s.effectiveReadAhead())
+	for i := int64(1); i <= ra; i++ {
 		idx := last + i
 		// The footer region is served from the pinned footer cache; blocks
 		// starting inside it are never demanded.
@@ -543,7 +630,7 @@ func (s *CachingStore) maybeReadAhead(fm *fileMeta, off, end, last int64) {
 			s.prefetchWG.Add(1)
 			go func(idx int64) {
 				defer func() { <-s.prefetchSem; s.prefetchWG.Done() }()
-				_, _, _ = s.blockData(fm, idx, false)
+				_, _, _ = s.blockData(fm, idx, false, cold)
 			}(idx)
 		default:
 			return
@@ -656,6 +743,15 @@ func (sh *shard) get(key string, idx int64, s *CachingStore) ([]byte, bool) {
 	return b.data, true
 }
 
+// atCapacity reports whether inserting one more block of the given size
+// would exceed the shard's capacity (a point-in-time heuristic read; the
+// admission decision itself is re-made under the lock in add).
+func (sh *shard) atCapacity(blockSize int64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cur+blockSize > sh.capacity
+}
+
 func (sh *shard) contains(key string, idx int64) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -664,7 +760,11 @@ func (sh *shard) contains(key string, idx int64) bool {
 }
 
 // add inserts a block, evicting from the cold end until under capacity.
-func (sh *shard) add(key string, idx int64, data []byte, prefetched, used bool, s *CachingStore) {
+// A cold insert (scan-resistant admission for streaming large files) goes
+// to the back of the LRU when there is room — a later re-access still
+// promotes it — and is bypassed entirely when caching it would evict
+// warmer blocks, so a one-pass scan can never flush the hot set.
+func (sh *shard) add(key string, idx int64, data []byte, prefetched, used, cold bool, s *CachingStore) {
 	if int64(len(data)) > sh.capacity {
 		return // would evict the whole shard for one entry
 	}
@@ -674,12 +774,29 @@ func (sh *shard) add(key string, idx int64, data []byte, prefetched, used bool, 
 		sh.ll.MoveToFront(el)
 		return
 	}
+	if cold && sh.cur+int64(len(data)) > sh.capacity {
+		s.scanBypasses.Add(1)
+		if prefetched && !used {
+			// A prefetched block that admission refuses was fetched for
+			// nothing: feed the waste signal the read-ahead clamp tunes on.
+			s.prefWasted.Add(1)
+			s.winWasted.Add(1)
+		}
+		return
+	}
 	m := sh.blocks[key]
 	if m == nil {
 		m = make(map[int64]*list.Element)
 		sh.blocks[key] = m
 	}
-	el := sh.ll.PushFront(&block{key: key, idx: idx, data: data, prefetched: prefetched, used: used})
+	b := &block{key: key, idx: idx, data: data, prefetched: prefetched, used: used}
+	var el *list.Element
+	if cold {
+		el = sh.ll.PushBack(b)
+		s.coldAdmits.Add(1)
+	} else {
+		el = sh.ll.PushFront(b)
+	}
 	m[idx] = el
 	sh.cur += int64(len(data))
 	for sh.cur > sh.capacity {
@@ -707,6 +824,7 @@ func (sh *shard) removeLocked(el *list.Element, s *CachingStore, countPressure b
 		s.evictions.Add(1)
 		if b.prefetched && !b.used {
 			s.prefWasted.Add(1)
+			s.winWasted.Add(1)
 		}
 	}
 }
@@ -729,6 +847,7 @@ func (sh *shard) flush(s *CachingStore) {
 		b := el.Value.(*block)
 		if b.prefetched && !b.used {
 			s.prefWasted.Add(1)
+			s.winWasted.Add(1)
 		}
 	}
 	sh.ll.Init()

@@ -286,8 +286,13 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := &countingStore{Store: mem}
+	// ScanResistMin off: this test pins the plain LRU mechanics (the file
+	// is far larger than the cache, so the default policy would classify
+	// the sequential reads as a streaming scan and bypass admission —
+	// TestScanResistantAdmission covers that behavior).
 	c := New(cs, Config{
 		Capacity: 2048, BlockSize: 1024, Shards: 1, ReadAhead: -1, FooterSpan: 16,
+		ScanResistMin: -1,
 	})
 	read := func(off int64) {
 		t.Helper()
@@ -538,5 +543,174 @@ func TestParsedFooterCacheContract(t *testing.T) {
 	}
 	if _, ok := c.ParsedFooter("k", 1024); ok {
 		t.Fatal("Delete did not invalidate the parsed footer")
+	}
+}
+
+// streamFile reads a file start-to-end in blockSize steps through the
+// block path (stopping short of the pinned footer span), the access
+// pattern of a one-pass scan.
+func streamFile(t *testing.T, c *CachingStore, key string, size, step, footerSpan int64) {
+	t.Helper()
+	for off := int64(0); off+step <= size-footerSpan; off += step {
+		if _, err := c.GetRange(key, off, step); err != nil {
+			t.Fatalf("stream %s@%d: %v", key, off, err)
+		}
+	}
+}
+
+// TestScanResistantAdmission: a sequential one-pass scan of a file larger
+// than ScanResistMin must not evict a hot small table's blocks — streaming
+// blocks are admitted at the LRU's cold end and bypassed once the cache is
+// full — while disabling scan resistance restores the old flush-everything
+// behavior.
+func TestScanResistantAdmission(t *testing.T) {
+	const (
+		blockSz  = 1024
+		capacity = 8 * blockSz
+		footerSp = 16
+		hotSize  = 2 * blockSz
+		bigSize  = 64 * blockSz
+	)
+	setup := func(resist int64) (*CachingStore, func()) {
+		mem := objstore.NewMemory()
+		if err := mem.Put("hot", blob(hotSize)); err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.Put("big", blob(bigSize)); err != nil {
+			t.Fatal(err)
+		}
+		c := New(mem, Config{
+			Capacity: capacity, BlockSize: blockSz, Shards: 1,
+			ReadAhead: -1, FooterSpan: footerSp, ScanResistMin: resist,
+		})
+		readHot := func() {
+			for off := int64(0); off < hotSize-footerSp; off += blockSz {
+				if _, err := c.GetRange("hot", off, blockSz/2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return c, readHot
+	}
+
+	// Scan resistance on (default threshold: capacity/2 = 4 blocks, well
+	// under the big file).
+	c, readHot := setup(0)
+	readHot() // populate the hot blocks
+	before := c.Stats()
+	readHot() // all hits now
+	if d := c.Stats(); d.Hits-before.Hits != 2 || d.Misses != before.Misses {
+		t.Fatalf("hot file not resident before scan: %+v", d)
+	}
+	streamFile(t, c, "big", bigSize, blockSz, footerSp)
+	st := c.Stats()
+	if st.ColdAdmits == 0 {
+		t.Errorf("streaming scan produced no cold admissions: %+v", st)
+	}
+	if st.ScanBypasses == 0 {
+		t.Errorf("full cache produced no scan bypasses: %+v", st)
+	}
+	mid := c.Stats()
+	readHot() // the point: still resident after the big scan
+	if d := c.Stats(); d.Misses != mid.Misses {
+		t.Fatalf("one-pass scan evicted the hot file: %+v vs %+v", d, mid)
+	}
+
+	// Scan resistance off: the same scan flushes the hot blocks.
+	c, readHot = setup(-1)
+	readHot()
+	streamFile(t, c, "big", bigSize, blockSz, footerSp)
+	if st := c.Stats(); st.ColdAdmits != 0 || st.ScanBypasses != 0 {
+		t.Fatalf("cold admissions with scan resistance disabled: %+v", st)
+	}
+	mid = c.Stats()
+	readHot()
+	if d := c.Stats(); d.Misses == mid.Misses {
+		t.Fatal("expected the unprotected scan to evict the hot file")
+	}
+}
+
+// TestReadAheadWasteClamp: once enough prefetched blocks die unread, the
+// effective read-ahead window drops to one block.
+func TestReadAheadWasteClamp(t *testing.T) {
+	mem := objstore.NewMemory()
+	if err := mem.Put("k", blob(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(mem, Config{BlockSize: 1024, Capacity: 1 << 20, Shards: 1, ReadAhead: 4, FooterSpan: 16})
+	if got := c.effectiveReadAhead(); got != 4 {
+		t.Fatalf("effectiveReadAhead = %d before any waste, want 4", got)
+	}
+	c.winIssued.Store(100)
+	c.winWasted.Store(10) // 10% wasted: keep the window
+	if got := c.effectiveReadAhead(); got != 4 {
+		t.Fatalf("effectiveReadAhead = %d at 10%% waste, want 4", got)
+	}
+	c.winWasted.Store(50) // 50% wasted: clamp
+	if got := c.effectiveReadAhead(); got != 1 {
+		t.Fatalf("effectiveReadAhead = %d at 50%% waste, want 1", got)
+	}
+	c.winIssued.Store(10) // too few samples to judge
+	c.winWasted.Store(9)
+	if got := c.effectiveReadAhead(); got != 4 {
+		t.Fatalf("effectiveReadAhead = %d under the sample floor, want 4", got)
+	}
+	// The window decays: a large sample halves, letting a recovered
+	// workload unclamp instead of dragging lifetime history.
+	c.winIssued.Store(2000)
+	c.winWasted.Store(600) // 30% over the window: clamped...
+	if got := c.effectiveReadAhead(); got != 1 {
+		t.Fatalf("effectiveReadAhead = %d at 30%% windowed waste, want 1", got)
+	}
+	if iw := c.winIssued.Load(); iw != 1000 {
+		t.Fatalf("window did not decay: issued %d, want 1000", iw)
+	}
+	if ww := c.winWasted.Load(); ww != 300 {
+		t.Fatalf("window did not decay: wasted %d, want 300", ww)
+	}
+}
+
+// TestStreamingScanSuppressesReadAhead: once a file is classified as a
+// streaming scan and the cache is full (cold admission would bypass its
+// blocks), read-ahead stops issuing prefetches — otherwise every block of
+// the scan would be fetched, dropped by admission, and fetched again by
+// the demand read.
+func TestStreamingScanSuppressesReadAhead(t *testing.T) {
+	const (
+		blockSz  = 1024
+		capacity = 8 * blockSz
+		footerSp = 16
+	)
+	mem := objstore.NewMemory()
+	if err := mem.Put("hot", blob(8*blockSz)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put("big", blob(64*blockSz)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(mem, Config{
+		Capacity: capacity, BlockSize: blockSz, Shards: 1,
+		ReadAhead: 2, FooterSpan: footerSp, ScanResistMin: 16 * blockSz,
+	})
+	// Fill the cache with the (non-streaming) hot file.
+	for off := int64(0); off+blockSz <= 8*blockSz-footerSp; off += blockSz {
+		if _, err := c.GetRange("hot", off, blockSz/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitReadAhead()
+	issuedBefore := c.Stats().PrefetchIssued
+
+	streamFile(t, c, "big", 64*blockSz, blockSz, footerSp)
+	c.WaitReadAhead()
+	st := c.Stats()
+	if st.ScanBypasses == 0 {
+		t.Fatalf("streaming scan of a full cache produced no bypasses: %+v", st)
+	}
+	// Only the pre-classification reads (streak < 2, cold=false) may have
+	// prefetched; once cold + full, issuance must stop. Without the
+	// suppression every one of the ~60 blocks would be prefetched.
+	if issued := st.PrefetchIssued - issuedBefore; issued > 6 {
+		t.Fatalf("streaming scan issued %d prefetches into a full cache", issued)
 	}
 }

@@ -371,10 +371,13 @@ type ChunkScratch struct {
 	strs   []string
 	bools  []bool
 	valid  []bool
+	offs   []int // selection-decode string offsets (never escapes)
 }
 
 // Detach disowns the buffers so the previously decoded vector keeps them.
-func (s *ChunkScratch) Detach() { *s = ChunkScratch{} }
+// offs survives: it never escapes into decoded vectors, so it stays
+// reusable across detaches.
+func (s *ChunkScratch) Detach() { *s = ChunkScratch{offs: s.offs} }
 
 // decodeVector decodes a chunk payload back into a vector of n rows. A
 // non-nil scratch donates reusable backing slices (see ChunkScratch).

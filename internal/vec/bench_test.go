@@ -1,0 +1,86 @@
+package vec_test
+
+import (
+	"testing"
+
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/vec"
+)
+
+// The kernel microbenchmarks measure exactly the expression shapes that
+// dominate selective scans: a modulo-compare predicate over one int column
+// (the BenchmarkSelectiveScan filter) and a null-heavy conjunction. Each
+// has a Kernel and an Interp variant over the same batch.
+
+const benchRows = 2048
+
+func benchBatch(withNulls bool) *col.Batch {
+	a := col.NewVector(col.INT64, benchRows)
+	s := col.NewVector(col.STRING, benchRows)
+	words := []string{"alpha", "bravo", "charlie"}
+	for i := 0; i < benchRows; i++ {
+		a.Ints[i] = int64(i)
+		s.Strs[i] = words[i%len(words)]
+		if withNulls && i%3 == 1 {
+			a.SetNull(i)
+		}
+	}
+	return col.NewBatch(a, s)
+}
+
+func modCmpExpr() plan.BoundExpr {
+	return &plan.BBinary{Op: "<",
+		L: &plan.BBinary{Op: "%",
+			L:  &plan.BCol{Ordinal: 0, Ty: col.INT64, Name: "a"},
+			R:  &plan.BLit{Val: col.Int(204800)},
+			Ty: col.INT64},
+		R:  &plan.BLit{Val: col.Int(2048)},
+		Ty: col.BOOL}
+}
+
+func conjExpr() plan.BoundExpr {
+	return &plan.BBinary{Op: "AND",
+		L: &plan.BBinary{Op: ">=",
+			L:  &plan.BCol{Ordinal: 0, Ty: col.INT64, Name: "a"},
+			R:  &plan.BLit{Val: col.Int(100)},
+			Ty: col.BOOL},
+		R: &plan.BBinary{Op: "LIKE",
+			L:  &plan.BCol{Ordinal: 1, Ty: col.STRING, Name: "s"},
+			R:  &plan.BLit{Val: col.Str("br%")},
+			Ty: col.BOOL},
+		Ty: col.BOOL}
+}
+
+func benchKernel(b *testing.B, e plan.BoundExpr, batch *col.Batch) {
+	prog, ok := vec.Compile(e)
+	if !ok {
+		b.Fatal("expression did not compile")
+	}
+	var s vec.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := prog.Run(batch, &s); !ok {
+			b.Fatal("run rejected")
+		}
+	}
+}
+
+func benchInterp(b *testing.B, e plan.BoundExpr, batch *col.Batch) {
+	ev := exec.NewEvaluator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalBool(e, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModCmpKernel(b *testing.B) { benchKernel(b, modCmpExpr(), benchBatch(false)) }
+func BenchmarkModCmpInterp(b *testing.B) { benchInterp(b, modCmpExpr(), benchBatch(false)) }
+
+func BenchmarkNullConjKernel(b *testing.B) { benchKernel(b, conjExpr(), benchBatch(true)) }
+func BenchmarkNullConjInterp(b *testing.B) { benchInterp(b, conjExpr(), benchBatch(true)) }

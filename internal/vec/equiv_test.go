@@ -1,0 +1,242 @@
+package vec_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/vec"
+)
+
+// The equivalence property: for every expression the compiler accepts, the
+// kernel program must produce exactly the interpreter's result — the same
+// selection for predicates, the same values and null masks for value
+// programs — over NULL-heavy data of every type. Expressions are generated
+// randomly from the binder's well-typed shapes; the generator deliberately
+// also produces nodes outside the kernel set (IN, non-prefix LIKE,
+// functions) to exercise the compile-reject path.
+
+type exprGen struct {
+	r      *rand.Rand
+	schema []col.Type
+}
+
+func (g *exprGen) intExpr(depth int) plan.BoundExpr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return &plan.BCol{Ordinal: g.r.Intn(2), Ty: col.INT64, Name: "i"}
+		}
+		return &plan.BLit{Val: col.Int(int64(g.r.Intn(21) - 10))}
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return &plan.BUnary{Op: "-", X: g.intExpr(depth - 1), Ty: col.INT64}
+	default:
+		ops := []string{"+", "-", "*", "%"}
+		return &plan.BBinary{Op: ops[g.r.Intn(len(ops))], L: g.intExpr(depth - 1), R: g.intExpr(depth - 1), Ty: col.INT64}
+	}
+}
+
+func (g *exprGen) floatExpr(depth int) plan.BoundExpr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return &plan.BCol{Ordinal: 2, Ty: col.FLOAT64, Name: "f"}
+		}
+		if g.r.Intn(8) == 0 {
+			// NaN literal: the kernels must reproduce the interpreter's
+			// compareAt ordering, where NaN compares "equal" to everything.
+			return &plan.BLit{Val: col.Float(math.NaN())}
+		}
+		return &plan.BLit{Val: col.Float(float64(g.r.Intn(41)-20) / 4)}
+	}
+	// Mixed numeric operands widen to FLOAT64, like the binder types them.
+	side := func() plan.BoundExpr {
+		if g.r.Intn(2) == 0 {
+			return g.intExpr(depth - 1)
+		}
+		return g.floatExpr(depth - 1)
+	}
+	ops := []string{"+", "-", "*", "/"}
+	return &plan.BBinary{Op: ops[g.r.Intn(len(ops))], L: side(), R: side(), Ty: col.FLOAT64}
+}
+
+func (g *exprGen) pred(depth int) plan.BoundExpr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		return g.leafPred(depth)
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return &plan.BBinary{Op: "AND", L: g.pred(depth - 1), R: g.pred(depth - 1), Ty: col.BOOL}
+	case 1:
+		return &plan.BBinary{Op: "OR", L: g.pred(depth - 1), R: g.pred(depth - 1), Ty: col.BOOL}
+	case 2:
+		return &plan.BUnary{Op: "NOT", X: g.pred(depth - 1), Ty: col.BOOL}
+	default:
+		return g.leafPred(depth)
+	}
+}
+
+func (g *exprGen) leafPred(depth int) plan.BoundExpr {
+	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+	op := cmps[g.r.Intn(len(cmps))]
+	switch g.r.Intn(8) {
+	case 0: // int compare (col/arith vs col/arith/literal)
+		return &plan.BBinary{Op: op, L: g.intExpr(depth), R: g.intExpr(depth), Ty: col.BOOL}
+	case 1: // float / mixed numeric compare
+		return &plan.BBinary{Op: op, L: g.floatExpr(depth), R: g.intExpr(depth), Ty: col.BOOL}
+	case 2: // string compare
+		words := []string{"", "alpha", "beta", "be", "gamma"}
+		return &plan.BBinary{Op: op,
+			L: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
+			R: &plan.BLit{Val: col.Str(words[g.r.Intn(len(words))])}, Ty: col.BOOL}
+	case 3: // IS [NOT] NULL over a value expression
+		return &plan.BIsNull{X: g.intExpr(depth), Not: g.r.Intn(2) == 0}
+	case 4: // bool column, possibly compared with a literal
+		c := &plan.BCol{Ordinal: 4, Ty: col.BOOL, Name: "b"}
+		if g.r.Intn(2) == 0 {
+			return c
+		}
+		return &plan.BBinary{Op: op, L: c, R: &plan.BLit{Val: col.Bool(g.r.Intn(2) == 0)}, Ty: col.BOOL}
+	case 5: // LIKE: prefix forms compile, the rest must fall back
+		pats := []string{"al%", "be", "%", "a_pha", "%eta", "a%a"}
+		return &plan.BBinary{Op: "LIKE",
+			L: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
+			R: &plan.BLit{Val: col.Str(pats[g.r.Intn(len(pats))])}, Ty: col.BOOL}
+	case 6: // IN: always outside the kernel set
+		return &plan.BIn{X: &plan.BCol{Ordinal: 0, Ty: col.INT64, Name: "i"},
+			List: []col.Value{col.Int(1), col.Int(2)}}
+	default: // date compare
+		return &plan.BBinary{Op: op,
+			L: &plan.BCol{Ordinal: 5, Ty: col.DATE, Name: "d"},
+			R: &plan.BLit{Val: col.Date(int64(g.r.Intn(10)))}, Ty: col.BOOL}
+	}
+}
+
+// randBatch builds a NULL-heavy batch: ~1/3 of the rows of every nullable
+// column are NULL, int values cluster in a small range so comparisons and
+// %/÷ hit both sides, and zero divisors occur.
+func randBatch(r *rand.Rand, n int) *col.Batch {
+	i1 := col.NewVector(col.INT64, n)
+	i2 := col.NewVector(col.INT64, n)
+	f1 := col.NewVector(col.FLOAT64, n)
+	s1 := col.NewVector(col.STRING, n)
+	b1 := col.NewVector(col.BOOL, n)
+	d1 := col.NewVector(col.DATE, n)
+	words := []string{"alpha", "beta", "gamma", "al", "bet", ""}
+	for i := 0; i < n; i++ {
+		i1.Ints[i] = int64(r.Intn(13) - 6)
+		i2.Ints[i] = int64(r.Intn(7) - 3)
+		if r.Intn(10) == 0 {
+			f1.Floats[i] = math.NaN()
+		} else {
+			f1.Floats[i] = float64(r.Intn(25)-12) / 4
+		}
+		s1.Strs[i] = words[r.Intn(len(words))]
+		b1.Bools[i] = r.Intn(2) == 0
+		d1.Ints[i] = int64(r.Intn(10))
+		for _, v := range []*col.Vector{i2, f1, s1, b1} {
+			if r.Intn(3) == 0 {
+				v.SetNull(i)
+			}
+		}
+		if r.Intn(5) == 0 {
+			i1.SetNull(i)
+		}
+	}
+	return col.NewBatch(i1, i2, f1, s1, b1, d1)
+}
+
+func TestPredicateEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	ev := exec.NewEvaluator()
+	var s vec.Scratch
+	compiled, rejected := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		g := &exprGen{r: r}
+		e := g.pred(3)
+		b := randBatch(r, 64)
+		prog, ok := vec.Compile(e)
+		if !ok {
+			rejected++
+			continue
+		}
+		compiled++
+		want, err := ev.EvalBool(e, b)
+		if err != nil {
+			t.Fatalf("trial %d: interpreter errored on a compiled expression %s: %v", trial, e, err)
+		}
+		got, ok := prog.Run(b, &s)
+		if !ok {
+			t.Fatalf("trial %d: Run rejected the batch for %s", trial, e)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: %s\nvec sel  %v\ninterp   %v", trial, e, got, want)
+		}
+	}
+	if compiled < 100 {
+		t.Fatalf("generator exercise too weak: only %d/400 expressions compiled", compiled)
+	}
+	if rejected == 0 {
+		t.Fatal("generator never produced an unsupported expression; fallback path untested")
+	}
+}
+
+func TestValueEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	ev := exec.NewEvaluator()
+	var s vec.Scratch
+	compiled := 0
+	for trial := 0; trial < 300; trial++ {
+		g := &exprGen{r: r}
+		var e plan.BoundExpr
+		if trial%2 == 0 {
+			e = g.intExpr(3)
+		} else {
+			e = g.floatExpr(3)
+		}
+		prog, ok := vec.CompileValue(e)
+		if !ok {
+			continue
+		}
+		compiled++
+		b := randBatch(r, 48)
+		want, err := ev.Eval(e, b)
+		if err != nil {
+			t.Fatalf("trial %d: interpreter errored on compiled %s: %v", trial, e, err)
+		}
+		got, ok := prog.Eval(b, &s)
+		if !ok {
+			t.Fatalf("trial %d: Eval rejected the batch for %s", trial, e)
+		}
+		if got.Type != want.Type || got.N != want.N {
+			t.Fatalf("trial %d: %s: shape (%s,%d) vs (%s,%d)", trial, e, got.Type, got.N, want.Type, want.N)
+		}
+		for i := 0; i < got.N; i++ {
+			gn, wn := got.IsNull(i), want.IsNull(i)
+			if gn != wn {
+				t.Fatalf("trial %d: %s row %d: null %v vs %v", trial, e, i, gn, wn)
+			}
+			if gn {
+				continue
+			}
+			switch got.Type {
+			case col.INT64:
+				if got.Ints[i] != want.Ints[i] {
+					t.Fatalf("trial %d: %s row %d: %d vs %d", trial, e, i, got.Ints[i], want.Ints[i])
+				}
+			case col.FLOAT64:
+				gv, wv := got.Floats[i], want.Floats[i]
+				if math.Float64bits(gv) != math.Float64bits(wv) {
+					t.Fatalf("trial %d: %s row %d: %v vs %v (bits differ)", trial, e, i, gv, wv)
+				}
+			}
+		}
+	}
+	if compiled < 80 {
+		t.Fatalf("only %d/300 value expressions compiled", compiled)
+	}
+}

@@ -1,0 +1,797 @@
+package vec
+
+import (
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// cmpOp is a comparison operator.
+type cmpOp uint8
+
+const (
+	cmpEQ cmpOp = iota
+	cmpNE
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+)
+
+func cmpOpOf(s string) (cmpOp, bool) {
+	switch s {
+	case "=":
+		return cmpEQ, true
+	case "<>":
+		return cmpNE, true
+	case "<":
+		return cmpLT, true
+	case "<=":
+		return cmpLE, true
+	case ">":
+		return cmpGT, true
+	case ">=":
+		return cmpGE, true
+	}
+	return 0, false
+}
+
+// inverse is the operator selecting exactly the FALSE rows: under
+// three-valued logic NOT(a op b) keeps NULL and flips TRUE/FALSE, which is
+// precisely the inverted comparison.
+func (o cmpOp) inverse() cmpOp {
+	switch o {
+	case cmpEQ:
+		return cmpNE
+	case cmpNE:
+		return cmpEQ
+	case cmpLT:
+		return cmpGE
+	case cmpLE:
+		return cmpGT
+	case cmpGT:
+		return cmpLE
+	default:
+		return cmpLT
+	}
+}
+
+// swapped is the operator with the operands exchanged (k op x ⇔ x swapped op k).
+func (o cmpOp) swapped() cmpOp {
+	switch o {
+	case cmpLT:
+		return cmpGT
+	case cmpLE:
+		return cmpGE
+	case cmpGT:
+		return cmpLT
+	case cmpGE:
+		return cmpLE
+	default:
+		return o // = and <> are symmetric
+	}
+}
+
+// compilePred translates a bound boolean expression into a predicate tree.
+func (c *compiler) compilePred(e plan.BoundExpr) (pred, bool) {
+	switch x := e.(type) {
+	case *plan.BBinary:
+		switch x.Op {
+		case "AND", "OR":
+			l, ok := c.compilePred(x.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := c.compilePred(x.R)
+			if !ok {
+				return nil, false
+			}
+			if x.Op == "AND" {
+				return &andPred{l: l, r: r, slot: c.selSlot()}, true
+			}
+			return &orPred{l: l, r: r, slot: c.selSlot()}, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			return c.compileCmp(x)
+		case "LIKE":
+			return c.compileLike(x)
+		}
+		return nil, false
+
+	case *plan.BUnary:
+		if x.Op != "NOT" {
+			return nil, false
+		}
+		child, ok := c.compilePred(x.X)
+		if !ok {
+			return nil, false
+		}
+		return &notPred{x: child}, true
+
+	case *plan.BIsNull:
+		v, ok := c.compileVal(x.X)
+		if !ok {
+			return nil, false
+		}
+		return &isNullPred{x: v, not: x.Not, slot: c.selSlot()}, true
+
+	case *plan.BCol:
+		v, ok := c.compileVal(x)
+		if !ok || v.typ() != col.BOOL {
+			return nil, false
+		}
+		return &boolPred{x: v, slot: c.selSlot()}, true
+
+	case *plan.BLit:
+		if x.Val.Null {
+			return &constPred{null: true}, true
+		}
+		if x.Val.Type == col.BOOL {
+			return &constPred{val: x.Val.B}, true
+		}
+	}
+	return nil, false
+}
+
+// compileCmp builds a comparison kernel, specializing a literal operand
+// into a scalar compare and widening mixed numeric operands to float
+// exactly as the interpreter's per-row numAsFloat does.
+func (c *compiler) compileCmp(x *plan.BBinary) (pred, bool) {
+	op, ok := cmpOpOf(x.Op)
+	if !ok {
+		return nil, false
+	}
+	lk, lLit := litScalar(x.L)
+	rk, rLit := litScalar(x.R)
+	switch {
+	case lLit && rLit:
+		return nil, false // constant comparison: the planner's business
+	case rLit:
+		v, ok := c.compileVal(x.L)
+		if !ok {
+			return nil, false
+		}
+		return c.cmpScalarNode(op, v, rk)
+	case lLit:
+		v, ok := c.compileVal(x.R)
+		if !ok {
+			return nil, false
+		}
+		return c.cmpScalarNode(op.swapped(), v, lk)
+	default:
+		l, ok := c.compileVal(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := c.compileVal(x.R)
+		if !ok {
+			return nil, false
+		}
+		if l.typ() != r.typ() {
+			if !(l.typ().Numeric() && r.typ().Numeric()) {
+				return nil, false
+			}
+			if l.typ() == col.INT64 {
+				l = &castIF{x: l, slot: c.vecSlot()}
+			}
+			if r.typ() == col.INT64 {
+				r = &castIF{x: r, slot: c.vecSlot()}
+			}
+		}
+		return &cmpVV{op: op, l: l, r: r, slot: c.selSlot()}, true
+	}
+}
+
+// cmpScalarNode coerces the scalar to the expression's type and builds the
+// scalar comparison.
+func (c *compiler) cmpScalarNode(op cmpOp, v valExpr, k col.Value) (pred, bool) {
+	t := v.typ()
+	switch {
+	case k.Type == t:
+	case k.Type.Numeric() && t.Numeric():
+		if t == col.INT64 {
+			v = &castIF{x: v, slot: c.vecSlot()}
+			t = col.FLOAT64
+		}
+		k = col.Float(k.AsFloat())
+	default:
+		return nil, false
+	}
+	switch t {
+	case col.BOOL, col.INT64, col.FLOAT64, col.STRING, col.DATE, col.TIMESTAMP:
+		return &cmpScalar{op: op, x: v, k: k, slot: c.selSlot()}, true
+	}
+	return nil, false
+}
+
+// compileLike handles LIKE patterns that reduce to equality (no wildcards)
+// or a prefix match (a trailing run of '%' and nothing else); everything
+// else falls back to the interpreter's compiled-regexp path.
+func (c *compiler) compileLike(x *plan.BBinary) (pred, bool) {
+	pat, ok := litScalar(x.R)
+	if !ok || pat.Type != col.STRING {
+		return nil, false
+	}
+	v, ok := c.compileVal(x.L)
+	if !ok || v.typ() != col.STRING {
+		return nil, false
+	}
+	prefix, exact, ok := likePrefixPattern(pat.S)
+	if !ok {
+		return nil, false
+	}
+	return &likePred{x: v, prefix: prefix, exact: exact, slot: c.selSlot()}, true
+}
+
+// likePrefixPattern splits a LIKE pattern into (prefix, exact): exact when
+// the pattern has no wildcards at all, prefix-match when its only wildcards
+// are a trailing run of '%'. ok is false for any other pattern.
+func likePrefixPattern(pat string) (prefix string, exact, ok bool) {
+	i := len(pat)
+	for i > 0 && pat[i-1] == '%' {
+		i--
+	}
+	prefix = pat[:i]
+	if strings.ContainsAny(prefix, "%_") {
+		return "", false, false
+	}
+	return prefix, i == len(pat), true
+}
+
+// ordered are the types compared with the native <.
+type ordered interface {
+	~int64 | ~float64 | ~string
+}
+
+// selCmpVS selects the rows of sel where vals[i] op k holds and the row is
+// valid. The op switch is hoisted out of the row loop — that, plus the
+// scalar right side, is the whole point of the kernel.
+func selCmpVS[T ordered](op cmpOp, vals []T, valid []bool, k T, sel, out []int) []int {
+	switch op {
+	case cmpEQ:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] == k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] == k {
+					out = append(out, i)
+				}
+			}
+		}
+	case cmpNE:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] != k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] != k {
+					out = append(out, i)
+				}
+			}
+		}
+	case cmpLT:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] < k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] < k {
+					out = append(out, i)
+				}
+			}
+		}
+	case cmpLE:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] <= k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] <= k {
+					out = append(out, i)
+				}
+			}
+		}
+	case cmpGT:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] > k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] > k {
+					out = append(out, i)
+				}
+			}
+		}
+	case cmpGE:
+		if valid == nil {
+			for _, i := range sel {
+				if vals[i] >= k {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if valid[i] && vals[i] >= k {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// selCmpVV is the column-vs-column comparison kernel.
+func selCmpVV[T ordered](op cmpOp, a, b []T, av, bv []bool, sel, out []int) []int {
+	if av == nil && bv == nil {
+		switch op {
+		case cmpEQ:
+			for _, i := range sel {
+				if a[i] == b[i] {
+					out = append(out, i)
+				}
+			}
+		case cmpNE:
+			for _, i := range sel {
+				if a[i] != b[i] {
+					out = append(out, i)
+				}
+			}
+		case cmpLT:
+			for _, i := range sel {
+				if a[i] < b[i] {
+					out = append(out, i)
+				}
+			}
+		case cmpLE:
+			for _, i := range sel {
+				if a[i] <= b[i] {
+					out = append(out, i)
+				}
+			}
+		case cmpGT:
+			for _, i := range sel {
+				if a[i] > b[i] {
+					out = append(out, i)
+				}
+			}
+		case cmpGE:
+			for _, i := range sel {
+				if a[i] >= b[i] {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if (av != nil && !av[i]) || (bv != nil && !bv[i]) {
+			continue
+		}
+		keep := false
+		switch op {
+		case cmpEQ:
+			keep = a[i] == b[i]
+		case cmpNE:
+			keep = a[i] != b[i]
+		case cmpLT:
+			keep = a[i] < b[i]
+		case cmpLE:
+			keep = a[i] <= b[i]
+		case cmpGT:
+			keep = a[i] > b[i]
+		case cmpGE:
+			keep = a[i] >= b[i]
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Float comparisons mirror the interpreter's compareAt, which computes a
+// three-way ordinal (a<b → -1, a>b → +1, else 0) and tests the op against
+// it. Under that scheme a NaN operand yields 0 — "equal" — for every
+// pairing, so native Go comparisons (where NaN is unordered) would diverge
+// on NaN-bearing data. Each op below is the compareAt predicate expressed
+// directly: EQ ⇔ !(a<b)&&!(a>b), NE ⇔ a<b||a>b, LE ⇔ !(a>b), GE ⇔ !(a<b).
+
+// selCmpFloatVS is the float column-vs-scalar kernel with compareAt's NaN
+// ordering; like selCmpVS, the op dispatch is hoisted out of the row loop.
+func selCmpFloatVS(op cmpOp, vals []float64, valid []bool, k float64, sel, out []int) []int {
+	ok := func(i int) bool { return valid == nil || valid[i] }
+	switch op {
+	case cmpEQ:
+		for _, i := range sel {
+			if ok(i) && !(vals[i] < k) && !(vals[i] > k) {
+				out = append(out, i)
+			}
+		}
+	case cmpNE:
+		for _, i := range sel {
+			if ok(i) && (vals[i] < k || vals[i] > k) {
+				out = append(out, i)
+			}
+		}
+	case cmpLT:
+		for _, i := range sel {
+			if ok(i) && vals[i] < k {
+				out = append(out, i)
+			}
+		}
+	case cmpLE:
+		for _, i := range sel {
+			if ok(i) && !(vals[i] > k) {
+				out = append(out, i)
+			}
+		}
+	case cmpGT:
+		for _, i := range sel {
+			if ok(i) && vals[i] > k {
+				out = append(out, i)
+			}
+		}
+	case cmpGE:
+		for _, i := range sel {
+			if ok(i) && !(vals[i] < k) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// selCmpFloatVV is the float column-vs-column kernel with compareAt's NaN
+// ordering.
+func selCmpFloatVV(op cmpOp, a, b []float64, av, bv []bool, sel, out []int) []int {
+	ok := func(i int) bool {
+		return (av == nil || av[i]) && (bv == nil || bv[i])
+	}
+	switch op {
+	case cmpEQ:
+		for _, i := range sel {
+			if ok(i) && !(a[i] < b[i]) && !(a[i] > b[i]) {
+				out = append(out, i)
+			}
+		}
+	case cmpNE:
+		for _, i := range sel {
+			if ok(i) && (a[i] < b[i] || a[i] > b[i]) {
+				out = append(out, i)
+			}
+		}
+	case cmpLT:
+		for _, i := range sel {
+			if ok(i) && a[i] < b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpLE:
+		for _, i := range sel {
+			if ok(i) && !(a[i] > b[i]) {
+				out = append(out, i)
+			}
+		}
+	case cmpGT:
+		for _, i := range sel {
+			if ok(i) && a[i] > b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpGE:
+		for _, i := range sel {
+			if ok(i) && !(a[i] < b[i]) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// selCmpBoolVS compares a bool column against a scalar under the SQL order
+// FALSE < TRUE.
+func selCmpBoolVS(op cmpOp, vals, valid []bool, k bool, sel, out []int) []int {
+	for _, i := range sel {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		v := vals[i]
+		keep := false
+		switch op {
+		case cmpEQ:
+			keep = v == k
+		case cmpNE:
+			keep = v != k
+		case cmpLT:
+			keep = !v && k
+		case cmpLE:
+			keep = !v || k
+		case cmpGT:
+			keep = v && !k
+		case cmpGE:
+			keep = v || !k
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selCmpBoolVV is the bool column-vs-column comparison.
+func selCmpBoolVV(op cmpOp, a, b []bool, av, bv []bool, sel, out []int) []int {
+	for _, i := range sel {
+		if (av != nil && !av[i]) || (bv != nil && !bv[i]) {
+			continue
+		}
+		x, y := a[i], b[i]
+		keep := false
+		switch op {
+		case cmpEQ:
+			keep = x == y
+		case cmpNE:
+			keep = x != y
+		case cmpLT:
+			keep = !x && y
+		case cmpLE:
+			keep = !x || y
+		case cmpGT:
+			keep = x && !y
+		case cmpGE:
+			keep = x || !y
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// cmpScalar is expression-vs-literal; the literal is pre-coerced to the
+// expression's type at compile time.
+type cmpScalar struct {
+	op   cmpOp
+	x    valExpr
+	k    col.Value
+	slot int
+}
+
+func (p *cmpScalar) selTrue(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, p.op)
+}
+
+func (p *cmpScalar) selFalse(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, p.op.inverse())
+}
+
+func (p *cmpScalar) run(ctx *evalCtx, sel []int, op cmpOp) []int {
+	v := p.x.eval(ctx)
+	out := ctx.s.selBuf(p.slot)
+	switch v.Type {
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		out = selCmpVS(op, v.Ints, v.Valid, p.k.I, sel, out)
+	case col.FLOAT64:
+		out = selCmpFloatVS(op, v.Floats, v.Valid, p.k.F, sel, out)
+	case col.STRING:
+		out = selCmpVS(op, v.Strs, v.Valid, p.k.S, sel, out)
+	case col.BOOL:
+		out = selCmpBoolVS(op, v.Bools, v.Valid, p.k.B, sel, out)
+	}
+	return ctx.s.putSel(p.slot, out)
+}
+
+// cmpVV is expression-vs-expression; both sides have the same type after
+// compile-time widening.
+type cmpVV struct {
+	op   cmpOp
+	l, r valExpr
+	slot int
+}
+
+func (p *cmpVV) selTrue(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, p.op)
+}
+
+func (p *cmpVV) selFalse(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, p.op.inverse())
+}
+
+func (p *cmpVV) run(ctx *evalCtx, sel []int, op cmpOp) []int {
+	lv := p.l.eval(ctx)
+	rv := p.r.eval(ctx)
+	out := ctx.s.selBuf(p.slot)
+	switch lv.Type {
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		out = selCmpVV(op, lv.Ints, rv.Ints, lv.Valid, rv.Valid, sel, out)
+	case col.FLOAT64:
+		out = selCmpFloatVV(op, lv.Floats, rv.Floats, lv.Valid, rv.Valid, sel, out)
+	case col.STRING:
+		out = selCmpVV(op, lv.Strs, rv.Strs, lv.Valid, rv.Valid, sel, out)
+	case col.BOOL:
+		out = selCmpBoolVV(op, lv.Bools, rv.Bools, lv.Valid, rv.Valid, sel, out)
+	}
+	return ctx.s.putSel(p.slot, out)
+}
+
+// andPred: TRUE rows chain through both children (the selection-vector
+// shortcut — the right child only sees the left child's survivors); FALSE
+// rows are the union of either child's FALSE rows.
+type andPred struct {
+	l, r pred
+	slot int
+}
+
+func (p *andPred) selTrue(ctx *evalCtx, sel []int) []int {
+	return p.r.selTrue(ctx, p.l.selTrue(ctx, sel))
+}
+
+func (p *andPred) selFalse(ctx *evalCtx, sel []int) []int {
+	a := p.l.selFalse(ctx, sel)
+	b := p.r.selFalse(ctx, sel)
+	return ctx.s.putSel(p.slot, unionInto(ctx.s.selBuf(p.slot), a, b))
+}
+
+// orPred mirrors andPred.
+type orPred struct {
+	l, r pred
+	slot int
+}
+
+func (p *orPred) selTrue(ctx *evalCtx, sel []int) []int {
+	a := p.l.selTrue(ctx, sel)
+	b := p.r.selTrue(ctx, sel)
+	return ctx.s.putSel(p.slot, unionInto(ctx.s.selBuf(p.slot), a, b))
+}
+
+func (p *orPred) selFalse(ctx *evalCtx, sel []int) []int {
+	return p.r.selFalse(ctx, p.l.selFalse(ctx, sel))
+}
+
+// notPred swaps the TRUE and FALSE sets; NULL stays NULL by construction.
+type notPred struct {
+	x pred
+}
+
+func (p *notPred) selTrue(ctx *evalCtx, sel []int) []int  { return p.x.selFalse(ctx, sel) }
+func (p *notPred) selFalse(ctx *evalCtx, sel []int) []int { return p.x.selTrue(ctx, sel) }
+
+// isNullPred is x IS [NOT] NULL.
+type isNullPred struct {
+	x    valExpr
+	not  bool
+	slot int
+}
+
+func (p *isNullPred) selTrue(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, !p.not)
+}
+
+func (p *isNullPred) selFalse(ctx *evalCtx, sel []int) []int {
+	return p.run(ctx, sel, p.not)
+}
+
+func (p *isNullPred) run(ctx *evalCtx, sel []int, wantNull bool) []int {
+	v := p.x.eval(ctx)
+	if v.Valid == nil {
+		if wantNull {
+			return ctx.s.selBuf(p.slot)
+		}
+		return sel
+	}
+	out := ctx.s.selBuf(p.slot)
+	if wantNull {
+		for _, i := range sel {
+			if !v.Valid[i] {
+				out = append(out, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if v.Valid[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return ctx.s.putSel(p.slot, out)
+}
+
+// boolPred treats a BOOL expression as the predicate itself.
+type boolPred struct {
+	x    valExpr
+	slot int
+}
+
+func (p *boolPred) selTrue(ctx *evalCtx, sel []int) []int  { return p.run(ctx, sel, true) }
+func (p *boolPred) selFalse(ctx *evalCtx, sel []int) []int { return p.run(ctx, sel, false) }
+
+func (p *boolPred) run(ctx *evalCtx, sel []int, want bool) []int {
+	v := p.x.eval(ctx)
+	out := ctx.s.selBuf(p.slot)
+	if v.Valid == nil {
+		for _, i := range sel {
+			if v.Bools[i] == want {
+				out = append(out, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if v.Valid[i] && v.Bools[i] == want {
+				out = append(out, i)
+			}
+		}
+	}
+	return ctx.s.putSel(p.slot, out)
+}
+
+// constPred is a TRUE/FALSE/NULL literal predicate.
+type constPred struct {
+	val  bool
+	null bool
+}
+
+func (p *constPred) selTrue(ctx *evalCtx, sel []int) []int {
+	if !p.null && p.val {
+		return sel
+	}
+	return sel[:0]
+}
+
+func (p *constPred) selFalse(ctx *evalCtx, sel []int) []int {
+	if !p.null && !p.val {
+		return sel
+	}
+	return sel[:0]
+}
+
+// likePred is string LIKE with an equality or prefix pattern.
+type likePred struct {
+	x      valExpr
+	prefix string
+	exact  bool
+	slot   int
+}
+
+func (p *likePred) selTrue(ctx *evalCtx, sel []int) []int  { return p.run(ctx, sel, true) }
+func (p *likePred) selFalse(ctx *evalCtx, sel []int) []int { return p.run(ctx, sel, false) }
+
+func (p *likePred) run(ctx *evalCtx, sel []int, want bool) []int {
+	v := p.x.eval(ctx)
+	out := ctx.s.selBuf(p.slot)
+	vals, valid := v.Strs, v.Valid
+	if p.exact {
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			if (vals[i] == p.prefix) == want {
+				out = append(out, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			if strings.HasPrefix(vals[i], p.prefix) == want {
+				out = append(out, i)
+			}
+		}
+	}
+	return ctx.s.putSel(p.slot, out)
+}

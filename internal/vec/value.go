@@ -1,0 +1,507 @@
+package vec
+
+import (
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// compileVal translates a bound scalar expression into a value kernel tree.
+func (c *compiler) compileVal(e plan.BoundExpr) (valExpr, bool) {
+	switch x := e.(type) {
+	case *plan.BCol:
+		switch x.Ty {
+		case col.BOOL, col.INT64, col.FLOAT64, col.STRING, col.DATE, col.TIMESTAMP:
+			c.ref(x.Ordinal, x.Ty)
+			return &colRef{ord: x.Ordinal, ty: x.Ty}, true
+		}
+		return nil, false
+
+	case *plan.BUnary:
+		if x.Op != "-" {
+			return nil, false
+		}
+		inner, ok := c.compileVal(x.X)
+		if !ok {
+			return nil, false
+		}
+		// The interpreter types unary minus by its operand and supports
+		// INT64/FLOAT64 only.
+		switch inner.typ() {
+		case col.INT64, col.FLOAT64:
+			return &negNode{x: inner, ty: inner.typ(), slot: c.vecSlot()}, true
+		}
+		return nil, false
+
+	case *plan.BBinary:
+		return c.compileArith(x)
+
+	case *plan.BCast:
+		// Only the numeric widening the kernels themselves need; every
+		// other cast falls back to the interpreter.
+		if x.To == col.FLOAT64 {
+			if inner, ok := c.compileVal(x.X); ok && inner.typ() == col.INT64 {
+				return &castIF{x: inner, slot: c.vecSlot()}, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// litScalar reports e as a non-null literal usable as a kernel scalar.
+func litScalar(e plan.BoundExpr) (col.Value, bool) {
+	if l, ok := e.(*plan.BLit); ok && !l.Val.Null {
+		return l.Val, true
+	}
+	return col.Value{}, false
+}
+
+// compileArith builds an arithmetic kernel for +, -, *, / and %, matching
+// evalArith exactly: the result type decides the loop (INT64 keeps + - * %
+// with x%0 = NULL, FLOAT64 widens operands and keeps + - * / with x/0 =
+// NULL, DATE/TIMESTAMP keep + -), and a literal operand becomes a scalar
+// specialization instead of a broadcast vector.
+func (c *compiler) compileArith(x *plan.BBinary) (valExpr, bool) {
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+	default:
+		return nil, false
+	}
+	side := func(e plan.BoundExpr) (valExpr, col.Value, bool) {
+		if k, ok := litScalar(e); ok {
+			return nil, k, true
+		}
+		v, ok := c.compileVal(e)
+		return v, col.Value{}, ok
+	}
+	lv, lk, lok := side(x.L)
+	rv, rk, rok := side(x.R)
+	if !lok || !rok || (lv == nil && rv == nil) {
+		return nil, false // constant folding is the planner's business
+	}
+
+	intTyped := func(v valExpr, k col.Value) bool {
+		if v != nil {
+			switch v.typ() {
+			case col.INT64, col.DATE, col.TIMESTAMP:
+				return true
+			}
+			return false
+		}
+		switch k.Type {
+		case col.INT64, col.DATE, col.TIMESTAMP:
+			return true
+		}
+		return false
+	}
+	numTyped := func(v valExpr, k col.Value) bool {
+		if v != nil {
+			return v.typ().Numeric()
+		}
+		return k.Type.Numeric()
+	}
+
+	switch x.Ty {
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		if x.Ty == col.INT64 && x.Op == "/" {
+			return nil, false // evalArith rejects / with INT64 result
+		}
+		if x.Ty != col.INT64 && (x.Op == "*" || x.Op == "/" || x.Op == "%") {
+			return nil, false // DATE/TIMESTAMP arithmetic is + - only
+		}
+		if !intTyped(lv, lk) || !intTyped(rv, rk) {
+			return nil, false
+		}
+		a := &arithInt{op: x.Op, ty: x.Ty, l: lv, r: rv, slot: c.vecSlot(), mslot: c.vecSlot()}
+		if lv == nil {
+			a.lk = lk.I
+		}
+		if rv == nil {
+			a.rk = rk.I
+		}
+		return a, true
+
+	case col.FLOAT64:
+		if x.Op == "%" {
+			return nil, false // evalArith rejects % with FLOAT64 result
+		}
+		if !numTyped(lv, lk) || !numTyped(rv, rk) {
+			return nil, false
+		}
+		widen := func(v valExpr) valExpr {
+			if v != nil && v.typ() == col.INT64 {
+				return &castIF{x: v, slot: c.vecSlot()}
+			}
+			return v
+		}
+		a := &arithFloat{op: x.Op, l: widen(lv), r: widen(rv), slot: c.vecSlot(), mslot: c.vecSlot()}
+		if lv == nil {
+			a.lk = lk.AsFloat()
+		}
+		if rv == nil {
+			a.rk = rk.AsFloat()
+		}
+		return a, true
+	}
+	return nil, false
+}
+
+// freshable marks the node whose output escapes the program (the root of a
+// ValueProgram): it must allocate instead of using scratch slots.
+type freshable interface{ markFresh() }
+
+func markFresh(v valExpr) {
+	if f, ok := v.(freshable); ok {
+		f.markFresh()
+	}
+}
+
+// maybeCopyMask detaches an aliased null mask when the vector escapes.
+func maybeCopyMask(m []bool, fresh bool) []bool {
+	if !fresh || m == nil {
+		return m
+	}
+	cp := make([]bool, len(m))
+	copy(cp, m)
+	return cp
+}
+
+// colRef yields the batch's own column vector, like the interpreter's BCol.
+type colRef struct {
+	ord int
+	ty  col.Type
+}
+
+func (r *colRef) typ() col.Type { return r.ty }
+
+func (r *colRef) eval(ctx *evalCtx) *col.Vector { return ctx.b.Vecs[r.ord] }
+
+// castIF widens INT64 to FLOAT64 (exactly numAsFloat, hoisted out of the
+// row loop).
+type castIF struct {
+	x     valExpr
+	slot  int
+	fresh bool
+}
+
+func (n *castIF) typ() col.Type { return col.FLOAT64 }
+func (n *castIF) markFresh()    { n.fresh = true }
+
+func (n *castIF) eval(ctx *evalCtx) *col.Vector {
+	in := n.x.eval(ctx)
+	out := ctx.s.vecBuf(n.slot, col.FLOAT64, in.N, n.fresh)
+	for i, v := range in.Ints {
+		out.Floats[i] = float64(v)
+	}
+	out.Valid = maybeCopyMask(in.Valid, n.fresh)
+	return out
+}
+
+// negNode is unary minus over INT64 or FLOAT64.
+type negNode struct {
+	x     valExpr
+	ty    col.Type
+	slot  int
+	fresh bool
+}
+
+func (n *negNode) typ() col.Type { return n.ty }
+func (n *negNode) markFresh()    { n.fresh = true }
+
+func (n *negNode) eval(ctx *evalCtx) *col.Vector {
+	in := n.x.eval(ctx)
+	out := ctx.s.vecBuf(n.slot, n.ty, in.N, n.fresh)
+	if n.ty == col.INT64 {
+		for i, v := range in.Ints {
+			out.Ints[i] = -v
+		}
+	} else {
+		for i, v := range in.Floats {
+			out.Floats[i] = -v
+		}
+	}
+	out.Valid = maybeCopyMask(in.Valid, n.fresh)
+	return out
+}
+
+// combineMasks computes the conjunction of the operand validity masks.
+// owned reports whether the returned mask is private to the node (safe to
+// mutate); an aliased single-operand mask is not.
+func combineMasks(ctx *evalCtx, slot int, lv, rv *col.Vector, n int, fresh bool) (mask []bool, owned bool) {
+	var lm, rm []bool
+	if lv != nil {
+		lm = lv.Valid
+	}
+	if rv != nil {
+		rm = rv.Valid
+	}
+	switch {
+	case lm == nil && rm == nil:
+		return nil, false
+	case lm == nil:
+		return maybeCopyMask(rm, fresh), fresh
+	case rm == nil:
+		return maybeCopyMask(lm, fresh), fresh
+	}
+	m := ctx.s.maskBuf(slot, n, fresh)
+	for i := 0; i < n; i++ {
+		m[i] = lm[i] && rm[i]
+	}
+	return m, true
+}
+
+// ownMask upgrades out.Valid to a mutable mask (all-true when it was nil),
+// used when / or % must null individual rows.
+func ownMask(ctx *evalCtx, slot int, out *col.Vector, n int, fresh bool) []bool {
+	m := ctx.s.maskBuf(slot, n, fresh)
+	if out.Valid == nil {
+		for i := 0; i < n; i++ {
+			m[i] = true
+		}
+	} else {
+		copy(m, out.Valid) // no-op when out.Valid already is this buffer
+	}
+	out.Valid = m
+	return m
+}
+
+// arithInt is + - * % with an INT64 (or DATE/TIMESTAMP for + -) result.
+// A nil l or r marks the scalar side.
+type arithInt struct {
+	op     string
+	ty     col.Type
+	l, r   valExpr
+	lk, rk int64
+	slot   int
+	mslot  int
+	fresh  bool
+}
+
+func (a *arithInt) typ() col.Type { return a.ty }
+func (a *arithInt) markFresh()    { a.fresh = true }
+
+func (a *arithInt) eval(ctx *evalCtx) *col.Vector {
+	n := ctx.b.N
+	out := ctx.s.vecBuf(a.slot, a.ty, n, a.fresh)
+	var lv, rv *col.Vector
+	var ls, rs []int64
+	if a.l != nil {
+		lv = a.l.eval(ctx)
+		ls = lv.Ints
+	}
+	if a.r != nil {
+		rv = a.r.eval(ctx)
+		rs = rv.Ints
+	}
+	mask, owned := combineMasks(ctx, a.mslot, lv, rv, n, a.fresh)
+	out.Valid = mask
+	o := out.Ints
+	switch a.op {
+	case "+":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk + rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] + a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] + rs[i]
+			}
+		}
+	case "-":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk - rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] - a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] - rs[i]
+			}
+		}
+	case "*":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk * rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] * a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] * rs[i]
+			}
+		}
+	case "%":
+		// x % 0 is NULL (the interpreter keeps execution total).
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				if rs[i] == 0 {
+					if !owned {
+						ownMask(ctx, a.mslot, out, n, a.fresh)
+						owned = true
+					}
+					out.Valid[i] = false
+					continue
+				}
+				o[i] = a.lk % rs[i]
+			}
+		case rs == nil:
+			if a.rk == 0 {
+				m := ctx.s.maskBuf(a.mslot, n, a.fresh)
+				for i := 0; i < n; i++ {
+					m[i] = false
+				}
+				out.Valid = m
+				return out
+			}
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] % a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if rs[i] == 0 {
+					if !owned {
+						ownMask(ctx, a.mslot, out, n, a.fresh)
+						owned = true
+					}
+					out.Valid[i] = false
+					continue
+				}
+				o[i] = ls[i] % rs[i]
+			}
+		}
+	}
+	return out
+}
+
+// arithFloat is + - * / with a FLOAT64 result; integer operands are widened
+// by castIF nodes inserted at compile time.
+type arithFloat struct {
+	op     string
+	l, r   valExpr
+	lk, rk float64
+	slot   int
+	mslot  int
+	fresh  bool
+}
+
+func (a *arithFloat) typ() col.Type { return col.FLOAT64 }
+func (a *arithFloat) markFresh()    { a.fresh = true }
+
+func (a *arithFloat) eval(ctx *evalCtx) *col.Vector {
+	n := ctx.b.N
+	out := ctx.s.vecBuf(a.slot, col.FLOAT64, n, a.fresh)
+	var lv, rv *col.Vector
+	var ls, rs []float64
+	if a.l != nil {
+		lv = a.l.eval(ctx)
+		ls = lv.Floats
+	}
+	if a.r != nil {
+		rv = a.r.eval(ctx)
+		rs = rv.Floats
+	}
+	mask, owned := combineMasks(ctx, a.mslot, lv, rv, n, a.fresh)
+	out.Valid = mask
+	o := out.Floats
+	switch a.op {
+	case "+":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk + rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] + a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] + rs[i]
+			}
+		}
+	case "-":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk - rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] - a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] - rs[i]
+			}
+		}
+	case "*":
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				o[i] = a.lk * rs[i]
+			}
+		case rs == nil:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] * a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] * rs[i]
+			}
+		}
+	case "/":
+		// x / 0 is NULL, matching the interpreter.
+		switch {
+		case ls == nil:
+			for i := 0; i < n; i++ {
+				if rs[i] == 0 {
+					if !owned {
+						ownMask(ctx, a.mslot, out, n, a.fresh)
+						owned = true
+					}
+					out.Valid[i] = false
+					continue
+				}
+				o[i] = a.lk / rs[i]
+			}
+		case rs == nil:
+			if a.rk == 0 {
+				m := ctx.s.maskBuf(a.mslot, n, a.fresh)
+				for i := 0; i < n; i++ {
+					m[i] = false
+				}
+				out.Valid = m
+				return out
+			}
+			for i := 0; i < n; i++ {
+				o[i] = ls[i] / a.rk
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if rs[i] == 0 {
+					if !owned {
+						ownMask(ctx, a.mslot, out, n, a.fresh)
+						owned = true
+					}
+					out.Valid[i] = false
+					continue
+				}
+				o[i] = ls[i] / rs[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package vec is the vectorized expression-kernel subsystem: typed columnar
+// kernels over col.Vector data that evaluate predicates into selection
+// vectors and scalar expressions into output vectors, without the per-row
+// type dispatch and null boxing of the row-at-a-time exec.Evaluator.
+//
+// The entry points are Compile (a predicate into a Program whose Run
+// returns the selected row indexes) and CompileValue (a scalar expression
+// into a ValueProgram). Both compile a plan.BoundExpr tree into a small
+// kernel program and report ok=false for any node they do not support —
+// callers keep the interpreted path as the fallback, so the subsystem never
+// has to be total. Supported kernels: comparisons (=, <>, <, <=, >, >=)
+// over int64/float64/string/bool/date/timestamp columns, arithmetic
+// (+ - * / %) with scalar specializations, three-valued AND/OR/NOT,
+// IS [NOT] NULL, and LIKE patterns that reduce to an equality or prefix
+// match. Everything is null-mask aware and produces results bit-identical
+// to the interpreter.
+//
+// Predicates evaluate under SQL three-valued logic by computing *two*
+// selection sets per node — the rows where the node is TRUE and the rows
+// where it is FALSE (NULL is the complement of both) — so NOT is a swap,
+// AND(true) chains selections, and AND(false)/OR(true) are sorted unions.
+// A Program is immutable and safe for concurrent use; all per-run state
+// lives in a caller-owned Scratch, so one compiled filter can be shared by
+// every decode worker of a scan pipeline.
+package vec
+
+import (
+	"repro/internal/col"
+	"repro/internal/plan"
+)
+
+// Scratch holds the reusable per-run buffers of a Program or ValueProgram:
+// one selection buffer per predicate node, one output vector and null mask
+// per value node, and the identity selection. A Scratch may be reused
+// across runs (that is the point) but never concurrently; selection vectors
+// and interior value vectors returned by a run alias the scratch and are
+// valid only until the next run with the same Scratch.
+type Scratch struct {
+	sels  [][]int
+	vecs  []*col.Vector
+	masks [][]bool
+	all   []int
+}
+
+func (s *Scratch) ensure(nSel, nVec int) {
+	if len(s.sels) < nSel {
+		s.sels = append(s.sels, make([][]int, nSel-len(s.sels))...)
+	}
+	if len(s.vecs) < nVec {
+		s.vecs = append(s.vecs, make([]*col.Vector, nVec-len(s.vecs))...)
+		s.masks = append(s.masks, make([][]bool, nVec-len(s.masks))...)
+	}
+}
+
+// selBuf returns slot's selection buffer, emptied.
+func (s *Scratch) selBuf(slot int) []int { return s.sels[slot][:0] }
+
+// putSel stores a (possibly grown) selection buffer back into its slot.
+func (s *Scratch) putSel(slot int, v []int) []int {
+	s.sels[slot] = v
+	return v
+}
+
+// identity returns the [0, n) selection.
+func (s *Scratch) identity(n int) []int {
+	if cap(s.all) < n {
+		s.all = make([]int, n)
+		for i := range s.all {
+			s.all[i] = i
+		}
+	}
+	if len(s.all) < n {
+		for i := len(s.all); i < n; i++ {
+			s.all = append(s.all, i)
+		}
+	}
+	return s.all[:n]
+}
+
+// vecBuf returns slot's output vector resized for n rows of type t with a
+// nil validity mask. When fresh is set the vector is newly allocated — the
+// root of a ValueProgram escapes to the caller and must not alias scratch.
+func (s *Scratch) vecBuf(slot int, t col.Type, n int, fresh bool) *col.Vector {
+	if fresh {
+		return col.NewVector(t, n)
+	}
+	v := s.vecs[slot]
+	if v == nil || v.Type != t {
+		v = col.NewVector(t, n)
+		s.vecs[slot] = v
+		return v
+	}
+	v.N = n
+	v.Valid = nil
+	switch t {
+	case col.BOOL:
+		v.Bools = resize(v.Bools, n)
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		v.Ints = resize(v.Ints, n)
+	case col.FLOAT64:
+		v.Floats = resize(v.Floats, n)
+	case col.STRING:
+		v.Strs = resize(v.Strs, n)
+	}
+	return v
+}
+
+// maskBuf returns slot's null-mask buffer resized to n (contents undefined).
+// fresh allocates, mirroring vecBuf.
+func (s *Scratch) maskBuf(slot, n int, fresh bool) []bool {
+	if fresh {
+		return make([]bool, n)
+	}
+	m := resize(s.masks[slot], n)
+	s.masks[slot] = m
+	return m
+}
+
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// evalCtx is the per-run evaluation context.
+type evalCtx struct {
+	b *col.Batch
+	s *Scratch
+}
+
+// pred is a compiled predicate node. selTrue returns the subset of sel
+// (ascending row indexes) where the predicate evaluates TRUE; selFalse the
+// subset where it evaluates FALSE. NULL rows appear in neither, which is
+// what makes three-valued NOT/AND/OR exact. Returned slices may alias the
+// Scratch (or sel itself) and are valid until the next run.
+type pred interface {
+	selTrue(ctx *evalCtx, sel []int) []int
+	selFalse(ctx *evalCtx, sel []int) []int
+}
+
+// valExpr is a compiled scalar expression producing a full-length vector
+// over the batch. Interior results alias the Scratch.
+type valExpr interface {
+	typ() col.Type
+	eval(ctx *evalCtx) *col.Vector
+}
+
+// colRefCheck records one column reference for run-time validation.
+type colRefCheck struct {
+	ord int
+	ty  col.Type
+}
+
+// Program is a compiled predicate. It is immutable and safe for concurrent
+// use with distinct Scratches.
+type Program struct {
+	root pred
+	refs []colRefCheck
+	nSel int
+	nVec int
+}
+
+// Compile compiles a bound predicate into a kernel program. ok is false
+// when the expression contains a node the kernel set does not cover; the
+// caller should then evaluate with the interpreter.
+func Compile(e plan.BoundExpr) (*Program, bool) {
+	c := &compiler{}
+	root, ok := c.compilePred(e)
+	if !ok {
+		return nil, false
+	}
+	return &Program{root: root, refs: c.refs, nSel: c.nSel, nVec: c.nVec}, true
+}
+
+// validate checks the batch matches the compiled column references. A
+// mismatch (short batch, missing or retyped vector) reports false and the
+// caller falls back to the interpreter.
+func validate(refs []colRefCheck, b *col.Batch) bool {
+	for _, r := range refs {
+		if r.ord < 0 || r.ord >= len(b.Vecs) {
+			return false
+		}
+		v := b.Vecs[r.ord]
+		if v == nil || v.Type != r.ty || v.N != b.N {
+			return false
+		}
+	}
+	return true
+}
+
+// Run evaluates the predicate over b and returns the selected row indexes
+// (rows where it is TRUE — NULL and FALSE are dropped), exactly as
+// exec.Evaluator.EvalBool would. The returned slice aliases the Scratch.
+// ok is false when the batch does not match the compiled column layout; no
+// partial evaluation happens in that case.
+func (p *Program) Run(b *col.Batch, s *Scratch) ([]int, bool) {
+	if !validate(p.refs, b) {
+		return nil, false
+	}
+	s.ensure(p.nSel, p.nVec)
+	ctx := &evalCtx{b: b, s: s}
+	return p.root.selTrue(ctx, s.identity(b.N)), true
+}
+
+// ValueProgram is a compiled scalar expression.
+type ValueProgram struct {
+	root valExpr
+	refs []colRefCheck
+	nVec int
+}
+
+// CompileValue compiles a bound scalar expression into a value program
+// whose Eval produces the same vector the interpreter would. ok is false
+// for unsupported nodes.
+func CompileValue(e plan.BoundExpr) (*ValueProgram, bool) {
+	c := &compiler{}
+	root, ok := c.compileVal(e)
+	if !ok {
+		return nil, false
+	}
+	// The root vector escapes to the caller: mark it fresh so it never
+	// aliases the reusable scratch slots (interior nodes still do).
+	markFresh(root)
+	return &ValueProgram{root: root, refs: c.refs, nVec: c.nVec}, true
+}
+
+// Eval computes the expression over b. The result is freshly allocated
+// (or, for a bare column reference, the batch's own vector — matching the
+// interpreter). ok is false when the batch does not match the compiled
+// column layout.
+func (p *ValueProgram) Eval(b *col.Batch, s *Scratch) (*col.Vector, bool) {
+	if !validate(p.refs, b) {
+		return nil, false
+	}
+	s.ensure(0, p.nVec)
+	ctx := &evalCtx{b: b, s: s}
+	return p.root.eval(ctx), true
+}
+
+// compiler assigns scratch slots and records column references while
+// translating the bound tree.
+type compiler struct {
+	nSel int
+	nVec int
+	refs []colRefCheck
+}
+
+func (c *compiler) selSlot() int {
+	c.nSel++
+	return c.nSel - 1
+}
+
+func (c *compiler) vecSlot() int {
+	c.nVec++
+	return c.nVec - 1
+}
+
+func (c *compiler) ref(ord int, ty col.Type) {
+	c.refs = append(c.refs, colRefCheck{ord: ord, ty: ty})
+}
+
+// unionInto merges two ascending selections into buf (deduplicating), the
+// kernel behind AND-false and OR-true.
+func unionInto(buf, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			buf = append(buf, a[i])
+			i++
+		case a[i] > b[j]:
+			buf = append(buf, b[j])
+			j++
+		default:
+			buf = append(buf, a[i])
+			i++
+			j++
+		}
+	}
+	buf = append(buf, a[i:]...)
+	buf = append(buf, b[j:]...)
+	return buf
+}

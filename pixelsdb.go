@@ -92,6 +92,20 @@ type Options struct {
 	// applies to scans proven to drain completely, and batches are
 	// delivered in file/row-group order.
 	ScanPrefetch int
+	// ScanBudget bounds the process-wide scan-prefetch decode concurrency:
+	// at most this many pipeline decode workers (beyond one guaranteed
+	// worker per scan) run at once across every query, so parallel workers
+	// × prefetch depth cannot oversubscribe small hosts. 0 keeps the
+	// current process setting (default: one token per CPU); negative
+	// removes the bound. The budget is process-wide state shared by every
+	// DB in the process.
+	ScanBudget int
+	// NoVectorize disables the vectorized expression kernels
+	// (internal/vec): scan filters, executor filters and projections then
+	// evaluate row-at-a-time. Results, stats and billed bytes are
+	// bit-identical either way; the switch exists for the
+	// interpreted-vs-vectorized ablation and as an escape hatch.
+	NoVectorize bool
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
@@ -170,6 +184,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	eng := engine.New(cat, engineStore)
 	eng.SetScanPrefetch(opts.ScanPrefetch)
+	eng.SetVectorized(!opts.NoVectorize)
+	if opts.ScanBudget != 0 {
+		engine.SetPrefetchBudget(opts.ScanBudget)
+	}
 	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
 	cf := cfsim.NewService(clk, opts.CF)
 	ledger := billing.NewLedger()
