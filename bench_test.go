@@ -124,3 +124,22 @@ func BenchmarkA4StorageAblation(b *testing.B) {
 func BenchmarkA5IntraQueryParallel(b *testing.B) {
 	runExperiment(b, "A5")
 }
+
+// BenchmarkA6MergeSideParallel regenerates the merge-side parallelism
+// experiment (shared-build join, worker top-N).
+func BenchmarkA6MergeSideParallel(b *testing.B) {
+	runExperiment(b, "A6")
+}
+
+// BenchmarkA7VectorizedEval regenerates the vectorized-vs-interpreted
+// evaluation ablation.
+func BenchmarkA7VectorizedEval(b *testing.B) {
+	runExperiment(b, "A7")
+}
+
+// BenchmarkA8DistributedCF regenerates the multi-process CF execution
+// experiment (serialized worker fragments, object-store shuffle, identical
+// rows and billed bytes to serial execution).
+func BenchmarkA8DistributedCF(b *testing.B) {
+	runExperiment(b, "A8")
+}

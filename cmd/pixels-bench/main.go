@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pixels-bench                   # run everything
-//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a7)
+//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a8)
 //	pixels-bench -parallelism 8    # VM-side intra-query width for real-SQL experiments
 //	pixels-bench -cache-mb 64      # object-store read cache for real-SQL experiments
 package main
@@ -16,10 +16,21 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 )
 
 func main() {
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a7)")
+	// A8 spawns this binary again as its CF worker processes: re-executed
+	// copies skip straight into the worker loop.
+	if os.Getenv("PIXELS_WORKER_PROCESS") == "1" {
+		os.Exit(engine.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	if exe, err := os.Executable(); err == nil {
+		bench.WorkerArgv = []string{exe}
+		bench.WorkerEnv = []string{"PIXELS_WORKER_PROCESS=1"}
+	}
+
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a8)")
 	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")

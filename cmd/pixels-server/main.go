@@ -28,6 +28,8 @@ func main() {
 		scanPf   = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = default, negative = synchronous)")
 		scanBud  = flag.Int("scan-budget", 0, "process-wide cap on concurrent pipeline decode workers (0 = one per CPU, negative = unlimited)")
 		vecOn    = flag.Bool("vec", true, "vectorized expression kernels (selection-vector filters + selection-aware decode); false = interpreted evaluation")
+		cfExec   = flag.String("cf-exec", "inprocess", "CF worker execution: inprocess (engine goroutines) or process (one pixels-worker OS process per task, store-based shuffle; requires -data)")
+		cfWorker = flag.String("cf-worker", "pixels-worker", "worker command for -cf-exec=process")
 	)
 	flag.Parse()
 
@@ -42,6 +44,8 @@ func main() {
 		ScanPrefetch:      *scanPf,
 		ScanBudget:        *scanBud,
 		NoVectorize:       !*vecOn,
+		CFExecution:       *cfExec,
+		CFWorkerCmd:       []string{*cfWorker},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -59,6 +63,9 @@ func main() {
 	fmt.Printf("PixelsDB query server on %s (db=%s)\n", *addr, *database)
 	if *cacheMB > 0 {
 		fmt.Printf("object-store read cache: %d MiB, read-ahead %d blocks\n", *cacheMB, *readAh)
+	}
+	if *cfExec == "process" {
+		fmt.Printf("CF execution: one %q process per worker task, store-based shuffle\n", *cfWorker)
 	}
 	fmt.Printf("service levels: immediate $%.2f/TB | relaxed $%.2f/TB (grace %s) | best-of-effort $%.2f/TB\n",
 		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),

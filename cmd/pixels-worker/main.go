@@ -1,0 +1,21 @@
+// Command pixels-worker is the CF worker process of the Pixels-Turbo
+// reproduction: it reads one JSON engine.WorkerRequest on stdin, executes
+// the serialized plan fragment over its file partition against the
+// request's object store, writes the result back to the store as an
+// intermediate pixfile, and reports a JSON engine.WorkerResponse on stdout.
+//
+// The coordinator (engine.ProcessInvoker, wired through pixels-server's
+// -cf-exec=process mode) launches one pixels-worker per task — the local
+// stand-in for a cloud-function invocation, with the same store-based
+// shuffle the real CF tier uses.
+package main
+
+import (
+	"os"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	os.Exit(engine.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/workload"
+)
+
+// WorkerArgv/WorkerEnv are the command A8 spawns as CF worker processes.
+// cmd/pixels-bench sets them to its own binary plus the re-exec marker, so
+// the multi-process leg runs real OS processes without a separately built
+// pixels-worker. When empty (e.g. under `go test`), A8 runs its
+// multi-process leg through the in-process invoker instead — the same
+// serialized WorkerRequest round trip and store shuffle, minus the fork.
+var WorkerArgv []string
+var WorkerEnv []string
+
+// A8DistributedCF measures the Sec. III-A CF tier end to end: the A5/A6
+// experiment queries run serially, then multi-process — fragments
+// serialized across a process boundary, one worker per task, intermediates
+// shuffled through the object store, merged on the coordinator.
+// Correctness shape: bit-identical rows and billed bytes-scanned, with the
+// exchange visible only as intermediate bytes.
+func A8DistributedCF() Result {
+	dir, err := os.MkdirTemp("", "pixels-a8-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	disk, err := objstore.NewDisk(dir)
+	if err != nil {
+		panic(err)
+	}
+	eng := engine.New(catalog.New(), disk)
+	eng.SetScanPrefetch(ScanPrefetch)
+	eng.SetVectorized(!Interpreted)
+	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.05, Seed: 7, RowsPerFile: 8192}); err != nil {
+		panic(err)
+	}
+
+	var invoker engine.WorkerInvoker
+	path := "worker processes"
+	if len(WorkerArgv) > 0 {
+		invoker = &engine.ProcessInvoker{Argv: WorkerArgv, Env: WorkerEnv, StoreDir: dir}
+	} else {
+		invoker = &engine.LocalInvoker{Engine: eng}
+		path = "wire round-trip (in-process)"
+	}
+
+	ctx := context.Background()
+	// CF tasks are processes modeling FaaS invocations, not CPU-bound
+	// goroutines — don't let a small host shrink the fan-out below the
+	// point where the shuffle is exercised.
+	width := VMParallelism
+	if width <= 0 {
+		width = engine.DefaultParallelism(0)
+		if width < 4 {
+			width = 4
+		}
+	}
+	queries := []struct{ name, q string }{
+		{"partial-agg", "SELECT l_returnflag, COUNT(*), SUM(l_quantity), SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"},
+		{"join+agg", `SELECT c_mktsegment, COUNT(*), SUM(o_totalprice) FROM orders, customer
+			WHERE o_custkey = c_custkey GROUP BY c_mktsegment ORDER BY c_mktsegment`},
+		{"top-n", "SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC, l_orderkey LIMIT 10"},
+	}
+
+	r := Result{
+		ID:      "A8",
+		Title:   "Sec. III-A: multi-process CF execution with object-store shuffle",
+		Paper:   "CF workers are separate processes: each executes a serialized plan fragment and exchanges intermediates through the object store, with results and billed bytes identical to VM-side execution",
+		Headers: []string{"query", "path", "wall time", "bytes scanned", "intermediate bytes", "rows"},
+	}
+	ok := true
+	for i, qq := range queries {
+		sel := mustSelect(qq.q)
+		node, err := eng.PlanQuery("tpch", sel)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		serial, err := eng.RunPlan(ctx, node)
+		if err != nil {
+			panic(err)
+		}
+		serialDur := time.Since(start)
+
+		node, err = eng.PlanQuery("tpch", sel)
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		dist, err := eng.RunPlanDistributed(ctx, node, fmt.Sprintf("a8-%d", i), engine.DistOptions{
+			Parts: width, Invoker: invoker,
+		})
+		if err != nil {
+			panic(err)
+		}
+		distDur := time.Since(start)
+
+		identical := len(serial.Rows) == len(dist.Rows)
+		if identical {
+			for i := range serial.Rows {
+				for c := range serial.Rows[i] {
+					if !serial.Rows[i][c].Equal(dist.Rows[i][c]) {
+						identical = false
+					}
+				}
+			}
+		}
+		sameBytes := serial.Stats.BytesScanned == dist.Stats.BytesScanned &&
+			dist.Stats.BytesIntermediate > 0
+		ok = ok && identical && sameBytes
+		r.Rows = append(r.Rows,
+			[]string{qq.name, "serial", serialDur.Round(time.Microsecond).String(), fmt.Sprint(serial.Stats.BytesScanned), "0", fmt.Sprint(len(serial.Rows))},
+			[]string{qq.name, fmt.Sprintf("%s (%d tasks)", path, width), distDur.Round(time.Microsecond).String(), fmt.Sprint(dist.Stats.BytesScanned), fmt.Sprint(dist.Stats.BytesIntermediate), fmt.Sprint(len(dist.Rows))},
+		)
+	}
+	// Leftover intermediates are a correctness failure: the shuffle
+	// namespace must be swept after every query.
+	if infos, err := disk.List(objstore.IntermediateRoot); err != nil || len(infos) != 0 {
+		ok = false
+	}
+	r.ShapeOK = ok
+	r.Shape = fmt.Sprintf("identical rows and billed bytes across the process boundary, shuffle swept: %v (%s, width %d)", ok, path, width)
+	return r
+}

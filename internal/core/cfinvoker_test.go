@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/catalog"
+	"repro/internal/cfsim"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/sql"
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// rejectFirstInvoker is a WorkerInvoker that fails every task's first
+// attempt with a worker-reported error, then delegates to the in-process
+// invoker — exercising the scheduler's CF retry loop through the invoker
+// seam.
+type rejectFirstInvoker struct {
+	engine *engine.Engine
+
+	mu       sync.Mutex
+	attempts map[int][]int // task -> attempt numbers seen
+}
+
+func (f *rejectFirstInvoker) Invoke(ctx context.Context, req *engine.WorkerRequest) (*engine.WorkerResponse, error) {
+	f.mu.Lock()
+	f.attempts[req.Task] = append(f.attempts[req.Task], req.Attempt)
+	f.mu.Unlock()
+	if req.Attempt == 0 {
+		return &engine.WorkerResponse{Error: "injected: worker lost"}, nil
+	}
+	return (&engine.LocalInvoker{Engine: f.engine}).Invoke(ctx, req)
+}
+
+// TestCFInvokerSeamWithSchedulerRetries: a query routed to the CF tier
+// runs its worker tasks through the invoker seam; when every task's first
+// attempt fails, the coordinator's retry loop relaunches them with fresh
+// attempt numbers and the query completes with the serial result and the
+// serial bill.
+func TestCFInvokerSeamWithSchedulerRetries(t *testing.T) {
+	eng := engine.New(catalog.New(), objstore.NewMemory())
+	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.005, Seed: 5, RowsPerFile: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*sql.Select)
+	node, err := eng.PlanQuery("tpch", sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.RunPlan(context.Background(), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := &rejectFirstInvoker{engine: eng, attempts: map[int][]int{}}
+	// Real clock: the real executor completes work asynchronously, so the
+	// cfsim ready timers must fire without manual Advance calls.
+	clk := vclock.NewReal()
+	// Zero VMs: an Immediate submission goes straight to the CF tier.
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 1}, 0)
+	cf := cfsim.NewService(clk, cfsim.Config{ColdStart: time.Millisecond, WarmStart: time.Millisecond})
+	ledger := billing.NewLedger()
+	coord := NewCoordinator(clk, Config{CFMaxParts: 4, CFTaskRetries: 1}, cluster, cf,
+		&RealExecutor{Engine: eng, CFInvoker: flaky}, ledger)
+
+	qh := coord.Submit(q, billing.Immediate, RealPayload{DB: "tpch", Select: sel})
+	select {
+	case <-qh.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("CF query timed out")
+	}
+	if err := qh.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !qh.UsedCF() {
+		t.Fatal("query did not use the CF tier")
+	}
+	if fmt.Sprint(qh.Result().Rows) != fmt.Sprint(ref.Rows) {
+		t.Fatalf("CF rows diverged:\n%v\nvs\n%v", qh.Result().Rows, ref.Rows)
+	}
+
+	flaky.mu.Lock()
+	for task, seen := range flaky.attempts {
+		if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+			t.Fatalf("task %d attempts = %v, want [0 1]", task, seen)
+		}
+	}
+	nTasks := len(flaky.attempts)
+	flaky.mu.Unlock()
+	if nTasks == 0 {
+		t.Fatal("invoker never invoked")
+	}
+
+	// Failed first attempts contribute zero stats: the bill equals the
+	// serial scan exactly.
+	var found bool
+	for _, b := range ledger.All() {
+		if b.QueryID == qh.ID {
+			found = true
+			if b.BytesScanned != ref.Stats.BytesScanned {
+				t.Fatalf("billed %d bytes, serial %d — failed attempts double-billed", b.BytesScanned, ref.Stats.BytesScanned)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bill written")
+	}
+
+	// The retried attempts' orphans and the winners are all swept.
+	infos, err := eng.Store().List(objstore.IntermediateRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("intermediates left behind: %v", infos)
+	}
+}

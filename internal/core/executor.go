@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/objstore"
 	"repro/internal/plan"
 	"repro/internal/sql"
 )
@@ -33,6 +36,15 @@ type RealExecutor struct {
 	// Parallelism is the VM-side intra-query worker width: 0 means one
 	// worker per CPU, 1 forces the serial path.
 	Parallelism int
+	// CFInvoker, when set, runs each CF worker task through the invoker
+	// seam instead of an engine goroutine: the task is serialized as a
+	// WorkerRequest (wire-format fragment + file partition) and executed
+	// wherever the invoker runs it — a pixels-worker OS process for
+	// engine.ProcessInvoker, a FaaS call for a real CF tier. Results,
+	// stats and billed bytes are identical either way; the coordinator's
+	// retry loop works unchanged because every retry gets a fresh
+	// attempt-suffixed intermediate key.
+	CFInvoker engine.WorkerInvoker
 }
 
 // VMRun implements Executor.
@@ -71,33 +83,85 @@ func (r *RealExecutor) CFPlan(q *Query, maxParts int) (CFJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &realCFJob{engine: r.Engine, split: split, interms: make([]catalog.FileMeta, len(split.Tasks))}, nil
+	return newRealCFJob(r.Engine, split, r.CFInvoker), nil
+}
+
+func newRealCFJob(e *engine.Engine, split *engine.CFSplit, invoker engine.WorkerInvoker) *realCFJob {
+	return &realCFJob{
+		engine:   e,
+		split:    split,
+		invoker:  invoker,
+		attempts: make([]int, len(split.Tasks)),
+		interms:  make([]catalog.FileMeta, len(split.Tasks)),
+	}
 }
 
 type realCFJob struct {
 	engine  *engine.Engine
 	split   *engine.CFSplit
-	interms []catalog.FileMeta
+	invoker engine.WorkerInvoker // nil = run tasks as engine goroutines
+
+	mu       sync.Mutex
+	attempts []int // RunTask calls per task: the scheduler's retries
+	interms  []catalog.FileMeta
 }
 
 // NumTasks implements CFJob.
 func (j *realCFJob) NumTasks() int { return len(j.split.Tasks) }
 
-// RunTask implements CFJob.
+// RunTask implements CFJob. The scheduler may call it again for the same
+// task after a failure; each call is a fresh attempt writing to its own
+// intermediate key, so a retry can never read a failed attempt's output.
 func (j *realCFJob) RunTask(i int, done func(TaskOutcome)) {
 	go func() {
-		meta, stats, err := j.engine.RunWorker(context.Background(), j.split, i)
-		if err == nil {
-			j.interms[i] = meta
+		if j.invoker == nil {
+			meta, stats, err := j.engine.RunWorker(context.Background(), j.split, i)
+			if err == nil {
+				j.mu.Lock()
+				j.interms[i] = meta
+				j.mu.Unlock()
+			}
+			done(TaskOutcome{Err: err, Stats: stats})
+			return
 		}
-		done(TaskOutcome{Err: err, Stats: stats})
+		j.mu.Lock()
+		attempt := j.attempts[i]
+		j.attempts[i]++
+		j.mu.Unlock()
+		req, err := engine.NewWorkerRequest(j.split, i, attempt)
+		if err != nil {
+			done(TaskOutcome{Err: err})
+			return
+		}
+		resp, err := j.invoker.Invoke(context.Background(), req)
+		if err != nil {
+			done(TaskOutcome{Err: err})
+			return
+		}
+		if resp.Error != "" {
+			done(TaskOutcome{Err: errors.New(resp.Error)})
+			return
+		}
+		j.mu.Lock()
+		j.interms[i] = resp.Interm
+		j.mu.Unlock()
+		done(TaskOutcome{Stats: resp.Stats})
 	}()
 }
 
 // Merge implements CFJob.
 func (j *realCFJob) Merge(done func(Outcome)) {
 	go func() {
-		res, err := j.engine.MergeResults(context.Background(), j.split, j.interms)
+		j.mu.Lock()
+		interms := append([]catalog.FileMeta(nil), j.interms...)
+		j.mu.Unlock()
+		res, err := j.engine.MergeResults(context.Background(), j.split, interms)
+		if j.invoker != nil {
+			// Retried tasks leave failed attempts' intermediates behind;
+			// MergeResults only deletes the winners. Sweep the query's
+			// whole prefix.
+			_, _ = objstore.DeletePrefix(j.engine.Store(), objstore.IntermediatePrefix(j.split.QueryID))
+		}
 		if err != nil {
 			done(Outcome{Err: err})
 			return
@@ -122,6 +186,8 @@ type PlannedExecutor struct {
 	// Parallelism is the VM-side intra-query worker width: 0 means one
 	// worker per CPU, 1 forces the serial path.
 	Parallelism int
+	// CFInvoker is the CF worker-execution seam, as on RealExecutor.
+	CFInvoker engine.WorkerInvoker
 }
 
 // VMRun implements Executor.
@@ -151,7 +217,7 @@ func (r *PlannedExecutor) CFPlan(q *Query, maxParts int) (CFJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &realCFJob{engine: r.Engine, split: split, interms: make([]catalog.FileMeta, len(split.Tasks))}, nil
+	return newRealCFJob(r.Engine, split, r.CFInvoker), nil
 }
 
 var _ Executor = (*PlannedExecutor)(nil)

@@ -1,0 +1,214 @@
+// Package disttest is the distributed correctness harness: it drives the
+// paper's experiment queries (the A5/A6 shapes) through all three execution
+// tiers — serial, in-process parallel, and multi-process with one worker
+// process per task shuffling through the object store — and asserts the
+// tiers are indistinguishable: bit-identical rows, identical billed
+// bytes-scanned, identical scan statistics. A fault-injecting store wrapper
+// then proves the multi-process tier recovers from worker failures and
+// stragglers without changing any of that.
+package disttest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	// Re-executed test binaries become worker processes — multi-process
+	// tests spawn workers without a separately built pixels-worker binary.
+	if os.Getenv("PIXELS_WORKER_PROCESS") == "1" {
+		os.Exit(engine.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	code := m.Run()
+	if fixtureDir != "" {
+		os.RemoveAll(fixtureDir)
+	}
+	os.Exit(code)
+}
+
+// experimentQueries are the A5/A6 experiment shapes: the partial-agg
+// lineitem scan, the fact-dim join with coordinator-side merge, the bounded
+// worker top-N, and a DISTINCT aggregate (scan pushdown). All numeric
+// columns in the generated data hold integer-valued doubles, so partial
+// aggregation is exact and every comparison below is bit-for-bit.
+var experimentQueries = []string{
+	"SELECT l_returnflag, COUNT(*), SUM(l_quantity), SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+	"SELECT c_mktsegment, COUNT(*), SUM(o_totalprice) FROM orders, customer WHERE o_custkey = c_custkey GROUP BY c_mktsegment ORDER BY c_mktsegment",
+	"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC, l_orderkey LIMIT 10",
+	"SELECT COUNT(DISTINCT l_returnflag), COUNT(*) FROM lineitem WHERE l_quantity > 25",
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureDir  string
+	fixtureEng  *engine.Engine
+	fixtureErr  error
+)
+
+// fixture loads TPC-H once into a disk store all tests (and their worker
+// processes) share. Tests must not mutate the loaded tables.
+func fixture(t *testing.T) (*engine.Engine, string) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureDir, fixtureErr = os.MkdirTemp("", "disttest-*")
+		if fixtureErr != nil {
+			return
+		}
+		var disk *objstore.Disk
+		disk, fixtureErr = objstore.NewDisk(fixtureDir)
+		if fixtureErr != nil {
+			return
+		}
+		fixtureEng = engine.New(catalog.New(), disk)
+		// SF 0.01 with small files: ~60k lineitem rows across enough files
+		// to keep width-8 runs honest.
+		fixtureErr = workload.Load(fixtureEng, "tpch", workload.LoadOptions{SF: 0.01, Seed: 7, RowsPerFile: 8192})
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureEng, fixtureDir
+}
+
+func processInvoker(dir string) *engine.ProcessInvoker {
+	return &engine.ProcessInvoker{
+		Argv:     []string{os.Args[0]},
+		Env:      []string{"PIXELS_WORKER_PROCESS=1"},
+		StoreDir: dir,
+	}
+}
+
+func runSerial(t *testing.T, e *engine.Engine, q string) *engine.Result {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := e.PlanQuery("tpch", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunPlan(context.Background(), node)
+	if err != nil {
+		t.Fatalf("serial %q: %v", q, err)
+	}
+	return res
+}
+
+func runParallel(t *testing.T, e *engine.Engine, q string, width int) *engine.Result {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := e.PlanQuery("tpch", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunPlanParallel(context.Background(), node, width)
+	if err != nil {
+		t.Fatalf("parallel %q: %v", q, err)
+	}
+	return res
+}
+
+var distSeq int
+
+func runDistributed(t *testing.T, e *engine.Engine, q string, opts engine.DistOptions) *engine.Result {
+	t.Helper()
+	distSeq++
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := e.PlanQuery("tpch", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunPlanDistributed(context.Background(), node, fmt.Sprintf("disttest-%d", distSeq), opts)
+	if err != nil {
+		t.Fatalf("distributed %q: %v", q, err)
+	}
+	return res
+}
+
+// expectSameRows asserts bit-identical result rows.
+func expectSameRows(t *testing.T, label string, want, got *engine.Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for c := range want.Rows[i] {
+			if !want.Rows[i][c].Equal(got.Rows[i][c]) {
+				t.Fatalf("%s row %d col %d: %v vs %v", label, i, c, got.Rows[i][c], want.Rows[i][c])
+			}
+		}
+	}
+}
+
+// expectSameBilling asserts the distributed run billed exactly the serial
+// bytes and matched the serial scan statistics; the exchange itself must
+// show up only as BytesIntermediate.
+func expectSameBilling(t *testing.T, label string, serial, dist *engine.Result) {
+	t.Helper()
+	if dist.Stats.BytesScanned != serial.Stats.BytesScanned {
+		t.Fatalf("%s billed bytes: %d vs serial %d", label, dist.Stats.BytesScanned, serial.Stats.BytesScanned)
+	}
+	if dist.Stats.RowsFiltered != serial.Stats.RowsFiltered ||
+		dist.Stats.RowGroupsPruned != serial.Stats.RowGroupsPruned ||
+		dist.Stats.RowsReturned != serial.Stats.RowsReturned {
+		t.Fatalf("%s stats: %+v vs serial %+v", label, dist.Stats, serial.Stats)
+	}
+	if dist.Stats.BytesIntermediate <= 0 {
+		t.Fatalf("%s: no intermediate bytes exchanged — did this run multi-process?", label)
+	}
+}
+
+// TestExperimentQueriesAcrossTiers is the harness headline: for every
+// experiment query and width, serial ≡ in-process parallel ≡ multi-process,
+// in rows, billed bytes and stats; and the in-process wire leg
+// (LocalInvoker) is bit-identical in full Stats to the subprocess leg.
+func TestExperimentQueriesAcrossTiers(t *testing.T) {
+	e, dir := fixture(t)
+	proc := processInvoker(dir)
+	for _, q := range experimentQueries {
+		serial := runSerial(t, e, q)
+		for _, width := range []int{1, 2, 8} {
+			label := fmt.Sprintf("%s @%d", q, width)
+
+			par := runParallel(t, e, q, width)
+			expectSameRows(t, label+" parallel", serial, par)
+			if par.Stats.BytesScanned != serial.Stats.BytesScanned {
+				t.Fatalf("%s parallel billed %d vs serial %d", label, par.Stats.BytesScanned, serial.Stats.BytesScanned)
+			}
+
+			local := runDistributed(t, e, q, engine.DistOptions{Parts: width, Invoker: &engine.LocalInvoker{Engine: e}})
+			expectSameRows(t, label+" local-invoker", serial, local)
+			expectSameBilling(t, label+" local-invoker", serial, local)
+
+			dist := runDistributed(t, e, q, engine.DistOptions{Parts: width, Invoker: proc})
+			expectSameRows(t, label+" process", serial, dist)
+			expectSameBilling(t, label+" process", serial, dist)
+			if dist.Stats != local.Stats {
+				t.Fatalf("%s: process stats %+v vs local stats %+v", label, dist.Stats, local.Stats)
+			}
+		}
+	}
+	infos, err := e.Store().List(objstore.IntermediateRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("intermediates left behind: %v", infos)
+	}
+}

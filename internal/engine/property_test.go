@@ -108,6 +108,78 @@ func TestCFSplitEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// TestDistributedEquivalenceProperty: randomized queries must produce
+// bit-identical rows and identical billed bytes across all three execution
+// tiers — serial, in-process parallel, and multi-process (one subprocess
+// worker per task, store-based shuffle). The partitioned fixture holds
+// integer-valued floats, so no tolerance is needed: any accumulation-order
+// or serialization drift is a failure.
+func TestDistributedEquivalenceProperty(t *testing.T) {
+	e, dir := newDiskEngine(t, 8, 400)
+	proc := newProcessInvoker(dir)
+	ctx := context.Background()
+	groupCols := []string{"f_cat", "f_dim"}
+	aggs := []string{"COUNT(*)", "SUM(f_val)", "AVG(f_val)", "MIN(f_key)", "MAX(f_val)"}
+	widths := []int{1, 2, 8}
+
+	runID := 0
+	f := func(shapePick, groupPick, aggPick, threshold, widthPick uint8) bool {
+		runID++
+		width := widths[int(widthPick)%len(widths)]
+		var q string
+		if shapePick%4 == 0 {
+			// Top-N shape: workers ship bounded sorted intermediates.
+			q = fmt.Sprintf("SELECT f_key, f_val FROM fact WHERE f_val > %d ORDER BY f_val DESC, f_key LIMIT %d",
+				int(threshold)%10, 1+int(aggPick)%20)
+		} else {
+			group := groupCols[int(groupPick)%len(groupCols)]
+			agg := aggs[int(aggPick)%len(aggs)]
+			q = fmt.Sprintf("SELECT %s, %s AS a FROM fact WHERE f_val > %d GROUP BY %s ORDER BY %s",
+				group, agg, int(threshold)%10, group, group)
+		}
+		label := fmt.Sprintf("%s @%d", q, width)
+
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		sel := stmt.(*sql.Select)
+		sNode, err := e.PlanQuery("db", sel)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		serial, err := e.RunPlan(ctx, sNode)
+		if err != nil {
+			t.Fatalf("serial %s: %v", label, err)
+		}
+
+		pNode, err := e.PlanQuery("db", sel)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		par, err := e.RunPlanParallel(ctx, pNode, width)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", label, err)
+		}
+		expectIdentical(t, label, serial, par)
+
+		dNode, err := e.PlanQuery("db", sel)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		dist, err := e.RunPlanDistributed(ctx, dNode, fmt.Sprintf("prop-dist-%d", runID),
+			DistOptions{Parts: width, Invoker: proc})
+		if err != nil {
+			t.Fatalf("distributed %s: %v", label, err)
+		}
+		expectDistMatchesSerial(t, label, serial, dist)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestZoneMapEquivalenceProperty: stripping zone-map predicates (disabling
 // pruning) must never change query results — pruning is purely a physical
 // optimization.

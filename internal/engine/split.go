@@ -8,7 +8,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/col"
 	"repro/internal/exec"
-	"repro/internal/pixfile"
 	"repro/internal/plan"
 )
 
@@ -537,7 +536,9 @@ func intermKey(queryID string, part int) string {
 
 // RunWorker executes one worker task: the fragment over the task's file
 // partition, writing the result as an intermediate pixfile. It returns the
-// intermediate's metadata plus the worker's scan statistics.
+// intermediate's metadata plus the worker's scan statistics. Every failure
+// path returns zero Stats — a failed worker is retried, and its partial
+// bytes must not count toward the query's billing.
 func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catalog.FileMeta, Stats, error) {
 	if task < 0 || task >= len(split.Tasks) {
 		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: task %d out of range %d", task, len(split.Tasks))
@@ -549,38 +550,7 @@ func (e *Engine) RunWorker(ctx context.Context, split *CFSplit, task int) (catal
 		// (runSplitParallel) can honor a shared-build split.
 		return catalog.FileMeta{}, Stats{}, fmt.Errorf("engine: shared-build join split cannot run as a CF worker")
 	}
-	// Scope the worker's scan pipelines to this task.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	stats := &Stats{}
-	overrides := map[*plan.ScanNode]scanOverride{
-		split.partScan: {files: split.Tasks[task].Files},
-	}
-	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
-		Interpreted: e.interp,
-	})
-	if err != nil {
-		return catalog.FileMeta{}, Stats{}, err
-	}
-	out, err := exec.Collect(op)
-	if err != nil {
-		return catalog.FileMeta{}, Stats{}, err
-	}
-
-	w := pixfile.NewWriter(split.workerPlan.Schema(), pixfile.WriterOptions{})
-	if err := w.Append(out); err != nil {
-		return catalog.FileMeta{}, Stats{}, err
-	}
-	data, err := w.Finish()
-	if err != nil {
-		return catalog.FileMeta{}, Stats{}, err
-	}
-	key := intermKey(split.QueryID, task)
-	if err := e.store.Put(key, data); err != nil {
-		return catalog.FileMeta{}, Stats{}, err
-	}
-	return catalog.FileMeta{Key: key, Size: int64(len(data)), Rows: int64(out.N)}, *stats, nil
+	return e.executeFragment(ctx, split.workerPlan, split.partScan, split.Tasks[task].Files, intermKey(split.QueryID, task))
 }
 
 // MergeResults runs the coordinator-side merge plan over the worker

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// wireQueries exercises every node kind and bound-expression kind the wire
+// format carries: filters with zone-pruning conjuncts, arithmetic, unary
+// minus, IS [NOT] NULL, [NOT] IN lists, scalar functions, CASE, CAST,
+// aggregation with DISTINCT and AVG, top-N with hidden sort keys, plain
+// sorts, and LIMIT/OFFSET.
+var wireQueries = []string{
+	"SELECT f_key, f_val FROM fact",
+	"SELECT f_key + 1, -f_val, f_val * 2.5 FROM fact WHERE f_val > 10 AND f_key < 500",
+	"SELECT f_cat, COUNT(*), SUM(f_val), MIN(f_val), MAX(f_val), AVG(f_val) FROM fact WHERE f_dim IN (1, 2, 3) GROUP BY f_cat",
+	"SELECT COUNT(DISTINCT f_cat) FROM fact WHERE f_cat NOT IN ('x')",
+	"SELECT CASE WHEN f_val > 500 THEN 'hi' WHEN f_val > 100 THEN 'mid' ELSE 'lo' END, UPPER(f_cat) FROM fact WHERE f_cat IS NOT NULL",
+	"SELECT CAST(f_val AS BIGINT), LENGTH(f_cat) FROM fact WHERE f_key IS NULL",
+	"SELECT f_key FROM fact ORDER BY f_val DESC, f_key LIMIT 5 OFFSET 2",
+	"SELECT f_key, f_val FROM fact ORDER BY f_cat",
+	"SELECT f_key FROM fact LIMIT 7",
+}
+
+// TestWireRoundTrip: encode → JSON → decode must preserve the plan
+// (identical EXPLAIN), and re-encoding the decoded plan must reproduce the
+// identical wire JSON — a fixpoint, so no field silently drops out on
+// either half of the trip.
+func TestWireRoundTrip(t *testing.T) {
+	e := newPartitionedEngine(t, 2, 100)
+	for _, q := range wireQueries {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		node, err := e.PlanQuery("db", stmt.(*sql.Select))
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		w, err := encodeNode(node)
+		if err != nil {
+			t.Fatalf("encode %q: %v", q, err)
+		}
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", q, err)
+		}
+		var w2 wireNode
+		if err := json.Unmarshal(data, &w2); err != nil {
+			t.Fatalf("unmarshal %q: %v", q, err)
+		}
+		decoded, err := decodeNode(&w2)
+		if err != nil {
+			t.Fatalf("decode %q: %v", q, err)
+		}
+		if got, want := plan.Explain(decoded), plan.Explain(node); got != want {
+			t.Fatalf("%q explain drifted through the wire:\nwant:\n%s\ngot:\n%s", q, want, got)
+		}
+		w3, err := encodeNode(decoded)
+		if err != nil {
+			t.Fatalf("re-encode %q: %v", q, err)
+		}
+		data2, err := json.Marshal(w3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("%q wire JSON is not a fixpoint:\nfirst:  %s\nsecond: %s", q, data, data2)
+		}
+	}
+}
+
+// TestWireRoundTripPreservesScanDetails pins the scan fields EXPLAIN may
+// summarize: projected ordinals, zone-pruning conjuncts, and the rebuilt
+// self-contained table schema.
+func TestWireRoundTripPreservesScanDetails(t *testing.T) {
+	e := newPartitionedEngine(t, 2, 100)
+	stmt, _ := sql.Parse("SELECT f_val FROM fact WHERE f_key >= 100 AND f_key < 110 AND f_val > 3")
+	node, err := e.PlanQuery("db", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := plan.Scans(node)[0]
+	if len(orig.ZonePreds) == 0 {
+		t.Fatal("fixture query planned without zone predicates; test is vacuous")
+	}
+
+	w, err := encodeNode(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := decodeNode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := plan.Scans(decoded)[0]
+	if len(got.Cols) != len(orig.Cols) {
+		t.Fatalf("Cols: got %v want %v", got.Cols, orig.Cols)
+	}
+	for i := range orig.Cols {
+		if got.Cols[i] != orig.Cols[i] {
+			t.Fatalf("Cols: got %v want %v", got.Cols, orig.Cols)
+		}
+	}
+	if len(got.ZonePreds) != len(orig.ZonePreds) {
+		t.Fatalf("ZonePreds: got %d want %d", len(got.ZonePreds), len(orig.ZonePreds))
+	}
+	for i, p := range orig.ZonePreds {
+		g := got.ZonePreds[i]
+		if g.Col != p.Col || g.Op != p.Op || !g.Val.Equal(p.Val) {
+			t.Fatalf("ZonePreds[%d]: got %+v want %+v", i, g, p)
+		}
+	}
+	if got.Table == nil || len(got.Table.Columns) != len(orig.Table.Columns) {
+		t.Fatalf("decoded scan table: %+v", got.Table)
+	}
+	for i, c := range orig.Table.Columns {
+		if got.Table.Columns[i] != c {
+			t.Fatalf("table column %d: got %+v want %+v", i, got.Table.Columns[i], c)
+		}
+	}
+	if !got.Schema().Equal(orig.Schema()) {
+		t.Fatalf("schema: got %v want %v", got.Schema(), orig.Schema())
+	}
+}
+
+// TestWireRejectsJoins: join fragments must not cross the worker process
+// boundary — the coordinator keeps joins on the merge side, and the wire
+// layer enforces it rather than silently shipping half a join.
+func TestWireRejectsJoins(t *testing.T) {
+	e := newPartitionedEngine(t, 2, 100)
+	stmt, _ := sql.Parse("SELECT d_name, SUM(f_val) FROM fact, dim WHERE f_dim = d_key GROUP BY d_name")
+	node, err := e.PlanQuery("db", stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encodeNode(node); err == nil {
+		t.Fatal("encoding a join plan succeeded")
+	} else if !strings.Contains(err.Error(), "join") {
+		t.Fatalf("join rejection error: %v", err)
+	}
+}
+
+// TestWireDecodeRejectsMalformed: hostile or corrupted requests must fail
+// decode validation, not crash the worker process.
+func TestWireDecodeRejectsMalformed(t *testing.T) {
+	for name, raw := range map[string]string{
+		"unknown kind":       `{"kind":"exchange"}`,
+		"scan ordinal range": `{"kind":"scan","table":"t","cols":[3],"columns":[{"name":"a","type":1}]}`,
+		"project arity":      `{"kind":"project","names":["a","b"],"exprs":[{"kind":"col","idx":0,"ty":1}],"child":{"kind":"scan","table":"t","cols":[0],"columns":[{"name":"a","type":1}]}}`,
+		"missing child":      `{"kind":"limit","limit":1}`,
+		"unknown expr":       `{"kind":"filter","cond":{"kind":"window"},"child":{"kind":"scan","table":"t","cols":[0],"columns":[{"name":"a","type":1}]}}`,
+	} {
+		var w wireNode
+		if err := json.Unmarshal([]byte(raw), &w); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := decodeNode(&w); err == nil {
+			t.Fatalf("%s: decoded successfully", name)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package exec
+
+import "repro/internal/col"
+
+// Each opens op, streams every non-empty batch through fn and closes op.
+// It is the spill-friendly counterpart of Collect: a CF worker writing its
+// fragment output as an intermediate pixfile hands each batch straight to
+// the file writer (which flushes complete row groups as it goes) instead of
+// materializing the whole result first, so worker memory stays bounded by a
+// row group, not by the fragment output.
+func Each(op Operator, fn func(*col.Batch) error) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if b.N == 0 {
+			continue
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}

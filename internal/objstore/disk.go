@@ -114,7 +114,19 @@ func (d *Disk) Delete(key string) error {
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// Object stores have no directories; the ones the key's slashes
+	// implied are an implementation detail and must not accumulate (the
+	// per-query shuffle namespaces would otherwise leave one empty dir
+	// each). Stop at the first non-empty parent or the root.
+	for dir := filepath.Dir(p); dir != d.root; dir = filepath.Dir(dir) {
+		if os.Remove(dir) != nil {
+			break
+		}
+	}
+	return nil
 }
 
 // List implements Store.

@@ -1,0 +1,36 @@
+package objstore
+
+import "errors"
+
+// IntermediateRoot is the reserved key namespace CF worker intermediates
+// live under: `_intermediate/<queryID>/...`. The leading underscore keeps
+// it disjoint from table layouts (`<db>/<table>/...`) — no database may be
+// named "_intermediate" — so bulk cleanup of a query's exchange objects can
+// never touch base-table data.
+const IntermediateRoot = "_intermediate/"
+
+// IntermediatePrefix is the object-key prefix holding every intermediate —
+// worker outputs of any attempt, including orphans from failed, retried or
+// duplicated (straggler-mitigation) workers — of one query.
+func IntermediatePrefix(queryID string) string {
+	return IntermediateRoot + queryID + "/"
+}
+
+// DeletePrefix removes every object under prefix and reports how many it
+// deleted. Missing objects (deleted concurrently) are not errors, matching
+// S3 delete semantics; other errors abort with the keys already deleted
+// counted.
+func DeletePrefix(s Store, prefix string) (int, error) {
+	infos, err := s.List(prefix)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, info := range infos {
+		if err := s.Delete(info.Key); err != nil && !errors.Is(err, ErrNotFound) {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -132,6 +135,43 @@ func TestDiskRejectsTraversal(t *testing.T) {
 	}
 	if err := d.Put("/abs", []byte("x")); err == nil {
 		t.Fatalf("absolute key accepted")
+	}
+}
+
+// Deleting the last object under a key prefix must not leave the empty
+// directories the key's slashes implied — one swept per-query shuffle
+// namespace would otherwise accumulate one empty dir per query.
+func TestDiskDeletePrunesEmptyDirs(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := "db/tbl/file-0.pxl"
+	if err := d.Put(keep, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"_intermediate/q-1/part-0.a0.pxl", "_intermediate/q-1/part-1.a0.pxl"} {
+		if err := d.Put(key, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deleting one of two objects keeps the shared parent.
+	if err := d.Delete("_intermediate/q-1/part-0.a0.pxl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "_intermediate", "q-1")); err != nil {
+		t.Fatalf("shared parent removed early: %v", err)
+	}
+	// Deleting the last one prunes q-1 and _intermediate but not the root.
+	if err := d.Delete("_intermediate/q-1/part-1.a0.pxl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "_intermediate")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("empty _intermediate dir left behind: %v", err)
+	}
+	if _, err := d.Get(keep); err != nil {
+		t.Fatalf("unrelated object lost: %v", err)
 	}
 }
 

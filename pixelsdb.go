@@ -100,6 +100,23 @@ type Options struct {
 	// removes the bound. The budget is process-wide state shared by every
 	// DB in the process.
 	ScanBudget int
+	// CFExecution selects how cloud-function worker fragments execute when
+	// the scheduler routes a query to the CF tier:
+	//
+	//	"" or "inprocess" — worker tasks run as engine goroutines sharing
+	//	the coordinator's store (the default; fastest for an embedded DB).
+	//	"process"         — each worker task runs as a separate
+	//	pixels-worker OS process: the fragment crosses a real process
+	//	boundary as a serialized WorkerRequest and the shuffle goes through
+	//	the object store, exactly like a real FaaS tier. Requires DataDir
+	//	(processes cannot share an in-memory store).
+	//
+	// Results, statistics and billed bytes-scanned are identical across
+	// modes; the coordinator retries failed worker attempts in either.
+	CFExecution string
+	// CFWorkerCmd is the worker command for CFExecution "process"
+	// (default: "pixels-worker", resolved via PATH).
+	CFWorkerCmd []string
 	// NoVectorize disables the vectorized expression kernels
 	// (internal/vec): scan filters, executor filters and projections then
 	// evaluate row-at-a-time. Results, stats and billed bytes are
@@ -195,8 +212,23 @@ func Open(opts Options) (*DB, error) {
 	if opts.Prices != nil {
 		coreCfg.Prices = *opts.Prices
 	}
+	var cfInvoker engine.WorkerInvoker
+	switch opts.CFExecution {
+	case "", "inprocess":
+	case "process":
+		if opts.DataDir == "" {
+			return nil, fmt.Errorf("pixelsdb: CFExecution %q requires DataDir (worker processes cannot share an in-memory store)", opts.CFExecution)
+		}
+		argv := opts.CFWorkerCmd
+		if len(argv) == 0 {
+			argv = []string{"pixels-worker"}
+		}
+		cfInvoker = &engine.ProcessInvoker{Argv: argv, StoreDir: opts.DataDir}
+	default:
+		return nil, fmt.Errorf("pixelsdb: unknown CFExecution %q (want \"inprocess\" or \"process\")", opts.CFExecution)
+	}
 	coord := core.NewCoordinator(clk, coreCfg, cluster, cf,
-		&core.PlannedExecutor{Engine: eng, Parallelism: opts.Parallelism}, ledger)
+		&core.PlannedExecutor{Engine: eng, Parallelism: opts.Parallelism, CFInvoker: cfInvoker}, ledger)
 
 	xlator := opts.Translator
 	if xlator == nil {

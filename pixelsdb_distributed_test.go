@@ -1,0 +1,128 @@
+package pixelsdb
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/objstore"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	// Options.CFExecution "process" tests point CFWorkerCmd at this test
+	// binary; re-executed copies become pixels-worker processes.
+	if os.Getenv("PIXELS_WORKER_PROCESS") == "1" {
+		os.Exit(engine.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestCFExecutionProcessMode drives the full public path of the
+// multi-process CF tier: a query submitted through the scheduler falls
+// back to cloud functions, each worker task runs as a separate OS process
+// against the DataDir store, intermediates shuffle through the object
+// store, and the result, stats and bill are identical to the serial
+// engine path (plus the visible intermediate bytes).
+func TestCFExecutionProcessMode(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("PIXELS_WORKER_PROCESS", "1") // inherited by worker re-execs
+	db, err := Open(Options{
+		DataDir:     dir,
+		CFExecution: "process",
+		CFWorkerCmd: []string{os.Args[0]},
+		InitialVMs:  1,
+		VM:          vmsim.Config{SlotsPerVM: 1}, // one slot: easy to saturate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := workload.Load(db.Engine(), "tpch", workload.LoadOptions{SF: 0.01, Seed: 11, RowsPerFile: 4096}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := "SELECT l_returnflag, COUNT(*), SUM(l_quantity), SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag"
+	ref, err := db.Execute(context.Background(), "tpch", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the single VM slot so the next Immediate goes to CF.
+	blocker, err := db.Submit("tpch", "SELECT COUNT(DISTINCT l_orderkey), COUNT(DISTINCT l_partkey) FROM lineitem", Immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfq, err := db.Submit("tpch", q, Immediate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []*Query{blocker, cfq} {
+		select {
+		case <-sub.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatal("query timed out")
+		}
+		if err := sub.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cfq.UsedCF() {
+		t.Fatal("second immediate query ran on the saturated VM tier, not CF")
+	}
+
+	res := cfq.Result()
+	if fmt.Sprint(res.Rows) != fmt.Sprint(ref.Rows) {
+		t.Fatalf("CF rows diverged from serial:\n%v\nvs\n%v", res.Rows, ref.Rows)
+	}
+	// Result().Stats carries the merge side; reading the workers'
+	// intermediates back proves the shuffle went through the store.
+	if res.Stats.BytesIntermediate <= 0 {
+		t.Fatal("no intermediate bytes: did the query really shuffle through the store?")
+	}
+	var bill = false
+	for _, b := range db.Ledger().All() {
+		if b.QueryID == cfq.ID {
+			bill = true
+			if b.BytesScanned != ref.Stats.BytesScanned {
+				t.Fatalf("bill %d bytes, serial %d", b.BytesScanned, ref.Stats.BytesScanned)
+			}
+			if !b.UsedCF || b.Usage.CFInvocations == 0 {
+				t.Fatalf("bill does not reflect CF execution: %+v", b)
+			}
+		}
+	}
+	if !bill {
+		t.Fatalf("no bill for %s", cfq.ID)
+	}
+
+	// The shuffle namespace must be swept after the merge.
+	infos, err := db.Engine().Store().List(objstore.IntermediateRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("intermediates left behind: %v", infos)
+	}
+}
+
+// TestCFExecutionOptionValidation pins the Options contract: process mode
+// without a DataDir cannot work (workers cannot open an in-memory store)
+// and must fail at Open, not at the first CF query.
+func TestCFExecutionOptionValidation(t *testing.T) {
+	if _, err := Open(Options{CFExecution: "process"}); err == nil {
+		t.Fatal("process mode without DataDir was accepted")
+	}
+	if _, err := Open(Options{CFExecution: "threads"}); err == nil {
+		t.Fatal("unknown CFExecution value was accepted")
+	}
+	db, err := Open(Options{CFExecution: "inprocess"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}
