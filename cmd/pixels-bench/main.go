@@ -30,7 +30,7 @@ func main() {
 		bench.WorkerEnv = []string{"PIXELS_WORKER_PROCESS=1"}
 	}
 
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a8)")
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a9)")
 	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")

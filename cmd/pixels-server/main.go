@@ -7,10 +7,76 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	pixelsdb "repro"
+	"repro/internal/admission"
+	"repro/internal/billing"
 )
+
+// parseTier resolves a tier name in a flag like
+// "immediate=4,relaxed=4,best=2" (accepting the short aliases imm/rel/best).
+func parseTier(name string) (billing.Level, error) {
+	switch strings.ToLower(name) {
+	case "imm":
+		return billing.Immediate, nil
+	case "rel":
+		return billing.Relaxed, nil
+	case "best", "be":
+		return billing.BestEffort, nil
+	}
+	return billing.ParseLevel(name)
+}
+
+// parseTierInts parses "tier=n,tier=n" flags (empty string = nil map,
+// meaning built-in defaults).
+func parseTierInts(flagName, s string) map[billing.Level]int {
+	if s == "" {
+		return nil
+	}
+	out := map[billing.Level]int{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			log.Fatalf("-%s: want tier=n[,tier=n...], got %q", flagName, part)
+		}
+		lev, err := parseTier(k)
+		if err != nil {
+			log.Fatalf("-%s: %v", flagName, err)
+		}
+		n := 0
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
+			log.Fatalf("-%s: bad count %q for tier %s", flagName, v, k)
+		}
+		out[lev] = n
+	}
+	return out
+}
+
+// parseTierDurations parses "tier=dur,tier=dur" flags.
+func parseTierDurations(flagName, s string) map[billing.Level]time.Duration {
+	if s == "" {
+		return nil
+	}
+	out := map[billing.Level]time.Duration{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			log.Fatalf("-%s: want tier=duration[,tier=duration...], got %q", flagName, part)
+		}
+		lev, err := parseTier(k)
+		if err != nil {
+			log.Fatalf("-%s: %v", flagName, err)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			log.Fatalf("-%s: bad duration %q for tier %s", flagName, v, k)
+		}
+		out[lev] = d
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -30,10 +96,18 @@ func main() {
 		vecOn    = flag.Bool("vec", true, "vectorized expression kernels (selection-vector filters + selection-aware decode); false = interpreted evaluation")
 		cfExec   = flag.String("cf-exec", "inprocess", "CF worker execution: inprocess (engine goroutines) or process (one pixels-worker OS process per task, store-based shuffle; requires -data)")
 		cfWorker = flag.String("cf-worker", "pixels-worker", "worker command for -cf-exec=process")
+
+		admOn       = flag.Bool("admission", true, "service-level admission control: per-tier bounded queues, EDF dispatch, load shedding (false = direct submit)")
+		admSlots    = flag.String("adm-slots", "", "per-tier concurrency slots, e.g. immediate=4,relaxed=4,best=2 (empty = defaults)")
+		admQueue    = flag.String("adm-queue", "", "per-tier queue caps, e.g. immediate=64,relaxed=128,best=8 (empty = defaults)")
+		admMaxWait  = flag.String("adm-maxwait", "", "per-tier max queue wait before shedding, e.g. immediate=2s,relaxed=60s,best=10s (empty = defaults)")
+		admDeadline = flag.String("adm-deadline", "", "per-tier default completion deadlines for EDF, e.g. immediate=10s,relaxed=2m,best=10m (empty = defaults)")
+		admPriority = flag.String("adm-priority", admission.PriorityStrict, "cross-tier dispatch priority: strict or weighted")
+		admScaleInt = flag.Duration("adm-autoscale", 0, "autoscale the admission slot pool at this interval (0 = fixed slots)")
 	)
 	flag.Parse()
 
-	db, err := pixelsdb.Open(pixelsdb.Options{
+	opts := pixelsdb.Options{
 		DataDir:           *dataDir,
 		InitialVMs:        *vms,
 		GracePeriod:       *grace,
@@ -46,7 +120,18 @@ func main() {
 		NoVectorize:       !*vecOn,
 		CFExecution:       *cfExec,
 		CFWorkerCmd:       []string{*cfWorker},
-	})
+	}
+	if *admOn {
+		opts.Admission = &admission.Config{
+			Slots:    parseTierInts("adm-slots", *admSlots),
+			QueueCap: parseTierInts("adm-queue", *admQueue),
+			MaxWait:  parseTierDurations("adm-maxwait", *admMaxWait),
+			Deadline: parseTierDurations("adm-deadline", *admDeadline),
+			Priority: *admPriority,
+		}
+		opts.AdmissionAutoscaleInterval = *admScaleInt
+	}
+	db, err := pixelsdb.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +151,11 @@ func main() {
 	}
 	if *cfExec == "process" {
 		fmt.Printf("CF execution: one %q process per worker task, store-based shuffle\n", *cfWorker)
+	}
+	if *admOn {
+		snap := db.Admission().Snapshot()
+		fmt.Printf("admission control: %d slots, %s priority (API: /v1, deprecated alias: /api)\n",
+			snap.TotalSlots, *admPriority)
 	}
 	fmt.Printf("service levels: immediate $%.2f/TB | relaxed $%.2f/TB (grace %s) | best-of-effort $%.2f/TB\n",
 		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),

@@ -1,0 +1,80 @@
+package admission
+
+import "container/heap"
+
+// edfQueue is a bounded earliest-deadline-first queue of tickets. Ties on
+// the deadline resolve by arrival order (seq), so two queries with the same
+// deadline dequeue FIFO and the order is total and deterministic.
+type edfQueue struct {
+	items []*Ticket
+}
+
+var _ heap.Interface = (*edfQueue)(nil)
+
+func (q *edfQueue) Len() int { return len(q.items) }
+
+func (q *edfQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if !a.deadline.Equal(b.deadline) {
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq
+}
+
+func (q *edfQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].heapIndex = i
+	q.items[j].heapIndex = j
+}
+
+func (q *edfQueue) Push(x any) {
+	t := x.(*Ticket)
+	t.heapIndex = len(q.items)
+	q.items = append(q.items, t)
+}
+
+func (q *edfQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIndex = -1
+	q.items = old[:n-1]
+	return t
+}
+
+// push enqueues a ticket.
+func (q *edfQueue) push(t *Ticket) { heap.Push(q, t) }
+
+// popMin removes and returns the earliest-deadline ticket (nil when empty).
+func (q *edfQueue) popMin() *Ticket {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Ticket)
+}
+
+// remove deletes a ticket wherever it sits in the heap; reports whether the
+// ticket was present.
+func (q *edfQueue) remove(t *Ticket) bool {
+	if t.heapIndex < 0 || t.heapIndex >= len(q.items) || q.items[t.heapIndex] != t {
+		return false
+	}
+	heap.Remove(q, t.heapIndex)
+	return true
+}
+
+// rank returns the number of queued tickets ordered strictly before t —
+// t's 0-based dequeue position under EDF.
+func (q *edfQueue) rank(t *Ticket) int {
+	r := 0
+	for _, o := range q.items {
+		if o == t {
+			continue
+		}
+		if o.deadline.Before(t.deadline) || (o.deadline.Equal(t.deadline) && o.seq < t.seq) {
+			r++
+		}
+	}
+	return r
+}

@@ -16,6 +16,12 @@ func TestAllExperimentsMatchPaperShape(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if e.ID == "A9" && raceEnabled {
+				// A9 gates on latency shape; race instrumentation skews
+				// timing too much to assert it. The serving CI job race-
+				// tests admission and the server directly instead.
+				t.Skip("latency-shape gate is not meaningful under -race")
+			}
 			r := e.Run()
 			if r.ID != e.ID {
 				t.Fatalf("result ID %q != registry ID %q", r.ID, e.ID)

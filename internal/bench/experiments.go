@@ -42,7 +42,7 @@ func Registry() []Experiment {
 		{"A1", A1LazyScaleIn}, {"A2", A2GraceSweep}, {"A3", A3Policies},
 		{"A4", A4StorageAblation}, {"A5", A5IntraQueryParallel},
 		{"A6", A6MergeSideParallel}, {"A7", A7VectorizedEval},
-		{"A8", A8DistributedCF},
+		{"A8", A8DistributedCF}, {"A9", A9ServingLoad},
 	}
 }
 

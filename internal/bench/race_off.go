@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether this build is race-instrumented (see
+// race_on.go). Latency-shape experiments consult it: the detector's
+// 5-20x CPU overhead makes wall-clock shape gates meaningless.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package bench
+
+// raceEnabled: this build is race-instrumented.
+const raceEnabled = true

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkA9ServingLoad runs the closed-loop serving harness once per
+// iteration with a short load window, so CI's bench-smoke job (one
+// iteration of every benchmark) exercises the live HTTP path — admission
+// queues, load shedding, the /v1 contract — on every PR.
+func BenchmarkA9ServingLoad(b *testing.B) {
+	old := ServingDuration
+	ServingDuration = 500 * time.Millisecond
+	defer func() { ServingDuration = old }()
+	for i := 0; i < b.N; i++ {
+		r := A9ServingLoad()
+		if len(r.Rows) == 0 {
+			b.Fatalf("A9 produced no output")
+		}
+	}
+}

@@ -242,10 +242,31 @@ func (c *Coordinator) Submit(sqlText string, level billing.Level, payload any) *
 // in-flight query shares the key, this submission follows that leader's
 // execution instead of starting its own.
 func (c *Coordinator) SubmitKeyed(sqlText string, level billing.Level, payload any, key string) *Query {
+	return c.SubmitReservedKeyed("", sqlText, level, payload, key)
+}
+
+// ReserveID allocates a query ID without submitting anything. The
+// admission layer reserves IDs at enqueue time so a query keeps one stable
+// ID across queued → running, and hands them back via SubmitReservedKeyed
+// when the query is dispatched. Reserved IDs are never reused; an ID whose
+// query is shed or canceled while queued simply never appears here.
+func (c *Coordinator) ReserveID() string {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nextID++
+	return fmt.Sprintf("q-%06d", c.nextID)
+}
+
+// SubmitReservedKeyed is SubmitKeyed with a caller-reserved ID (empty =
+// allocate one now).
+func (c *Coordinator) SubmitReservedKeyed(id, sqlText string, level billing.Level, payload any, key string) *Query {
+	c.mu.Lock()
+	if id == "" {
+		c.nextID++
+		id = fmt.Sprintf("q-%06d", c.nextID)
+	}
 	q := &Query{
-		ID:        fmt.Sprintf("q-%06d", c.nextID),
+		ID:        id,
 		Level:     level,
 		SQL:       sqlText,
 		Payload:   payload,

@@ -8,6 +8,7 @@ package rover
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -57,6 +58,27 @@ func (c *Client) do(method, path string, body any, out any) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		// /v1 answers with the structured envelope; the deprecated /api
+		// tree with a bare string. Understand both.
+		var env struct {
+			Error struct {
+				Code         string `json:"code"`
+				Message      string `json:"message"`
+				RetryAfterMs int64  `json:"retry_after_ms"`
+				ShedReason   string `json:"shed_reason"`
+				QueryID      string `json:"query_id"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return &APIError{
+				Status:     resp.StatusCode,
+				Code:       env.Error.Code,
+				Message:    env.Error.Message,
+				RetryAfter: time.Duration(env.Error.RetryAfterMs) * time.Millisecond,
+				ShedReason: env.Error.ShedReason,
+				QueryID:    env.Error.QueryID,
+			}
+		}
 		var apiErr struct {
 			Error string `json:"error"`
 		}
@@ -69,6 +91,30 @@ func (c *Client) do(method, path string, body any, out any) error {
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// APIError is a structured /v1 error. A shed submission surfaces as
+// Status 429 with Code "overloaded", the shed reason and a retry hint.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+	ShedReason string
+	QueryID    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rover: %s (HTTP %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// IsShed reports whether an error is a 429 load-shed response.
+func IsShed(err error) (*APIError, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+		return ae, true
+	}
+	return nil, false
 }
 
 // Health pings the server.
@@ -166,6 +212,79 @@ func (c *Client) PriceBook() (server.PriceBookPayload, error) {
 	var out server.PriceBookPayload
 	err := c.do(http.MethodGet, "/api/pricebook", nil, &out)
 	return out, err
+}
+
+// SubmitV1 schedules SQL through the /v1 contract: the response carries
+// admission state (queued|running|shed, queue position, deadline), and a
+// load-shed submission returns an *APIError with Status 429 (see IsShed).
+// deadline, when positive, tightens the tier's default EDF deadline.
+func (c *Client) SubmitV1(database, sqlText, level string, rowLimit int, deadline time.Duration) (server.SubmitResponseV1, error) {
+	var out server.SubmitResponseV1
+	err := c.do(http.MethodPost, "/v1/query", server.SubmitRequestV1{
+		Database: database, SQL: sqlText, Level: level,
+		RowLimit: rowLimit, DeadlineMs: deadline.Milliseconds(),
+	}, &out)
+	return out, err
+}
+
+// StatusV1 fetches the v1 status block (with admission fields).
+func (c *Client) StatusV1(id string) (server.QueryInfoV1, error) {
+	var out server.QueryInfoV1
+	err := c.do(http.MethodGet, "/v1/query/"+id, nil, &out)
+	return out, err
+}
+
+// ResultV1 fetches the v1 result block (with deadline accounting).
+func (c *Client) ResultV1(id string) (server.ResultPayloadV1, error) {
+	var out server.ResultPayloadV1
+	err := c.do(http.MethodGet, "/v1/query/"+id+"/result", nil, &out)
+	return out, err
+}
+
+// CancelV1 cancels a queued or pending query via /v1; canceling a query
+// still in an admission queue frees it without consuming a slot.
+func (c *Client) CancelV1(id string) error {
+	return c.do(http.MethodDelete, "/v1/query/"+id, nil, nil)
+}
+
+// AdmissionSnapshot fetches the /v1/admission observability block.
+func (c *Client) AdmissionSnapshot() (server.AdmissionPayload, error) {
+	var out server.AdmissionPayload
+	err := c.do(http.MethodGet, "/v1/admission", nil, &out)
+	return out, err
+}
+
+// ReportQueriesPage fetches one cursor page of per-query bills; pass the
+// previous page's NextCursor to continue (empty cursor = first page).
+func (c *Client) ReportQueriesPage(from, to time.Time, limit int, cursor string) (server.ReportQueriesPageV1, error) {
+	var out server.ReportQueriesPageV1
+	path := fmt.Sprintf("/v1/report/queries?from=%s&to=%s&limit=%d",
+		from.UTC().Format(time.RFC3339), to.UTC().Format(time.RFC3339), limit)
+	if cursor != "" {
+		path += "&cursor=" + cursor
+	}
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// WaitTerminal polls /v1 status until the query reaches a terminal state
+// (finished, failed, shed or canceled), with a timeout.
+func (c *Client) WaitTerminal(id string, timeout time.Duration) (server.QueryInfoV1, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		info, err := c.StatusV1(id)
+		if err != nil {
+			return info, err
+		}
+		switch info.Status {
+		case "finished", "failed", "shed", "canceled":
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("rover: query %s still %s after %s", id, info.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Interaction is one translator-panel exchange: a question, its SQL (as

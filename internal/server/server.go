@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/billing"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -32,36 +34,59 @@ type Server struct {
 	DefaultDB  string
 	// Token, when non-empty, requires "Authorization: Bearer <Token>".
 	Token string
+	// Admission, when set, gates submissions through per-tier bounded
+	// queues with deadline-aware dispatch and load shedding. Nil means
+	// every submission goes straight to the coordinator (the pre-v1
+	// behavior, and what the embedded API uses by default).
+	Admission *admission.Controller
 }
 
-// Handler builds the route table.
+// Handler builds the route table: the versioned /v1 contract
+// (docs/API.md) plus the legacy /api aliases, kept as thin deprecated
+// shims that answer in the old shapes and emit a Deprecation header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/health", s.wrap(s.handleHealth))
-	mux.HandleFunc("GET /api/schemas", s.wrap(s.handleSchemas))
-	mux.HandleFunc("POST /api/translate", s.wrap(s.handleTranslate))
-	mux.HandleFunc("POST /api/query", s.wrap(s.handleSubmit))
-	mux.HandleFunc("GET /api/query/{id}", s.wrap(s.handleQueryStatus))
-	mux.HandleFunc("DELETE /api/query/{id}", s.wrap(s.handleQueryCancel))
-	mux.HandleFunc("GET /api/query/{id}/result", s.wrap(s.handleQueryResult))
-	mux.HandleFunc("GET /api/report/summary", s.wrap(s.handleReportSummary))
-	mux.HandleFunc("GET /api/report/timeline", s.wrap(s.handleReportTimeline))
-	mux.HandleFunc("GET /api/report/queries", s.wrap(s.handleReportQueries))
-	mux.HandleFunc("GET /api/pricebook", s.wrap(s.handlePriceBook))
+	mux.HandleFunc("GET /v1/health", s.v1(s.handleHealth))
+	mux.HandleFunc("GET /v1/schemas", s.v1(s.handleSchemas))
+	mux.HandleFunc("POST /v1/translate", s.v1(s.handleTranslate))
+	mux.HandleFunc("POST /v1/query", s.v1(s.handleSubmitV1))
+	mux.HandleFunc("GET /v1/query/{id}", s.v1(s.handleQueryStatusV1))
+	mux.HandleFunc("DELETE /v1/query/{id}", s.v1(s.handleQueryCancelV1))
+	mux.HandleFunc("GET /v1/query/{id}/result", s.v1(s.handleQueryResultV1))
+	mux.HandleFunc("GET /v1/report/summary", s.v1(s.handleReportSummary))
+	mux.HandleFunc("GET /v1/report/timeline", s.v1(s.handleReportTimeline))
+	mux.HandleFunc("GET /v1/report/queries", s.v1(s.handleReportQueriesV1))
+	mux.HandleFunc("GET /v1/pricebook", s.v1(s.handlePriceBook))
+	mux.HandleFunc("GET /v1/admission", s.v1(s.handleAdmissionSnapshot))
+
+	mux.HandleFunc("GET /api/health", s.legacy(s.handleHealth))
+	mux.HandleFunc("GET /api/schemas", s.legacy(s.handleSchemas))
+	mux.HandleFunc("POST /api/translate", s.legacy(s.handleTranslate))
+	mux.HandleFunc("POST /api/query", s.legacy(s.handleSubmit))
+	mux.HandleFunc("GET /api/query/{id}", s.legacy(s.handleQueryStatus))
+	mux.HandleFunc("DELETE /api/query/{id}", s.legacy(s.handleQueryCancel))
+	mux.HandleFunc("GET /api/query/{id}/result", s.legacy(s.handleQueryResult))
+	mux.HandleFunc("GET /api/report/summary", s.legacy(s.handleReportSummary))
+	mux.HandleFunc("GET /api/report/timeline", s.legacy(s.handleReportTimeline))
+	mux.HandleFunc("GET /api/report/queries", s.legacy(s.handleReportQueries))
+	mux.HandleFunc("GET /api/pricebook", s.legacy(s.handlePriceBook))
 	return mux
 }
 
-// apiError is the JSON error body.
+// apiError is the legacy JSON error body.
 type apiError struct {
 	Error string `json:"error"`
 }
 
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
-// httpError carries a status code.
+// httpError carries a status code, the v1 machine-readable error code,
+// and (for 429s) a retry hint.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	apiCode    string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -74,8 +99,13 @@ func errNotFound(format string, args ...any) error {
 	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
+// legacy wraps a handler for the deprecated /api tree: old bare-string
+// error bodies, plus RFC 8594-style deprecation headers pointing at the
+// /v1 successor route.
+func (s *Server) legacy(h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+strings.Replace(r.URL.Path, "/api/", "/v1/", 1)+`>; rel="successor-version"`)
 		if s.Token != "" {
 			auth := r.Header.Get("Authorization")
 			if auth != "Bearer "+s.Token {
@@ -86,6 +116,9 @@ func (s *Server) wrap(h handlerFunc) http.HandlerFunc {
 		if err := h(w, r); err != nil {
 			var he *httpError
 			if errors.As(err, &he) {
+				if he.retryAfter > 0 {
+					w.Header().Set("Retry-After", retryAfterSeconds(he.retryAfter))
+				}
 				writeJSON(w, he.code, apiError{Error: he.msg})
 				return
 			}
@@ -221,6 +254,122 @@ type SubmitResponse struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	Level  string `json:"level"`
+	// LevelDefaulted records that the request carried no level and the
+	// server applied the default (relaxed) — explicit, so clients can
+	// reconcile bills against what they actually asked for.
+	LevelDefaulted bool `json:"levelDefaulted,omitempty"`
+}
+
+// parsedSubmit is a validated submission, ready to hand to admission or
+// straight to the coordinator.
+type parsedSubmit struct {
+	sqlText   string
+	level     billing.Level
+	defaulted bool // level absent from the request; default applied
+	payload   core.PlanPayload
+	key       string
+	deadline  time.Duration // client-requested completion deadline (0 = tier default)
+}
+
+// submitOutcome is what a submission produced, in admission vocabulary.
+// Exactly one of q / ticket-state fields is meaningful depending on path.
+type submitOutcome struct {
+	id         string
+	level      billing.Level
+	defaulted  bool
+	state      admission.State
+	queuePos   int
+	queueDepth int
+	deadline   time.Time
+	retryAfter time.Duration
+	shedReason string
+	q          *core.Query // non-nil when the coordinator accepted it already
+}
+
+// parseSubmit validates the request fields shared by the legacy and v1
+// submit bodies and plans the query.
+func (s *Server) parseSubmit(database, sqlText, levelStr string, rowLimit int, deadlineMs int64) (*parsedSubmit, error) {
+	if database == "" {
+		database = s.DefaultDB
+	}
+	if sqlText == "" {
+		return nil, errBadRequest("sql is required")
+	}
+	p := &parsedSubmit{sqlText: sqlText, level: billing.Relaxed, defaulted: true}
+	if levelStr != "" {
+		lev, err := billing.ParseLevel(levelStr)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		p.level, p.defaulted = lev, false
+	}
+	if deadlineMs < 0 {
+		return nil, errBadRequest("deadline_ms must be >= 0")
+	}
+	p.deadline = time.Duration(deadlineMs) * time.Millisecond
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, errBadRequest("SQL error: %v", err)
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, errBadRequest("only SELECT can be scheduled; got %T", stmt)
+	}
+	if rowLimit > 0 {
+		lim := int64(rowLimit)
+		if sel.Limit == nil || *sel.Limit > lim {
+			sel.Limit = &lim
+		}
+	}
+	node, err := s.Engine.PlanQuery(database, sel)
+	if err != nil {
+		return nil, errBadRequest("plan error: %v", err)
+	}
+	p.payload = core.PlanPayload{Node: node}
+	// Key on the canonical SQL so identical in-flight queries coalesce
+	// when the coordinator has batch optimization enabled.
+	p.key = database + "\x00" + sel.String()
+	return p, nil
+}
+
+// submit runs a parsed submission through admission control when
+// configured, else hands it straight to the coordinator.
+func (s *Server) submit(p *parsedSubmit) submitOutcome {
+	out := submitOutcome{level: p.level, defaulted: p.defaulted}
+	if s.Admission == nil {
+		q := s.Coord.SubmitKeyed(p.sqlText, p.level, p.payload, p.key)
+		out.id, out.q = q.ID, q
+		switch q.Status() {
+		case core.StatusPending:
+			out.state = admission.StateQueued
+		case core.StatusFinished, core.StatusFailed:
+			out.state = admission.StateDone
+		default:
+			out.state = admission.StateRunning
+		}
+		return out
+	}
+	id := s.Coord.ReserveID()
+	t, dec := s.Admission.Submit(admission.Request{
+		ID:       id,
+		Level:    p.level,
+		Label:    p.sqlText,
+		Deadline: p.deadline,
+		Start: func() (any, <-chan struct{}) {
+			q := s.Coord.SubmitReservedKeyed(id, p.sqlText, p.level, p.payload, p.key)
+			return q, q.Done()
+		},
+	})
+	out.id = t.ID
+	out.state = dec.State
+	out.queuePos, out.queueDepth = dec.QueuePosition, dec.QueueDepth
+	out.deadline = dec.Deadline
+	out.retryAfter = dec.RetryAfter
+	out.shedReason = dec.ShedReason
+	if q, ok := t.Handle().(*core.Query); ok {
+		out.q = q
+	}
+	return out
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) error {
@@ -228,55 +377,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err := readJSON(r, &req); err != nil {
 		return err
 	}
-	if req.Database == "" {
-		req.Database = s.DefaultDB
+	p, err := s.parseSubmit(req.Database, req.SQL, req.Level, req.RowLimit, 0)
+	if err != nil {
+		return err
 	}
-	if req.SQL == "" {
-		return errBadRequest("sql is required")
-	}
-	level := billing.Relaxed
-	if req.Level != "" {
-		var err error
-		level, err = billing.ParseLevel(req.Level)
-		if err != nil {
-			return errBadRequest("%v", err)
+	out := s.submit(p)
+	if out.state == admission.StateShed {
+		return &httpError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("query shed (%s), retry later", out.shedReason),
+			retryAfter: out.retryAfter,
 		}
 	}
-	stmt, err := sql.Parse(req.SQL)
-	if err != nil {
-		return errBadRequest("SQL error: %v", err)
+	// The legacy shape reports the coordinator status vocabulary:
+	// admission-queued queries look "pending", exactly like coordinator-
+	// queued ones always did.
+	status := string(core.StatusPending)
+	if out.q != nil {
+		status = string(out.q.Status())
 	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return errBadRequest("only SELECT can be scheduled; got %T", stmt)
-	}
-	if req.RowLimit > 0 {
-		lim := int64(req.RowLimit)
-		if sel.Limit == nil || *sel.Limit > lim {
-			sel.Limit = &lim
-		}
-	}
-	node, err := s.Engine.PlanQuery(req.Database, sel)
-	if err != nil {
-		return errBadRequest("plan error: %v", err)
-	}
-	// Key on the canonical SQL so identical in-flight queries coalesce
-	// when the coordinator has batch optimization enabled.
-	key := req.Database + "\x00" + sel.String()
-	q := s.Coord.SubmitKeyed(req.SQL, level, core.PlanPayload{Node: node}, key)
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: q.ID, Status: string(q.Status()), Level: level.String()})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: out.id, Status: status, Level: out.level.String(), LevelDefaulted: out.defaulted,
+	})
 	return nil
 }
 
-func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) error {
-	id := r.PathValue("id")
+// cancel cancels a query wherever it lives: still queued in admission
+// (removed without consuming a slot or billing), or pending in the
+// coordinator. Returns nil on success.
+func (s *Server) cancel(id string) error {
+	if s.Admission != nil && s.Admission.Cancel(id) {
+		return nil
+	}
 	if _, ok := s.Coord.Get(id); !ok {
+		if s.Admission != nil {
+			if t, ok := s.Admission.Get(id); ok {
+				return &httpError{code: http.StatusConflict,
+					msg: fmt.Sprintf("query %s is %s", id, t.State())}
+			}
+		}
 		return errNotFound("query %q not found", id)
 	}
 	if err := s.Coord.Cancel(id); err != nil {
 		if errors.Is(err, core.ErrNotPending) {
 			return &httpError{code: http.StatusConflict, msg: err.Error()}
 		}
+		return err
+	}
+	return nil
+}
+
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) error {
+	if err := s.cancel(r.PathValue("id")); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "canceled"})
@@ -330,10 +482,56 @@ func (s *Server) queryInfo(q *core.Query) QueryInfo {
 	return info
 }
 
+// ticketInfo renders an admission ticket that never reached the
+// coordinator in the legacy status vocabulary: queued looks "pending";
+// shed and canceled look "failed" with the reason in the error string.
+func (s *Server) ticketInfo(t *admission.Ticket) QueryInfo {
+	info := QueryInfo{
+		ID:         t.ID,
+		Level:      t.Level.String(),
+		SQL:        t.Label,
+		SubmitTime: t.Submitted().UTC().Format(time.RFC3339Nano),
+	}
+	switch t.State() {
+	case admission.StateShed:
+		info.Status = string(core.StatusFailed)
+		info.Error = fmt.Sprintf("admission: shed (%s)", t.ShedReason())
+	case admission.StateCanceled:
+		info.Status = string(core.StatusFailed)
+		info.Error = "admission: canceled while queued"
+	default:
+		info.Status = string(core.StatusPending)
+		info.PendingMs = s.Clock.Now().Sub(t.Submitted()).Milliseconds()
+	}
+	return info
+}
+
+// lookupQuery resolves an id to either a live coordinator query or an
+// admission ticket that never reached the coordinator (queued, shed or
+// canceled-in-queue). Exactly one return is non-nil when found.
+func (s *Server) lookupQuery(id string) (*core.Query, *admission.Ticket, bool) {
+	if s.Admission != nil {
+		if t, ok := s.Admission.Get(id); ok {
+			if q, isQ := t.Handle().(*core.Query); isQ {
+				return q, nil, true
+			}
+			return nil, t, true
+		}
+	}
+	if q, ok := s.Coord.Get(id); ok {
+		return q, nil, true
+	}
+	return nil, nil, false
+}
+
 func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) error {
-	q, ok := s.Coord.Get(r.PathValue("id"))
+	q, t, ok := s.lookupQuery(r.PathValue("id"))
 	if !ok {
 		return errNotFound("query %q not found", r.PathValue("id"))
+	}
+	if q == nil {
+		writeJSON(w, http.StatusOK, s.ticketInfo(t))
+		return nil
 	}
 	writeJSON(w, http.StatusOK, s.queryInfo(q))
 	return nil
@@ -362,14 +560,29 @@ type ResultPayload struct {
 }
 
 func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error {
-	q, ok := s.Coord.Get(r.PathValue("id"))
+	q, t, ok := s.lookupQuery(r.PathValue("id"))
 	if !ok {
 		return errNotFound("query %q not found", r.PathValue("id"))
+	}
+	if q == nil {
+		switch t.State() {
+		case admission.StateQueued, admission.StateRunning:
+			return &httpError{code: http.StatusConflict, msg: "query is pending"}
+		}
+		// Shed or canceled in the queue: terminal, but no rows and no bill.
+		writeJSON(w, http.StatusOK, ResultPayload{QueryInfo: s.ticketInfo(t)})
+		return nil
 	}
 	switch q.Status() {
 	case core.StatusPending, core.StatusRunning:
 		return &httpError{code: http.StatusConflict, msg: "query is " + string(q.Status())}
 	}
+	writeJSON(w, http.StatusOK, s.resultPayload(q))
+	return nil
+}
+
+// resultPayload builds the rows/stats/bill block for a terminal query.
+func (s *Server) resultPayload(q *core.Query) ResultPayload {
 	payload := ResultPayload{QueryInfo: s.queryInfo(q)}
 	if res := q.Result(); res != nil {
 		payload.Columns = res.Columns
@@ -398,8 +611,7 @@ func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error
 			break
 		}
 	}
-	writeJSON(w, http.StatusOK, payload)
-	return nil
+	return payload
 }
 
 // LevelSummaryPayload is one level's row in the report summary.

@@ -1,0 +1,403 @@
+// The /v1 API surface: the stable, versioned contract documented in
+// docs/API.md. Errors use a uniform machine-readable envelope
+// {"error": {"code", "message", "retry_after_ms"}}; submissions and
+// status blocks carry admission state (queue position, deadline, shed
+// reason); the query report paginates with an opaque cursor.
+package server
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+)
+
+// errorBody is the v1 error envelope's payload. Code is stable and
+// machine-readable; message is for humans. ShedReason and QueryID are
+// set on admission-shed submissions so a shed query stays observable.
+type errorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	ShedReason   string `json:"shed_reason,omitempty"`
+	QueryID      string `json:"query_id,omitempty"`
+}
+
+// errorEnvelope is the uniform v1 error shape.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// errConflict builds a 409 with the v1 "conflict" code.
+func errConflict(format string, args ...any) error {
+	return &httpError{code: http.StatusConflict, apiCode: "conflict", msg: fmt.Sprintf(format, args...)}
+}
+
+func defaultAPICode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	default:
+		return "internal"
+	}
+}
+
+// retryAfterSeconds renders a duration for the Retry-After header
+// (integer seconds, rounded up, at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeV1Error(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	body := errorBody{Code: "internal", Message: err.Error()}
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.code
+		body.Code = he.apiCode
+		if body.Code == "" {
+			body.Code = defaultAPICode(he.code)
+		}
+		body.Message = he.msg
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(he.retryAfter))
+			body.RetryAfterMs = he.retryAfter.Milliseconds()
+		}
+	}
+	writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+// v1 wraps a handler for the versioned tree: bearer auth and the
+// structured error envelope.
+func (s *Server) v1(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Token != "" {
+			auth := r.Header.Get("Authorization")
+			if auth != "Bearer "+s.Token {
+				writeV1Error(w, &httpError{code: http.StatusUnauthorized, msg: "unauthorized"})
+				return
+			}
+		}
+		if err := h(w, r); err != nil {
+			writeV1Error(w, err)
+		}
+	}
+}
+
+// SubmitRequestV1 is the v1 submission body. deadline_ms, when set,
+// tightens the tier's default completion deadline for EDF scheduling.
+type SubmitRequestV1 struct {
+	Database   string `json:"database"`
+	SQL        string `json:"sql"`
+	Level      string `json:"level"`
+	RowLimit   int    `json:"row_limit"`
+	DeadlineMs int64  `json:"deadline_ms"`
+}
+
+// SubmitResponseV1 identifies the scheduled query and reports its
+// admission state: queued | running | shed (done for the rare query
+// that finishes before the response is written).
+type SubmitResponseV1 struct {
+	ID             string `json:"id"`
+	Status         string `json:"status"`
+	Level          string `json:"level"`
+	LevelDefaulted bool   `json:"level_defaulted,omitempty"`
+	QueuePosition  int    `json:"queue_position,omitempty"`
+	QueueDepth     int    `json:"queue_depth,omitempty"`
+	Deadline       string `json:"deadline,omitempty"`
+}
+
+func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) error {
+	var req SubmitRequestV1
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	p, err := s.parseSubmit(req.Database, req.SQL, req.Level, req.RowLimit, req.DeadlineMs)
+	if err != nil {
+		return err
+	}
+	out := s.submit(p)
+	if out.state == admission.StateShed {
+		if out.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(out.retryAfter))
+		}
+		writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: errorBody{
+			Code:         "overloaded",
+			Message:      fmt.Sprintf("%s tier shed the query (%s); retry later", out.level, out.shedReason),
+			RetryAfterMs: out.retryAfter.Milliseconds(),
+			ShedReason:   out.shedReason,
+			QueryID:      out.id,
+		}})
+		return nil
+	}
+	resp := SubmitResponseV1{
+		ID:             out.id,
+		Status:         string(out.state),
+		Level:          out.level.String(),
+		LevelDefaulted: out.defaulted,
+		QueuePosition:  out.queuePos,
+		QueueDepth:     out.queueDepth,
+	}
+	if !out.deadline.IsZero() {
+		resp.Deadline = out.deadline.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+	return nil
+}
+
+// QueryInfoV1 is the v1 status block: the legacy fields plus admission
+// state. Status gains three values over the legacy vocabulary:
+// "queued" (waiting in an admission queue), "shed" and "canceled".
+type QueryInfoV1 struct {
+	QueryInfo
+	QueuePosition int    `json:"queue_position,omitempty"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+	Deadline      string `json:"deadline,omitempty"`
+	QueueWaitMs   int64  `json:"queue_wait_ms,omitempty"`
+	ShedReason    string `json:"shed_reason,omitempty"`
+	RetryAfterMs  int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ticketInfoV1 renders a ticket that never reached the coordinator in
+// v1 vocabulary (queued | shed | canceled), with admission fields.
+func (s *Server) ticketInfoV1(t *admission.Ticket) QueryInfoV1 {
+	info := QueryInfoV1{QueryInfo: QueryInfo{
+		ID:         t.ID,
+		Status:     string(t.State()),
+		Level:      t.Level.String(),
+		SQL:        t.Label,
+		SubmitTime: t.Submitted().UTC().Format(time.RFC3339Nano),
+	}}
+	switch t.State() {
+	case admission.StateQueued:
+		info.QueuePosition, info.QueueDepth = t.Position()
+		info.Deadline = t.Deadline().UTC().Format(time.RFC3339Nano)
+		info.PendingMs = s.Clock.Now().Sub(t.Submitted()).Milliseconds()
+	case admission.StateShed:
+		info.ShedReason = t.ShedReason()
+		info.RetryAfterMs = t.RetryAfter().Milliseconds()
+	case admission.StateRunning:
+		// Dispatch won the race but the coordinator handle is not
+		// registered yet; report it as running with its deadline.
+		info.Deadline = t.Deadline().UTC().Format(time.RFC3339Nano)
+	}
+	return info
+}
+
+func (s *Server) handleQueryStatusV1(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	q, t, ok := s.lookupQuery(id)
+	if !ok {
+		return errNotFound("query %q not found", id)
+	}
+	if q == nil {
+		writeJSON(w, http.StatusOK, s.ticketInfoV1(t))
+		return nil
+	}
+	info := QueryInfoV1{QueryInfo: s.queryInfo(q)}
+	if s.Admission != nil {
+		if tk, ok := s.Admission.Get(id); ok {
+			info.Deadline = tk.Deadline().UTC().Format(time.RFC3339Nano)
+			info.QueueWaitMs = tk.QueueWait().Milliseconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+	return nil
+}
+
+func (s *Server) handleQueryCancelV1(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if err := s.cancel(id); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceled"})
+	return nil
+}
+
+// ResultPayloadV1 is the v1 result block: the legacy payload plus the
+// admission deadline and queue wait, so a bill can be reconciled
+// against the service-level contract the query ran under.
+type ResultPayloadV1 struct {
+	ResultPayload
+	Deadline    string `json:"deadline,omitempty"`
+	DeadlineHit *bool  `json:"deadline_hit,omitempty"`
+	QueueWaitMs int64  `json:"queue_wait_ms,omitempty"`
+}
+
+func (s *Server) handleQueryResultV1(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	q, t, ok := s.lookupQuery(id)
+	if !ok {
+		return errNotFound("query %q not found", id)
+	}
+	if q == nil {
+		switch t.State() {
+		case admission.StateQueued, admission.StateRunning:
+			return errConflict("query is %s", t.State())
+		case admission.StateShed:
+			return &httpError{code: http.StatusConflict, apiCode: "shed",
+				msg:        fmt.Sprintf("query was shed (%s); it never executed", t.ShedReason()),
+				retryAfter: t.RetryAfter()}
+		default:
+			return errConflict("query was canceled while queued; it never executed")
+		}
+	}
+	switch q.Status() {
+	case core.StatusPending, core.StatusRunning:
+		return errConflict("query is %s", q.Status())
+	}
+	payload := ResultPayloadV1{ResultPayload: s.resultPayload(q)}
+	if s.Admission != nil {
+		if tk, ok := s.Admission.Get(id); ok {
+			dl := tk.Deadline()
+			payload.Deadline = dl.UTC().Format(time.RFC3339Nano)
+			payload.QueueWaitMs = tk.QueueWait().Milliseconds()
+			if _, _, end := q.Times(); !end.IsZero() {
+				hit := !end.After(dl)
+				payload.DeadlineHit = &hit
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
+	return nil
+}
+
+// ReportQueriesPageV1 is one cursor page of the query report.
+type ReportQueriesPageV1 struct {
+	Queries []BillPayload `json:"queries"`
+	// NextCursor, when set, fetches the next page via ?cursor=...;
+	// absent on the last page.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// encodeCursor packs the pagination position (submit time + query id of
+// the last row served) into an opaque token.
+func encodeCursor(t time.Time, id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(t.UTC().Format(time.RFC3339Nano) + "|" + id))
+}
+
+func decodeCursor(s string) (time.Time, string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return time.Time{}, "", err
+	}
+	ts, id, ok := strings.Cut(string(raw), "|")
+	if !ok {
+		return time.Time{}, "", fmt.Errorf("malformed cursor")
+	}
+	at, err := time.Parse(time.RFC3339Nano, ts)
+	if err != nil {
+		return time.Time{}, "", err
+	}
+	return at, id, nil
+}
+
+func (s *Server) handleReportQueriesV1(w http.ResponseWriter, r *http.Request) error {
+	to := s.Clock.Now()
+	from := to.Add(-time.Hour)
+	if v := r.URL.Query().Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return errBadRequest("invalid from %q", v)
+		}
+		from = t
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return errBadRequest("invalid to %q", v)
+		}
+		to = t
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return errBadRequest("invalid limit %q", v)
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	bills := s.Coord.Ledger().Between(from, to)
+	// Total order (submit time, then id) so cursor pages are stable even
+	// when many queries share a submit instant.
+	sort.Slice(bills, func(i, j int) bool {
+		if !bills[i].SubmitTime.Equal(bills[j].SubmitTime) {
+			return bills[i].SubmitTime.Before(bills[j].SubmitTime)
+		}
+		return bills[i].QueryID < bills[j].QueryID
+	})
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		at, id, err := decodeCursor(v)
+		if err != nil {
+			return errBadRequest("invalid cursor %q", v)
+		}
+		i := sort.Search(len(bills), func(i int) bool {
+			b := bills[i]
+			if !b.SubmitTime.Equal(at) {
+				return b.SubmitTime.After(at)
+			}
+			return b.QueryID > id
+		})
+		bills = bills[i:]
+	}
+	page := ReportQueriesPageV1{Queries: []BillPayload{}}
+	for i, b := range bills {
+		if i == limit {
+			last := page.Queries[len(page.Queries)-1]
+			st, _ := time.Parse(time.RFC3339Nano, last.SubmitTime)
+			page.NextCursor = encodeCursor(st, last.QueryID)
+			break
+		}
+		page.Queries = append(page.Queries, BillPayload{
+			QueryID:      b.QueryID,
+			Level:        b.Level.String(),
+			Status:       b.Status,
+			SubmitTime:   b.SubmitTime.UTC().Format(time.RFC3339Nano),
+			PendingMs:    b.PendingTime().Milliseconds(),
+			ExecMs:       b.ExecTime().Milliseconds(),
+			BytesScanned: b.BytesScanned,
+			ListPrice:    b.ListPrice,
+			ResourceCost: b.ResourceCost,
+			UsedCF:       b.UsedCF,
+		})
+	}
+	writeJSON(w, http.StatusOK, page)
+	return nil
+}
+
+// AdmissionPayload is the /v1/admission observability block.
+type AdmissionPayload struct {
+	Enabled bool `json:"enabled"`
+	admission.Snapshot
+}
+
+func (s *Server) handleAdmissionSnapshot(w http.ResponseWriter, _ *http.Request) error {
+	if s.Admission == nil {
+		writeJSON(w, http.StatusOK, AdmissionPayload{Enabled: false})
+		return nil
+	}
+	writeJSON(w, http.StatusOK, AdmissionPayload{Enabled: true, Snapshot: s.Admission.Snapshot()})
+	return nil
+}

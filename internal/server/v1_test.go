@@ -1,0 +1,493 @@
+package server_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/billing"
+	"repro/internal/catalog"
+	"repro/internal/cfsim"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/nl2sql"
+	"repro/internal/objstore"
+	"repro/internal/rover"
+	"repro/internal/server"
+	"repro/internal/vclock"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// newAdmissionServer stands up the stack with admission control in front
+// of the coordinator. vms=0 (with an hour of boot delay and grace) makes
+// every admitted relaxed query pend forever — the slot stays held, which
+// gives tests deterministic control over queueing and shedding.
+func newAdmissionServer(t *testing.T, vms int, cfg admission.Config) (*httptest.Server, *server.Server, *rover.Client) {
+	t.Helper()
+	eng := engine.New(catalog.New(), objstore.NewMetered(objstore.NewMemory()))
+	if err := workload.Load(eng, "tpch", workload.LoadOptions{SF: 0.002, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewReal()
+	cluster := vmsim.NewCluster(clk, vmsim.Config{SlotsPerVM: 4, BootDelay: time.Hour}, vms)
+	cf := cfsim.NewService(clk, cfsim.Config{ColdStart: time.Millisecond, WarmStart: time.Millisecond})
+	coord := core.NewCoordinator(clk, core.Config{GracePeriod: time.Hour},
+		cluster, cf, &core.PlannedExecutor{Engine: eng}, billing.NewLedger())
+	srv := &server.Server{
+		Engine: eng, Coord: coord, Translator: &nl2sql.Template{},
+		Clock: clk, DefaultDB: "tpch", Admission: admission.New(clk, cfg),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, rover.NewClient(ts.URL)
+}
+
+func hourAll() map[billing.Level]time.Duration {
+	return map[billing.Level]time.Duration{
+		billing.Immediate: time.Hour, billing.Relaxed: time.Hour, billing.BestEffort: time.Hour,
+	}
+}
+
+func TestV1SubmitStatusResultFlow(t *testing.T) {
+	_, _, c := newAdmissionServer(t, 2, admission.Config{})
+
+	// No level in the request: the default is applied and recorded as a
+	// default, not silently passed off as a client choice.
+	resp, err := c.SubmitV1("", "SELECT COUNT(*) AS n FROM orders", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.LevelDefaulted || resp.Level != "relaxed" {
+		t.Fatalf("defaulting not recorded: %+v", resp)
+	}
+	if resp.Status != "running" && resp.Status != "queued" && resp.Status != "done" {
+		t.Fatalf("admission state = %q", resp.Status)
+	}
+	info, err := c.WaitTerminal(resp.ID, 10*time.Second)
+	if err != nil || info.Status != "finished" {
+		t.Fatalf("terminal = %+v, %v", info, err)
+	}
+	if info.Level != "relaxed" || info.Deadline == "" {
+		t.Fatalf("v1 status lacks admission fields: %+v", info)
+	}
+	res, err := c.ResultV1(resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Columns[0] != "n" {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Deadline == "" || res.DeadlineHit == nil || !*res.DeadlineHit {
+		t.Fatalf("deadline accounting missing: deadline=%q hit=%v", res.Deadline, res.DeadlineHit)
+	}
+	if res.BytesScanned <= 0 || res.ListPrice <= 0 {
+		t.Fatalf("bill missing: %+v", res)
+	}
+
+	// An explicit level echoes canonically and is not marked defaulted.
+	resp2, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM customer", "best-of-effort", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.LevelDefaulted || resp2.Level != "best-of-effort" {
+		t.Fatalf("explicit level: %+v", resp2)
+	}
+	if _, err := c.WaitTerminal(resp2.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deprecated alias answers for the same query in the legacy shape.
+	legacy, err := c.Status(resp.ID)
+	if err != nil || legacy.Status != "finished" {
+		t.Fatalf("legacy alias status = %+v, %v", legacy, err)
+	}
+}
+
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts, _, c := newAdmissionServer(t, 2, admission.Config{})
+
+	var ae *rover.APIError
+	if _, err := c.StatusV1("q-nope"); !errors.As(err, &ae) || ae.Status != 404 || ae.Code != "not_found" {
+		t.Fatalf("missing query error = %v", err)
+	}
+	if _, err := c.SubmitV1("tpch", "SELECT 1 FROM orders", "warp-speed", 0, 0); !errors.As(err, &ae) || ae.Code != "bad_request" {
+		t.Fatalf("bad level error = %v", err)
+	}
+	if _, err := c.SubmitV1("tpch", "", "relaxed", 0, 0); !errors.As(err, &ae) || ae.Code != "bad_request" {
+		t.Fatalf("empty sql error = %v", err)
+	}
+
+	// The raw body is the uniform envelope: {"error":{"code","message"}}.
+	httpResp, err := http.Get(ts.URL + "/v1/query/q-nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "not_found" || env.Error.Message == "" {
+		t.Fatalf("envelope = %+v", env)
+	}
+
+	// The legacy tree still answers with the old bare-string error body.
+	legacyResp, err := http.Get(ts.URL + "/api/query/q-nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacyResp.Body.Close()
+	var legacy map[string]any
+	if err := json.NewDecoder(legacyResp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, isString := legacy["error"].(string); !isString {
+		t.Fatalf("legacy error body changed shape: %v", legacy)
+	}
+}
+
+func TestV1ShedResponseCarriesRetryAfter(t *testing.T) {
+	ts, _, c := newAdmissionServer(t, 0, admission.Config{
+		Slots:    map[billing.Level]int{billing.Immediate: 1, billing.Relaxed: 1, billing.BestEffort: 1},
+		QueueCap: map[billing.Level]int{billing.Immediate: 0, billing.Relaxed: 0, billing.BestEffort: 0},
+		MaxWait:  hourAll(), Deadline: hourAll(),
+	})
+
+	// First relaxed submission takes the tier's only slot and pends
+	// forever (no VM capacity, hour of grace).
+	r1, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM orders", "relaxed", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != "running" {
+		t.Fatalf("first submission = %+v", r1)
+	}
+
+	// Second one sheds: zero queue cap. The raw response must carry the
+	// Retry-After header and the structured envelope.
+	body := `{"database":"tpch","sql":"SELECT COUNT(*) FROM customer","level":"relaxed"}`
+	httpResp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", httpResp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After header = %q", httpResp.Header.Get("Retry-After"))
+	}
+	var env struct {
+		Error struct {
+			Code         string `json:"code"`
+			RetryAfterMs int64  `json:"retry_after_ms"`
+			ShedReason   string `json:"shed_reason"`
+			QueryID      string `json:"query_id"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "overloaded" || env.Error.ShedReason != "queue-full" ||
+		env.Error.RetryAfterMs <= 0 || env.Error.QueryID == "" {
+		t.Fatalf("shed envelope = %+v", env.Error)
+	}
+
+	// The shed query stays observable by ID.
+	info, err := c.StatusV1(env.Error.QueryID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "shed" || info.ShedReason != "queue-full" || info.RetryAfterMs <= 0 {
+		t.Fatalf("shed status = %+v", info)
+	}
+	var ae *rover.APIError
+	if _, err := c.ResultV1(env.Error.QueryID); !errors.As(err, &ae) || ae.Status != 409 || ae.Code != "shed" {
+		t.Fatalf("shed result error = %v", err)
+	}
+
+	// And the rover client classifies it.
+	_, err = c.SubmitV1("tpch", "SELECT COUNT(*) FROM nation", "relaxed", 0, 0)
+	if shed, ok := rover.IsShed(err); !ok || shed.RetryAfter <= 0 {
+		t.Fatalf("IsShed = %v, err %v", ok, err)
+	}
+
+	snap, err := c.AdmissionSnapshot()
+	if err != nil || !snap.Enabled {
+		t.Fatalf("snapshot = %+v, %v", snap, err)
+	}
+	for _, tier := range snap.Tiers {
+		if tier.Level == "relaxed" && tier.Shed < 2 {
+			t.Fatalf("relaxed shed count = %d", tier.Shed)
+		}
+	}
+}
+
+// TestV1CancelQueuedFreesAdmissionQueue is the queued-cancel regression
+// companion to TestCancelPendingViaAPI: DELETE on a query still in an
+// admission queue must remove it without it ever consuming a slot,
+// reaching the coordinator, or being billed.
+func TestV1CancelQueuedFreesAdmissionQueue(t *testing.T) {
+	_, srv, c := newAdmissionServer(t, 0, admission.Config{
+		Slots:    map[billing.Level]int{billing.Immediate: 1, billing.Relaxed: 1, billing.BestEffort: 1},
+		QueueCap: map[billing.Level]int{billing.Relaxed: 8},
+		MaxWait:  hourAll(), Deadline: hourAll(),
+	})
+
+	r1, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM orders", "relaxed", 0, 0)
+	if err != nil || r1.Status != "running" {
+		t.Fatalf("r1 = %+v, %v", r1, err)
+	}
+	r2, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM customer", "relaxed", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Status != "queued" || r2.QueuePosition != 1 || r2.QueueDepth != 1 || r2.Deadline == "" {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	info, err := c.StatusV1(r2.ID)
+	if err != nil || info.Status != "queued" || info.QueuePosition != 1 {
+		t.Fatalf("queued status = %+v, %v", info, err)
+	}
+	// The legacy alias renders the same ticket as "pending".
+	if legacy, err := c.Status(r2.ID); err != nil || legacy.Status != "pending" {
+		t.Fatalf("legacy view = %+v, %v", legacy, err)
+	}
+
+	if err := c.CancelV1(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.StatusV1(r2.ID)
+	if err != nil || info.Status != "canceled" {
+		t.Fatalf("after cancel = %+v, %v", info, err)
+	}
+	if legacy, err := c.Status(r2.ID); err != nil ||
+		legacy.Status != "failed" || !strings.Contains(legacy.Error, "canceled") {
+		t.Fatalf("legacy after cancel = %+v, %v", legacy, err)
+	}
+	var ae *rover.APIError
+	if err := c.CancelV1(r2.ID); !errors.As(err, &ae) || ae.Status != 409 {
+		t.Fatalf("double cancel = %v", err)
+	}
+	if err := c.CancelV1("q-999999"); !errors.As(err, &ae) || ae.Status != 404 {
+		t.Fatalf("cancel unknown = %v", err)
+	}
+
+	// The queue slot was freed: the next submission takes position 1.
+	r3, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM nation", "relaxed", 0, 0)
+	if err != nil || r3.Status != "queued" || r3.QueuePosition != 1 {
+		t.Fatalf("r3 = %+v, %v", r3, err)
+	}
+
+	// The canceled query never reached the coordinator and was never
+	// billed; neither was anything else (nothing executed).
+	if _, ok := srv.Coord.Get(r2.ID); ok {
+		t.Fatalf("canceled queued query reached the coordinator")
+	}
+	if bills := srv.Coord.Ledger().All(); len(bills) != 0 {
+		t.Fatalf("billed without executing: %+v", bills)
+	}
+
+	// Canceling the admitted-but-pending query falls through to the
+	// coordinator's cancel path.
+	if err := c.CancelV1(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.StatusV1(r1.ID)
+	if err != nil || info.Status != "failed" || !strings.Contains(info.Error, "canceled") {
+		t.Fatalf("r1 after cancel = %+v, %v", info, err)
+	}
+}
+
+// TestBilledBytesCoverExecutedQueriesOnly checks the billing invariant
+// under admission: shed and canceled-in-queue queries never produce a
+// bill, and the ledger total equals the sum over executed queries.
+func TestBilledBytesCoverExecutedQueriesOnly(t *testing.T) {
+	// Overloaded stack: one slot held forever, one query queued (then
+	// canceled), one shed. Nothing executes, so nothing may be billed.
+	_, srvO, cO := newAdmissionServer(t, 0, admission.Config{
+		Slots:    map[billing.Level]int{billing.Immediate: 1, billing.Relaxed: 1, billing.BestEffort: 1},
+		QueueCap: map[billing.Level]int{billing.Relaxed: 1},
+		MaxWait:  hourAll(), Deadline: hourAll(),
+	})
+	r1, err := cO.SubmitV1("tpch", "SELECT COUNT(*) FROM orders", "relaxed", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cO.SubmitV1("tpch", "SELECT COUNT(*) FROM customer", "relaxed", 0, 0)
+	if err != nil || r2.Status != "queued" {
+		t.Fatalf("r2 = %+v, %v", r2, err)
+	}
+	_, err = cO.SubmitV1("tpch", "SELECT COUNT(*) FROM nation", "relaxed", 0, 0)
+	if _, ok := rover.IsShed(err); !ok {
+		t.Fatalf("overflow submission not shed: %v", err)
+	}
+	if err := cO.CancelV1(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if bills := srvO.Coord.Ledger().All(); len(bills) != 0 {
+		t.Fatalf("overload run billed %d queries; none executed", len(bills))
+	}
+	_ = r1
+
+	// Executing stack: every finished query is billed, and the ledger
+	// total is exactly the sum over those queries.
+	_, srvW, cW := newAdmissionServer(t, 2, admission.Config{})
+	executed := map[string]bool{}
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM orders",
+		"SELECT COUNT(*) FROM customer",
+		"SELECT COUNT(*) FROM lineitem",
+	} {
+		resp, err := cW.SubmitV1("tpch", q, "immediate", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info, err := cW.WaitTerminal(resp.ID, 10*time.Second); err != nil || info.Status != "finished" {
+			t.Fatalf("%s: %+v, %v", q, info, err)
+		}
+		executed[resp.ID] = true
+	}
+	bills := srvW.Coord.Ledger().All()
+	if len(bills) != len(executed) {
+		t.Fatalf("billed %d queries, executed %d", len(bills), len(executed))
+	}
+	var total int64
+	for _, b := range bills {
+		if !executed[b.QueryID] {
+			t.Fatalf("bill for non-executed query %s", b.QueryID)
+		}
+		if b.BytesScanned <= 0 {
+			t.Fatalf("executed query %s billed zero bytes", b.QueryID)
+		}
+		total += b.BytesScanned
+	}
+	var viaAPI int64
+	page, err := cW.ReportQueriesPage(time.Now().Add(-time.Hour), time.Now().Add(time.Hour), 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range page.Queries {
+		viaAPI += b.BytesScanned
+	}
+	if viaAPI != total {
+		t.Fatalf("report total %d != ledger total %d", viaAPI, total)
+	}
+}
+
+func TestV1ReportQueriesPagination(t *testing.T) {
+	_, _, c := newAdmissionServer(t, 2, admission.Config{})
+	want := map[string]bool{}
+	for _, table := range []string{"orders", "customer", "lineitem", "nation", "region"} {
+		resp, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM "+table, "immediate", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info, err := c.WaitTerminal(resp.ID, 10*time.Second); err != nil || info.Status != "finished" {
+			t.Fatalf("%s: %+v, %v", table, info, err)
+		}
+		want[resp.ID] = true
+	}
+
+	from, to := time.Now().Add(-time.Hour), time.Now().Add(time.Hour)
+	got := map[string]bool{}
+	cursor, pages := "", 0
+	for {
+		page, err := c.ReportQueriesPage(from, to, 2, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(page.Queries) > 2 {
+			t.Fatalf("page overflows limit: %d rows", len(page.Queries))
+		}
+		for _, b := range page.Queries {
+			if got[b.QueryID] {
+				t.Fatalf("query %s served twice", b.QueryID)
+			}
+			got[b.QueryID] = true
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if pages != 3 || len(got) != len(want) {
+		t.Fatalf("pages = %d, rows = %d (want 3 pages, %d rows)", pages, len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("query %s missing from paged report", id)
+		}
+	}
+
+	var ae *rover.APIError
+	if _, err := c.ReportQueriesPage(from, to, 2, "not-a-cursor"); !errors.As(err, &ae) || ae.Code != "bad_request" {
+		t.Fatalf("bad cursor error = %v", err)
+	}
+}
+
+func TestLegacyAliasDeprecationHeaders(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+
+	resp, err := http.Get(ts.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias health = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("alias lacks Deprecation header")
+	}
+	link := resp.Header.Get("Link")
+	if !strings.Contains(link, "/v1/health") || !strings.Contains(link, `rel="successor-version"`) {
+		t.Fatalf("alias Link header = %q", link)
+	}
+
+	v1resp, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1resp.Body.Close()
+	if v1resp.StatusCode != http.StatusOK || v1resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("/v1/health = %d, Deprecation %q", v1resp.StatusCode, v1resp.Header.Get("Deprecation"))
+	}
+}
+
+func TestV1AdmissionSnapshotWithoutAdmission(t *testing.T) {
+	// A server without admission (the legacy construction) still answers
+	// /v1/admission, reporting the layer off.
+	ts, _ := newTestServer(t, "")
+	c := rover.NewClient(ts.URL)
+	snap, err := c.AdmissionSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Enabled || snap.TotalSlots != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// And the v1 submit/status path works without admission, reporting
+	// coordinator-derived states.
+	resp, err := c.SubmitV1("tpch", "SELECT COUNT(*) FROM orders", "immediate", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := c.WaitTerminal(resp.ID, 10*time.Second); err != nil || info.Status != "finished" {
+		t.Fatalf("no-admission v1 flow: %+v, %v", info, err)
+	}
+}

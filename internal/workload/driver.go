@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/billing"
+)
+
+// Outcome is one completed closed-loop request as the driver sees it:
+// what happened and how long the client waited end to end. Status uses
+// the /v1 vocabulary (finished | failed | shed | canceled | error).
+type Outcome struct {
+	Level   billing.Level
+	Status  string
+	Latency time.Duration // submit to terminal state (or to the shed response)
+	// RetryAfter is the server's backoff hint on a shed request.
+	RetryAfter time.Duration
+	// DeadlineKnown/DeadlineHit record the admission deadline verdict for
+	// executed queries, when the server reports one.
+	DeadlineKnown bool
+	DeadlineHit   bool
+}
+
+// DoFunc performs one request at a level (submit, then poll to a
+// terminal state) and reports its outcome. Implementations talk HTTP;
+// the driver stays transport-agnostic so tests can fake it.
+type DoFunc func(level billing.Level, deadline time.Duration) Outcome
+
+// TierLoad is one service level's arrival stream.
+type TierLoad struct {
+	Level    billing.Level
+	Arrivals ArrivalProcess
+	// Deadline is the per-request deadline passed through to DoFunc
+	// (0 = the tier's server-side default).
+	Deadline time.Duration
+	// MaxInFlight bounds this tier's outstanding requests — the
+	// closed-loop population. When all are busy, arrivals wait rather
+	// than pile up without bound (default 64).
+	MaxInFlight int
+}
+
+// DriverConfig configures a closed-loop run.
+type DriverConfig struct {
+	Duration time.Duration
+	Tiers    []TierLoad
+}
+
+// TierStats is one tier's report: counts by outcome, shed and
+// deadline-hit rates, and client-observed latency percentiles over the
+// queries that executed (finished or failed — shed responses return in
+// microseconds and would make the percentiles meaningless).
+type TierStats struct {
+	Level    billing.Level
+	Sent     int
+	Finished int
+	Failed   int
+	Shed     int
+	Canceled int
+	Errors   int
+
+	ShedRate        float64
+	DeadlineKnown   int
+	DeadlineHits    int
+	DeadlineHitRate float64
+
+	P50, P95, P99 time.Duration
+}
+
+// Drive runs every tier's arrival process against do until Duration
+// elapses, waits for in-flight requests to drain, and reports per-tier
+// stats. Wall-clock time paces arrivals (the driver exercises a live
+// HTTP server, not the virtual clock).
+func Drive(cfg DriverConfig, do DoFunc) []TierStats {
+	var (
+		mu       sync.Mutex
+		outcomes []Outcome
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for _, tier := range cfg.Tiers {
+		tier := tier
+		if tier.MaxInFlight <= 0 {
+			tier.MaxInFlight = 64
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem := make(chan struct{}, tier.MaxInFlight)
+			var tierWG sync.WaitGroup
+			for {
+				elapsed := time.Since(start)
+				if elapsed >= cfg.Duration {
+					break
+				}
+				gap := tier.Arrivals.Next(elapsed)
+				if gap > 0 {
+					time.Sleep(gap)
+				}
+				if time.Since(start) >= cfg.Duration {
+					break
+				}
+				sem <- struct{}{} // closed loop: wait for a free client
+				tierWG.Add(1)
+				go func() {
+					defer func() { <-sem; tierWG.Done() }()
+					out := do(tier.Level, tier.Deadline)
+					out.Level = tier.Level
+					mu.Lock()
+					outcomes = append(outcomes, out)
+					mu.Unlock()
+				}()
+			}
+			tierWG.Wait()
+		}()
+	}
+	wg.Wait()
+	return Summarize(outcomes)
+}
+
+// Summarize aggregates outcomes into per-tier stats (exported so tests
+// and offline analyses can reuse the reduction).
+func Summarize(outcomes []Outcome) []TierStats {
+	byLevel := map[billing.Level][]Outcome{}
+	for _, o := range outcomes {
+		byLevel[o.Level] = append(byLevel[o.Level], o)
+	}
+	var stats []TierStats
+	for _, lev := range billing.Levels() {
+		outs, ok := byLevel[lev]
+		if !ok {
+			continue
+		}
+		st := TierStats{Level: lev, Sent: len(outs)}
+		var lats []time.Duration
+		for _, o := range outs {
+			switch o.Status {
+			case "finished":
+				st.Finished++
+				lats = append(lats, o.Latency)
+			case "failed":
+				st.Failed++
+				lats = append(lats, o.Latency)
+			case "shed":
+				st.Shed++
+			case "canceled":
+				st.Canceled++
+			default:
+				st.Errors++
+			}
+			if o.DeadlineKnown {
+				st.DeadlineKnown++
+				if o.DeadlineHit {
+					st.DeadlineHits++
+				}
+			}
+		}
+		if st.Sent > 0 {
+			st.ShedRate = float64(st.Shed) / float64(st.Sent)
+		}
+		if st.DeadlineKnown > 0 {
+			st.DeadlineHitRate = float64(st.DeadlineHits) / float64(st.DeadlineKnown)
+		}
+		st.P50 = percentileDur(lats, 0.50)
+		st.P95 = percentileDur(lats, 0.95)
+		st.P99 = percentileDur(lats, 0.99)
+		stats = append(stats, st)
+	}
+	return stats
+}
+
+// percentileDur is the nearest-rank percentile of a latency sample
+// (0 for an empty sample).
+func percentileDur(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

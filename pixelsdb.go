@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/autoscale"
 	"repro/internal/billing"
 	"repro/internal/catalog"
@@ -126,6 +127,20 @@ type Options struct {
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
+	// Admission enables service-level admission control in front of the
+	// Query Server: per-tier bounded queues, deadline-aware (EDF)
+	// dispatch with cross-tier priority, per-tier concurrency slots and
+	// load shedding (cheap tiers shed first with 429 + Retry-After).
+	// Nil leaves the server in direct-submit mode; a zero-valued Config
+	// enables admission with the built-in defaults. Only the REST
+	// surface is gated — the embedded Submit still goes straight to the
+	// coordinator.
+	Admission *admission.Config
+	// AdmissionAutoscaleInterval runs the scaling manager over the
+	// admission slot pool (the same target-utilization policy that sizes
+	// the VM fleet, driving serving concurrency instead); zero disables
+	// it. Ignored unless Admission is set.
+	AdmissionAutoscaleInterval time.Duration
 	// Autoscale enables the scaling manager (target-utilization policy
 	// with lazy scale-in) at the given interval; zero disables it.
 	AutoscaleInterval time.Duration
@@ -156,6 +171,8 @@ type DB struct {
 	coord   *core.Coordinator
 	ledger  *billing.Ledger
 	scaler  *autoscale.Manager
+	adm     *admission.Controller
+	admScal *autoscale.Manager
 	xlator  nl2sql.Translator
 }
 
@@ -250,6 +267,21 @@ func Open(opts Options) (*DB, error) {
 		db.scaler = autoscale.NewManager(clk, cluster, policy, coord.Metrics)
 		db.scaler.Start(opts.AutoscaleInterval)
 	}
+	if opts.Admission != nil {
+		db.adm = admission.New(clk, *opts.Admission)
+		if opts.AdmissionAutoscaleInterval > 0 {
+			cfg := db.adm.Config()
+			policy := &autoscale.TargetUtilization{
+				SlotsPerVM: 1, // pool units are single serving slots
+				Target:     0.7,
+				MinVMs:     cfg.MinSlots,
+				MaxVMs:     cfg.MaxSlots,
+				HoldTicks:  3,
+			}
+			db.admScal = autoscale.NewManager(clk, db.adm.Pool(), policy, db.adm.AutoscaleMetrics)
+			db.admScal.Start(opts.AdmissionAutoscaleInterval)
+		}
+	}
 	return db, nil
 }
 
@@ -258,6 +290,9 @@ func Open(opts Options) (*DB, error) {
 func (db *DB) Close() error {
 	if db.scaler != nil {
 		db.scaler.Stop()
+	}
+	if db.admScal != nil {
+		db.admScal.Stop()
 	}
 	if db.opts.DataDir != "" {
 		return db.catalog.Save(db.store.Inner())
@@ -349,6 +384,10 @@ func (db *DB) Cluster() *vmsim.Cluster { return db.cluster }
 // CFService exposes the cloud-function simulator (metrics, cost).
 func (db *DB) CFService() *cfsim.Service { return db.cf }
 
+// Admission exposes the admission controller (nil unless
+// Options.Admission enabled it).
+func (db *DB) Admission() *admission.Controller { return db.adm }
+
 // Handler returns the Query Server REST handler (mount it on any mux).
 func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 	s := &server.Server{
@@ -358,6 +397,7 @@ func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 		Clock:      db.clock,
 		DefaultDB:  defaultDatabase,
 		Token:      token,
+		Admission:  db.adm,
 	}
 	return s.Handler()
 }
