@@ -143,3 +143,58 @@ func BenchmarkA7VectorizedEval(b *testing.B) {
 func BenchmarkA8DistributedCF(b *testing.B) {
 	runExperiment(b, "A8")
 }
+
+// BenchmarkA10RepeatTraffic regenerates the repeat-traffic fast-path
+// experiment (plan + result cache vs cold planning: identical rows, zero
+// bytes billed on warm repeats, warm p50 below the uncached p50).
+func BenchmarkA10RepeatTraffic(b *testing.B) {
+	runExperiment(b, "A10")
+}
+
+// BenchmarkRepeatQuery measures one warm repeat submission of an analytic
+// query through the full coordinator path under the three cache
+// configurations: no caches (parse + bind + optimize + scan per repeat),
+// plan cache only (skip parse/bind/optimize, still scan), and the full
+// fast path (result-cache hit, no object-store traffic). The ns/op and
+// allocs/op ratio between the first and last sub-benchmark is the
+// headline repeat-traffic speedup.
+func BenchmarkRepeatQuery(b *testing.B) {
+	const stmt = "SELECT o_orderpriority, COUNT(*) FROM orders " +
+		"GROUP BY o_orderpriority ORDER BY o_orderpriority"
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"caches-off", Options{}},
+		{"plan-cache-only", Options{PlanCache: true}},
+		{"plan+result-cache", Options{PlanCache: true, ResultCacheMB: 8}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, err := Open(cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.LoadSampleData("tpch", 0.01); err != nil {
+				b.Fatal(err)
+			}
+			submit := func() {
+				q, err := db.Submit("tpch", stmt, Immediate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-q.Done()
+				if q.Err() != nil {
+					b.Fatal(q.Err())
+				}
+			}
+			submit() // cold fill: every timed iteration below is a warm repeat
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submit()
+			}
+		})
+	}
+}

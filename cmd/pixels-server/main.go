@@ -96,6 +96,8 @@ func main() {
 		vecOn    = flag.Bool("vec", true, "vectorized expression kernels (selection-vector filters + selection-aware decode); false = interpreted evaluation")
 		cfExec   = flag.String("cf-exec", "inprocess", "CF worker execution: inprocess (engine goroutines) or process (one pixels-worker OS process per task, store-based shuffle; requires -data)")
 		cfWorker = flag.String("cf-worker", "pixels-worker", "worker command for -cf-exec=process")
+		planCh   = flag.Bool("plan-cache", false, "cache bound optimized plans keyed on normalized SQL (repeat-traffic fast path, level 1)")
+		resCh    = flag.Int("result-cache-mb", 0, "result cache budget in MiB: serve repeat queries from cached rows, billing zero bytes scanned (0 = off)")
 
 		admOn       = flag.Bool("admission", true, "service-level admission control: per-tier bounded queues, EDF dispatch, load shedding (false = direct submit)")
 		admSlots    = flag.String("adm-slots", "", "per-tier concurrency slots, e.g. immediate=4,relaxed=4,best=2 (empty = defaults)")
@@ -120,6 +122,8 @@ func main() {
 		NoVectorize:       !*vecOn,
 		CFExecution:       *cfExec,
 		CFWorkerCmd:       []string{*cfWorker},
+		PlanCache:         *planCh,
+		ResultCacheMB:     *resCh,
 	}
 	if *admOn {
 		opts.Admission = &admission.Config{
@@ -148,6 +152,9 @@ func main() {
 	fmt.Printf("PixelsDB query server on %s (db=%s)\n", *addr, *database)
 	if *cacheMB > 0 {
 		fmt.Printf("object-store read cache: %d MiB, read-ahead %d blocks\n", *cacheMB, *readAh)
+	}
+	if *planCh || *resCh > 0 {
+		fmt.Printf("repeat-traffic fast path: plan cache %v, result cache %d MiB\n", *planCh, *resCh)
 	}
 	if *cfExec == "process" {
 		fmt.Printf("CF execution: one %q process per worker task, store-based shuffle\n", *cfWorker)

@@ -26,6 +26,16 @@ var ScanPrefetch int
 // cmd/pixels-bench sets it from the -scan-budget flag.
 var ScanBudget int
 
+// PlanCache enables the normalized plan cache for experiments that route
+// repeat traffic (A10). cmd/pixels-bench sets it from the -plan-cache
+// flag; A10 also toggles it internally for its on/off comparison.
+var PlanCache bool
+
+// ResultCacheMB is the result-cache byte budget (MiB) for repeat-traffic
+// experiments; 0 lets A10 pick its own default. cmd/pixels-bench sets it
+// from the -result-cache-mb flag.
+var ResultCacheMB int
+
 // Interpreted disables the vectorized expression kernels for real-SQL
 // experiments, forcing row-at-a-time evaluation. cmd/pixels-bench sets it
 // from the -vec flag (Interpreted = !vec); the default — vectorized — is

@@ -180,6 +180,10 @@ type QueryBill struct {
 	// execution (batch query optimization): full list price, zero
 	// resource consumption.
 	Coalesced bool
+	// CacheHit marks a query answered from the result cache: zero bytes
+	// scanned, so both list price and resource cost are zero — the billed
+	// price is defined by bytes scanned, and a hit scans nothing.
+	CacheHit bool
 
 	Usage        ResourceUsage
 	ListPrice    float64

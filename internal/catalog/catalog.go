@@ -37,6 +37,11 @@ type Table struct {
 	Columns []Column   `json:"columns"`
 	Files   []FileMeta `json:"files"`
 	Comment string     `json:"comment,omitempty"`
+	// Generation increases monotonically (catalog-wide) on every change
+	// to this table's data or existence: CREATE, DROP, AddFiles. Result
+	// caches key on it, so staleness is impossible by construction — a
+	// DROP+CREATE pair can never reuse an old table's generation.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // Column describes one column.
@@ -86,6 +91,13 @@ type Database struct {
 type Catalog struct {
 	mu  sync.RWMutex
 	dbs map[string]*Database
+	gen uint64 // catalog-wide generation counter; see Table.Generation
+}
+
+// nextGen allocates the next generation. Caller holds c.mu.
+func (c *Catalog) nextGen() uint64 {
+	c.gen++
+	return c.gen
 }
 
 // New returns an empty catalog.
@@ -177,6 +189,7 @@ func (c *Catalog) CreateTable(db string, t *Table) error {
 	}
 	cp := *t
 	cp.Name = tn
+	cp.Generation = c.nextGen()
 	d.Tables[tn] = &cp
 	return nil
 }
@@ -194,6 +207,9 @@ func (c *Catalog) DropTable(db, table string) error {
 		return fmt.Errorf("%w: table %s.%s", ErrNotFound, dn, tn)
 	}
 	delete(d.Tables, tn)
+	// Advance the counter so a later CREATE of the same name cannot
+	// collide with cache keys recorded against the dropped table.
+	c.nextGen()
 	return nil
 }
 
@@ -248,12 +264,32 @@ func (c *Catalog) AddFiles(db, table string, files ...FileMeta) error {
 		return fmt.Errorf("%w: table %s.%s", ErrNotFound, dn, tn)
 	}
 	t.Files = append(t.Files, files...)
+	t.Generation = c.nextGen()
 	return nil
+}
+
+// Generation returns the current generation of a table, or false if the
+// table does not exist. Result caches recheck plan-time generations with
+// this before serving a cached plan or result.
+func (c *Catalog) Generation(db, table string) (uint64, bool) {
+	dn, tn := norm(db), norm(table)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.dbs[dn]
+	if !ok {
+		return 0, false
+	}
+	t, ok := d.Tables[tn]
+	if !ok {
+		return 0, false
+	}
+	return t.Generation, true
 }
 
 // snapshot is the JSON persistence layout.
 type snapshot struct {
 	Version   int         `json:"version"`
+	Gen       uint64      `json:"gen,omitempty"` // generation counter high-water mark
 	Databases []*Database `json:"databases"`
 }
 
@@ -263,7 +299,7 @@ const MetaKey = "_catalog/meta.json"
 // Save persists the catalog to the object store.
 func (c *Catalog) Save(store objstore.Store) error {
 	c.mu.RLock()
-	snap := snapshot{Version: 1}
+	snap := snapshot{Version: 1, Gen: c.gen}
 	names := make([]string, 0, len(c.dbs))
 	for n := range c.dbs {
 		names = append(names, n)
@@ -298,14 +334,23 @@ func (c *Catalog) Load(store objstore.Store) error {
 		return fmt.Errorf("catalog: unmarshal: %w", err)
 	}
 	dbs := make(map[string]*Database, len(snap.Databases))
+	gen := snap.Gen
 	for _, d := range snap.Databases {
 		if d.Tables == nil {
 			d.Tables = make(map[string]*Table)
+		}
+		// Snapshots written before the counter existed: restore it to the
+		// max table generation so new allocations stay monotonic.
+		for _, t := range d.Tables {
+			if t.Generation > gen {
+				gen = t.Generation
+			}
 		}
 		dbs[d.Name] = d
 	}
 	c.mu.Lock()
 	c.dbs = dbs
+	c.gen = gen
 	c.mu.Unlock()
 	return nil
 }

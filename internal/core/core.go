@@ -68,6 +68,14 @@ type Query struct {
 	coalesceKey   string
 	coalescedWith *Query // leader whose execution this query shares
 	canceled      bool
+
+	// Result-cache state (see dispatch): cacheKey is set on the query
+	// elected to fill a missing cache entry, cacheLeader on queries
+	// waiting for that fill, cacheHit on queries answered from the cache
+	// (including settled waiters).
+	cacheKey    string
+	cacheLeader *Query
+	cacheHit    bool
 }
 
 // Status returns the current lifecycle state.
@@ -160,8 +168,24 @@ type Config struct {
 	// in-flight query becomes a follower that shares the leader's single
 	// execution (and is billed its own list price but zero resources).
 	CoalesceIdentical bool
+	// ResultCache, when set, serves repeat queries from cached results:
+	// dispatch consults it (by the payload's ResultKey) before routing to
+	// any execution tier, misses elect a single fill query others wait on
+	// (single-flight), and successful fills populate it. A hit bills zero
+	// bytes scanned — nothing was scanned.
+	ResultCache ResultCache
 	// Prices is the billing book.
 	Prices billing.PriceBook
+}
+
+// ResultCache is the coordinator's seam to a materialized-result cache
+// (implemented by internal/qcache.ResultCache). Get must return a
+// hit-view result with Cached set and Stats reduced to RowsReturned;
+// implementations are responsible for staleness (core never invalidates —
+// qcache keys embed table generations, so stale entries are unreachable).
+type ResultCache interface {
+	Get(key string) (*engine.Result, bool)
+	Put(key string, res *engine.Result)
 }
 
 func (c Config) withDefaults() Config {
@@ -193,34 +217,39 @@ type Coordinator struct {
 	executor Executor
 	ledger   *billing.Ledger
 
-	mu          sync.Mutex
-	nextID      int
-	queries     map[string]*Query
-	relaxedQ    []*Query
-	bestQ       []*Query
-	runningCF   int // queries currently executing via CF (demand signal)
-	runningVM   int
-	runningVMBE int // Best-of-effort queries on VM slots (hidden from demand)
-	finished    int
-	failed      int
-	inflight    map[string]*Query   // coalesce key -> leader
-	followers   map[*Query][]*Query // leader -> coalesced followers
-	coalesced   int
+	mu           sync.Mutex
+	nextID       int
+	queries      map[string]*Query
+	relaxedQ     []*Query
+	bestQ        []*Query
+	runningCF    int // queries currently executing via CF (demand signal)
+	runningVM    int
+	runningVMBE  int // Best-of-effort queries on VM slots (hidden from demand)
+	finished     int
+	failed       int
+	inflight     map[string]*Query   // coalesce key -> leader
+	followers    map[*Query][]*Query // leader -> coalesced followers
+	coalesced    int
+	cacheFill    map[string]*Query   // result key -> in-flight fill query
+	cacheWaiters map[string][]*Query // result key -> queries awaiting the fill
+	cacheHits    int
 }
 
 // NewCoordinator wires the scheduler to its resources. The cluster's
 // capacity events drive queue draining.
 func NewCoordinator(clock vclock.Clock, cfg Config, cluster *vmsim.Cluster, cf *cfsim.Service, ex Executor, ledger *billing.Ledger) *Coordinator {
 	c := &Coordinator{
-		clock:     clock,
-		cfg:       cfg.withDefaults(),
-		cluster:   cluster,
-		cf:        cf,
-		executor:  ex,
-		ledger:    ledger,
-		queries:   make(map[string]*Query),
-		inflight:  make(map[string]*Query),
-		followers: make(map[*Query][]*Query),
+		clock:        clock,
+		cfg:          cfg.withDefaults(),
+		cluster:      cluster,
+		cf:           cf,
+		executor:     ex,
+		ledger:       ledger,
+		queries:      make(map[string]*Query),
+		inflight:     make(map[string]*Query),
+		followers:    make(map[*Query][]*Query),
+		cacheFill:    make(map[string]*Query),
+		cacheWaiters: make(map[string][]*Query),
 	}
 	cluster.SetOnReady(c.drain)
 	return c
@@ -318,6 +347,41 @@ func (c *Coordinator) Queries() []*Query {
 
 // dispatch routes a newly submitted query per its level's flags.
 func (c *Coordinator) dispatch(q *Query) {
+	// Result-cache fast path: before any tier routing, a hit finalizes
+	// immediately (no VM slot, no CF, zero bytes billed) and a miss
+	// elects exactly one fill query per key — concurrent identical
+	// submissions wait for it instead of executing redundantly. The
+	// lookup, waiter registration and fill election share c.mu with the
+	// fill's completion in finalize, so there is no window where a second
+	// execution can slip between a fill finishing and its Put landing.
+	if rc := c.cfg.ResultCache; rc != nil {
+		if pp, ok := q.Payload.(PlanPayload); ok && pp.ResultKey != "" && !c.cacheRouted(q) {
+			c.mu.Lock()
+			if res, ok := rc.Get(pp.ResultKey); ok {
+				c.cacheHits++
+				c.mu.Unlock()
+				q.mu.Lock()
+				q.cacheHit = true
+				q.mu.Unlock()
+				c.finalize(q, Outcome{Stats: res.Stats, Result: res})
+				return
+			}
+			if leader := c.cacheFill[pp.ResultKey]; leader != nil {
+				q.mu.Lock()
+				q.cacheKey, q.cacheLeader = pp.ResultKey, leader
+				q.mu.Unlock()
+				c.cacheWaiters[pp.ResultKey] = append(c.cacheWaiters[pp.ResultKey], q)
+				c.mu.Unlock()
+				return
+			}
+			c.cacheFill[pp.ResultKey] = q
+			q.mu.Lock()
+			q.cacheKey = pp.ResultKey
+			q.mu.Unlock()
+			c.mu.Unlock()
+		}
+	}
+
 	// Any level may run immediately when the VM cluster has capacity —
 	// "relaxed or best-of-effort queries may be executed immediately if
 	// the VM cluster is available" (Sec. III-B). Best-of-effort yields to
@@ -349,6 +413,15 @@ func (c *Coordinator) dispatch(q *Query) {
 		c.bestQ = append(c.bestQ, q)
 		c.mu.Unlock()
 	}
+}
+
+// cacheRouted reports whether the query already went through the cache
+// fast path — a waiter promoted to fill leader is re-dispatched and must
+// not re-enter it.
+func (c *Coordinator) cacheRouted(q *Query) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cacheKey != "" || q.cacheLeader != nil
 }
 
 // graceExpired moves a still-pending Relaxed query to CF execution.
@@ -576,6 +649,12 @@ func (c *Coordinator) finalize(q *Query, out Outcome) {
 	end := c.clock.Now()
 	q.mu.Lock()
 	q.ended = end
+	if q.started.IsZero() {
+		// The query never took a slot of its own — a result-cache hit, a
+		// waiter settled from a fill, or a cancel while still pending.
+		// Its whole life was pending; execution was instantaneous.
+		q.started = end
+	}
 	q.stats = out.Stats
 	q.result = out.Result
 	if out.Err != nil {
@@ -595,6 +674,7 @@ func (c *Coordinator) finalize(q *Query, out Outcome) {
 		RowsReturned: out.Stats.RowsReturned,
 		UsedCF:       q.usedCF,
 		Usage:        q.usage,
+		CacheHit:     q.cacheHit,
 	}
 	if out.Err != nil {
 		bill.Status = "failed"
@@ -619,16 +699,67 @@ func (c *Coordinator) finalize(q *Query, out Outcome) {
 	}
 	close(q.done)
 
-	// Settle coalesced followers with the shared outcome.
+	// Settle coalesced followers with the shared outcome, and — for a
+	// result-cache fill — publish the result and settle cache waiters.
+	// Put and waiter collection happen under c.mu, the same lock the
+	// dispatch fast path holds for its Get-or-register step, so a new
+	// submission either sees the cached result or becomes the next fill;
+	// it can never re-execute a query whose fill just completed.
 	c.mu.Lock()
 	fs := c.followers[q]
 	delete(c.followers, q)
 	if q.coalesceKey != "" && c.inflight[q.coalesceKey] == q {
 		delete(c.inflight, q.coalesceKey)
 	}
+	var waiters []*Query
+	q.mu.Lock()
+	ck := q.cacheKey
+	q.mu.Unlock()
+	if ck != "" && c.cacheFill[ck] == q {
+		if out.Err == nil && out.Result != nil && c.cfg.ResultCache != nil {
+			c.cfg.ResultCache.Put(ck, out.Result)
+		}
+		delete(c.cacheFill, ck)
+		waiters = c.cacheWaiters[ck]
+		delete(c.cacheWaiters, ck)
+		c.cacheHits += len(waiters)
+	}
 	c.mu.Unlock()
 	for _, f := range fs {
 		c.finalizeFollower(f, out)
+	}
+	if len(waiters) > 0 {
+		// Success settles waiters as cache hits (shared rows, zero bytes
+		// billed); failure propagates the error without charging them for
+		// bytes the fill scanned before dying.
+		hitOut := Outcome{Err: out.Err}
+		if out.Err == nil && out.Result != nil {
+			hit := cachedView(out.Result)
+			hitOut = Outcome{Stats: hit.Stats, Result: hit}
+		}
+		for _, w := range waiters {
+			if hitOut.Err == nil {
+				w.mu.Lock()
+				w.cacheHit = true
+				w.mu.Unlock()
+			}
+			c.finalize(w, hitOut)
+		}
+	}
+}
+
+// cachedView wraps a just-filled result the way a cache hit reads: rows
+// shared, stats reduced to the rows returned (a hit scans nothing, so it
+// bills nothing), the fill's stats preserved as Origin.
+func cachedView(res *engine.Result) *engine.Result {
+	origin := res.Stats
+	return &engine.Result{
+		Columns: res.Columns,
+		Types:   res.Types,
+		Rows:    res.Rows,
+		Stats:   engine.Stats{RowsReturned: int64(len(res.Rows))},
+		Cached:  true,
+		Origin:  &origin,
 	}
 }
 
@@ -704,7 +835,7 @@ func (c *Coordinator) Cancel(id string) error {
 	q.canceled = true
 	q.mu.Unlock()
 
-	var promote *Query
+	var promote, promoteFill *Query
 	if leader := q.coalescedWith; leader != nil {
 		// Drop the follower from its leader.
 		fs := c.followers[leader]
@@ -736,11 +867,41 @@ func (c *Coordinator) Cancel(id string) error {
 			}
 		}
 	}
+	// Result-cache bookkeeping: a canceled waiter leaves the waiter list;
+	// a canceled still-pending fill query hands the fill to its first
+	// waiter so the others are not stranded.
+	q.mu.Lock()
+	ck, cl := q.cacheKey, q.cacheLeader
+	q.mu.Unlock()
+	if ck != "" {
+		if cl != nil {
+			ws := c.cacheWaiters[ck]
+			for i, w := range ws {
+				if w == q {
+					c.cacheWaiters[ck] = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+		} else if c.cacheFill[ck] == q {
+			delete(c.cacheFill, ck)
+			if ws := c.cacheWaiters[ck]; len(ws) > 0 {
+				promoteFill = ws[0]
+				c.cacheWaiters[ck] = ws[1:]
+				c.cacheFill[ck] = promoteFill
+				promoteFill.mu.Lock()
+				promoteFill.cacheLeader = nil
+				promoteFill.mu.Unlock()
+			}
+		}
+	}
 	c.mu.Unlock()
 
 	c.finalize(q, Outcome{Err: fmt.Errorf("core: canceled by user")})
 	if promote != nil {
 		c.dispatch(promote)
+	}
+	if promoteFill != nil {
+		c.dispatch(promoteFill)
 	}
 	return nil
 }
@@ -755,6 +916,22 @@ func (c *Coordinator) CoalescedCount() int {
 
 // Coalesced reports whether the query shared another query's execution.
 func (q *Query) Coalesced() bool { return q.coalescedWith != nil }
+
+// CacheHit reports whether the query was answered from the result cache
+// (directly, or by waiting on an in-flight fill).
+func (q *Query) CacheHit() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cacheHit
+}
+
+// CacheHitCount reports how many queries were answered from the result
+// cache since startup.
+func (c *Coordinator) CacheHitCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cacheHits
+}
 
 // Metrics supplies the autoscaler's demand signal. Only Immediate and
 // Relaxed work is visible: pending Relaxed queries plus queries that had

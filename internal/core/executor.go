@@ -178,6 +178,10 @@ var _ CFJob = (*realCFJob)(nil)
 // asynchronously).
 type PlanPayload struct {
 	Node plan.Node
+	// ResultKey identifies the query in the coordinator's result cache
+	// (plan fingerprint + referenced-table generations, computed by
+	// internal/qcache). Empty means the query bypasses the result cache.
+	ResultKey string
 }
 
 // PlannedExecutor is a RealExecutor variant for pre-bound plans.

@@ -118,6 +118,12 @@ type Result struct {
 	Types   []col.Type
 	Rows    [][]col.Value
 	Stats   Stats
+	// Cached marks a result served from the result cache without touching
+	// the object store. Stats then reports only RowsReturned (no scan
+	// happened, so nothing was scanned or billed); Origin keeps the stats
+	// of the execution that originally filled the cache entry.
+	Cached bool
+	Origin *Stats
 }
 
 // resultFromBatch converts an output batch. String values are detached

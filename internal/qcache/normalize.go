@@ -1,0 +1,82 @@
+package qcache
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/sql"
+)
+
+// scratch is pooled per-call lexing and key-building state, so steady-state
+// cache lookups do not allocate token slices or builders per statement.
+type scratch struct {
+	toks []sql.Token
+	key  strings.Builder
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// buildKey lexes sqlText once and renders the plan-cache key into sc.key:
+//
+//	db \x00 rowLimit \x00 normalized-text \x00 bind-list
+//
+// The normalized text joins tokens with single spaces, upper-cases
+// keywords and lower-cases identifiers (the lexer already canonicalizes
+// both), strips comments, and replaces every literal with '?'. The
+// extracted literals form the bind list, length-prefixed so values cannot
+// collide across boundaries. Keying on (normalized text, bind list) means
+// formatting differences never split cache entries while different
+// literals never share one. The token stream stays in sc.toks for a
+// parse-on-miss via sql.ParseTokens, so the lex is paid exactly once.
+func buildKey(db, sqlText string, rowLimit int64, sc *scratch) (string, error) {
+	toks, err := sql.LexInto(sqlText, sc.toks)
+	sc.toks = toks
+	if err != nil {
+		return "", err
+	}
+	sb := &sc.key
+	sb.Reset()
+	sb.WriteString(db)
+	sb.WriteByte(0)
+	sb.WriteString(strconv.FormatInt(rowLimit, 10))
+	sb.WriteByte(0)
+	// A statement-terminating semicolon is cosmetic; drop it from the
+	// normalized text (the parser skips it too).
+	norm := toks
+	if n := len(norm); n >= 2 && norm[n-1].Kind == sql.TokEOF &&
+		norm[n-2].Kind == sql.TokSymbol && norm[n-2].Text == ";" {
+		norm = norm[:n-2]
+	}
+	for i, t := range norm {
+		switch t.Kind {
+		case sql.TokEOF:
+		case sql.TokNumber, sql.TokString:
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('?')
+		default:
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.Text)
+		}
+	}
+	sb.WriteByte(0)
+	for _, t := range toks {
+		switch t.Kind {
+		case sql.TokNumber, sql.TokString:
+			// Kind marker + length prefix: '1'/"1" and 1 vs 1,2 never collide.
+			if t.Kind == sql.TokString {
+				sb.WriteByte('s')
+			} else {
+				sb.WriteByte('n')
+			}
+			sb.WriteString(strconv.Itoa(len(t.Text)))
+			sb.WriteByte(':')
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String(), nil
+}

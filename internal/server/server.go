@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/nl2sql"
+	"repro/internal/qcache"
 	"repro/internal/sql"
 	"repro/internal/vclock"
 )
@@ -39,6 +40,11 @@ type Server struct {
 	// every submission goes straight to the coordinator (the pre-v1
 	// behavior, and what the embedded API uses by default).
 	Admission *admission.Controller
+	// QCache, when set, routes submissions through the repeat-traffic
+	// fast path: plans come from the normalized plan cache and the
+	// payload carries a result-cache key the coordinator answers from
+	// when possible. Nil plans every submission from scratch.
+	QCache *qcache.Cache
 }
 
 // Handler builds the route table: the versioned /v1 contract
@@ -58,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/report/queries", s.v1(s.handleReportQueriesV1))
 	mux.HandleFunc("GET /v1/pricebook", s.v1(s.handlePriceBook))
 	mux.HandleFunc("GET /v1/admission", s.v1(s.handleAdmissionSnapshot))
+	mux.HandleFunc("GET /v1/cache", s.v1(s.handleCacheSnapshot))
 
 	mux.HandleFunc("GET /api/health", s.legacy(s.handleHealth))
 	mux.HandleFunc("GET /api/schemas", s.legacy(s.handleSchemas))
@@ -81,18 +88,33 @@ type apiError struct {
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
 // httpError carries a status code, the v1 machine-readable error code,
-// and (for 429s) a retry hint.
+// (for 429s) a retry hint, and (for SQL errors) the byte offset of the
+// failing token in the submitted statement.
 type httpError struct {
 	code       int
 	apiCode    string
 	msg        string
 	retryAfter time.Duration
+	offset     *int
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func errBadRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errSQL wraps a front-end error as a 400, lifting the byte offset out of
+// sql.Error into the structured envelope so clients can point at the
+// failing token instead of parsing it from the message.
+func errSQL(err error) error {
+	he := &httpError{code: http.StatusBadRequest, apiCode: "invalid_sql", msg: fmt.Sprintf("SQL error: %v", err)}
+	var se *sql.Error
+	if errors.As(err, &se) {
+		off := se.Pos
+		he.offset = &off
+	}
+	return he
 }
 
 func errNotFound(format string, args ...any) error {
@@ -307,9 +329,24 @@ func (s *Server) parseSubmit(database, sqlText, levelStr string, rowLimit int, d
 		return nil, errBadRequest("deadline_ms must be >= 0")
 	}
 	p.deadline = time.Duration(deadlineMs) * time.Millisecond
+	if s.QCache != nil {
+		// Repeat-traffic fast path: the cache normalizes, parses on miss
+		// only, and returns the plan plus the result-cache key the
+		// coordinator answers from. The row limit is part of the cache
+		// key, so the same SQL at different limits never shares a plan.
+		node, resultKey, err := s.QCache.Plan(database, sqlText, int64(rowLimit))
+		if err != nil {
+			return nil, errSQL(err)
+		}
+		p.payload = core.PlanPayload{Node: node, ResultKey: resultKey}
+		// The result key doubles as the coalesce key: normalization makes
+		// two formattings of one query the same in-flight execution.
+		p.key = resultKey
+		return p, nil
+	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
-		return nil, errBadRequest("SQL error: %v", err)
+		return nil, errSQL(err)
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
@@ -443,6 +480,7 @@ type QueryInfo struct {
 	SQL        string `json:"sql"`
 	UsedCF     bool   `json:"usedCF"`
 	Coalesced  bool   `json:"coalesced,omitempty"`
+	CacheHit   bool   `json:"cacheHit,omitempty"`
 	Error      string `json:"error,omitempty"`
 	SubmitTime string `json:"submitTime"`
 	StartTime  string `json:"startTime,omitempty"`
@@ -460,6 +498,7 @@ func (s *Server) queryInfo(q *core.Query) QueryInfo {
 		SQL:        q.SQL,
 		UsedCF:     q.UsedCF(),
 		Coalesced:  q.Coalesced(),
+		CacheHit:   q.CacheHit(),
 		SubmitTime: sub.UTC().Format(time.RFC3339Nano),
 	}
 	if err := q.Err(); err != nil {
@@ -557,6 +596,21 @@ type ResultPayload struct {
 	CacheMisses         int64   `json:"cacheMisses"`
 	ListPrice           float64 `json:"listPrice"`
 	ResourceCost        float64 `json:"resourceCost"`
+	// Cached marks a result served from the result cache: no scan ran, so
+	// BytesScanned (and the bill) are zero. Origin reports the stats of
+	// the execution that originally filled the cache entry.
+	Cached bool                `json:"cached,omitempty"`
+	Origin *OriginStatsPayload `json:"origin,omitempty"`
+}
+
+// OriginStatsPayload is the original execution's work, attached to cached
+// results so clients still see what the answer cost to produce once.
+type OriginStatsPayload struct {
+	BytesScanned        int64 `json:"bytesScanned"`
+	RowsScanned         int64 `json:"rowsScanned"`
+	RowsReturned        int64 `json:"rowsReturned"`
+	ColumnChunksSkipped int64 `json:"columnChunksSkipped"`
+	RowsFiltered        int64 `json:"rowsFiltered"`
 }
 
 func (s *Server) handleQueryResult(w http.ResponseWriter, r *http.Request) error {
@@ -602,6 +656,16 @@ func (s *Server) resultPayload(q *core.Query) ResultPayload {
 		payload.RowsFiltered = res.Stats.RowsFiltered
 		payload.CacheHits = res.Stats.CacheHits
 		payload.CacheMisses = res.Stats.CacheMisses
+		payload.Cached = res.Cached
+		if res.Origin != nil {
+			payload.Origin = &OriginStatsPayload{
+				BytesScanned:        res.Origin.BytesScanned,
+				RowsScanned:         res.Origin.RowsScanned,
+				RowsReturned:        res.Origin.RowsReturned,
+				ColumnChunksSkipped: res.Origin.ColumnChunksSkipped,
+				RowsFiltered:        res.Origin.RowsFiltered,
+			}
+		}
 	}
 	for _, b := range s.Coord.Ledger().All() {
 		if b.QueryID == q.ID {
@@ -707,6 +771,7 @@ type BillPayload struct {
 	ListPrice    float64 `json:"listPrice"`
 	ResourceCost float64 `json:"resourceCost"`
 	UsedCF       bool    `json:"usedCF"`
+	CacheHit     bool    `json:"cacheHit,omitempty"`
 }
 
 func (s *Server) handleReportQueries(w http.ResponseWriter, r *http.Request) error {
@@ -739,6 +804,7 @@ func (s *Server) handleReportQueries(w http.ResponseWriter, r *http.Request) err
 			ListPrice:    b.ListPrice,
 			ResourceCost: b.ResourceCost,
 			UsedCF:       b.UsedCF,
+			CacheHit:     b.CacheHit,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

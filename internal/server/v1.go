@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/qcache"
 )
 
 // errorBody is the v1 error envelope's payload. Code is stable and
@@ -28,6 +29,10 @@ type errorBody struct {
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 	ShedReason   string `json:"shed_reason,omitempty"`
 	QueryID      string `json:"query_id,omitempty"`
+	// Offset is the byte offset of the failing token in the submitted
+	// SQL, present on invalid_sql errors (a pointer so offset 0 — an
+	// error at the very first token — still serializes).
+	Offset *int `json:"offset,omitempty"`
 }
 
 // errorEnvelope is the uniform v1 error shape.
@@ -82,6 +87,7 @@ func writeV1Error(w http.ResponseWriter, err error) {
 			w.Header().Set("Retry-After", retryAfterSeconds(he.retryAfter))
 			body.RetryAfterMs = he.retryAfter.Milliseconds()
 		}
+		body.Offset = he.offset
 	}
 	writeJSON(w, status, errorEnvelope{Error: body})
 }
@@ -381,6 +387,7 @@ func (s *Server) handleReportQueriesV1(w http.ResponseWriter, r *http.Request) e
 			ListPrice:    b.ListPrice,
 			ResourceCost: b.ResourceCost,
 			UsedCF:       b.UsedCF,
+			CacheHit:     b.CacheHit,
 		})
 	}
 	writeJSON(w, http.StatusOK, page)
@@ -399,5 +406,21 @@ func (s *Server) handleAdmissionSnapshot(w http.ResponseWriter, _ *http.Request)
 		return nil
 	}
 	writeJSON(w, http.StatusOK, AdmissionPayload{Enabled: true, Snapshot: s.Admission.Snapshot()})
+	return nil
+}
+
+// CachePayload is the /v1/cache observability block: plan-cache and
+// result-cache counters, entry counts and the result cache's byte budget.
+type CachePayload struct {
+	Enabled bool `json:"enabled"`
+	qcache.Snapshot
+}
+
+func (s *Server) handleCacheSnapshot(w http.ResponseWriter, _ *http.Request) error {
+	if s.QCache == nil {
+		writeJSON(w, http.StatusOK, CachePayload{Enabled: false})
+		return nil
+	}
+	writeJSON(w, http.StatusOK, CachePayload{Enabled: true, Snapshot: s.QCache.Snapshot()})
 	return nil
 }

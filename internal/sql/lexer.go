@@ -7,8 +7,16 @@ import (
 // Lex tokenizes input. It returns the token stream or the first lexical
 // error (unterminated string/comment, stray character).
 func Lex(input string) ([]Token, error) {
+	return LexInto(input, nil)
+}
+
+// LexInto tokenizes input, appending into buf (which may be nil or a
+// recycled slice with its contents discarded). Callers that lex in a hot
+// loop keep a pooled buffer and pass it here so steady-state lexing does
+// not allocate per statement.
+func LexInto(input string, buf []Token) ([]Token, error) {
 	l := &lexer{src: input}
-	var toks []Token
+	toks := buf[:0]
 	for {
 		tok, err := l.next()
 		if err != nil {

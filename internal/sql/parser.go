@@ -14,6 +14,14 @@ func Parse(input string) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ParseTokens(toks)
+}
+
+// ParseTokens parses a single statement from an already-lexed token
+// stream (as produced by Lex/LexInto, i.e. ending in TokEOF). It lets
+// callers that lex once for normalization reuse the same tokens for the
+// parse instead of lexing twice.
+func ParseTokens(toks []Token) (Statement, error) {
 	p := &parser{toks: toks}
 	stmt, err := p.parseStatement()
 	if err != nil {

@@ -17,8 +17,8 @@ import (
 // selection for predicates, the same values and null masks for value
 // programs — over NULL-heavy data of every type. Expressions are generated
 // randomly from the binder's well-typed shapes; the generator deliberately
-// also produces nodes outside the kernel set (IN, non-prefix LIKE,
-// functions) to exercise the compile-reject path.
+// also produces nodes outside the kernel set (non-prefix LIKE patterns) to
+// exercise the compile-reject path.
 
 type exprGen struct {
 	r      *rand.Rand
@@ -106,9 +106,26 @@ func (g *exprGen) leafPred(depth int) plan.BoundExpr {
 		return &plan.BBinary{Op: "LIKE",
 			L: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
 			R: &plan.BLit{Val: col.Str(pats[g.r.Intn(len(pats))])}, Ty: col.BOOL}
-	case 6: // IN: always outside the kernel set
-		return &plan.BIn{X: &plan.BCol{Ordinal: 0, Ty: col.INT64, Name: "i"},
-			List: []col.Value{col.Int(1), col.Int(2)}}
+	case 6: // [NOT] IN over int/string lists, with NULL-bearing variants
+		not := g.r.Intn(2) == 0
+		if g.r.Intn(2) == 0 {
+			list := []col.Value{col.Int(int64(g.r.Intn(13) - 6)), col.Int(int64(g.r.Intn(13) - 6))}
+			switch g.r.Intn(3) {
+			case 0:
+				list = append(list, col.NullValue(col.INT64))
+			case 1:
+				// Cross-numeric item: matches via float widening.
+				list = append(list, col.Float(float64(g.r.Intn(25)-12)/4))
+			}
+			return &plan.BIn{X: g.intExpr(depth), List: list, Not: not}
+		}
+		words := []string{"alpha", "beta", "gamma", "al", ""}
+		list := []col.Value{col.Str(words[g.r.Intn(len(words))]), col.Str(words[g.r.Intn(len(words))])}
+		if g.r.Intn(3) == 0 {
+			list = append(list, col.NullValue(col.STRING))
+		}
+		return &plan.BIn{X: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
+			List: list, Not: not}
 	default: // date compare
 		return &plan.BBinary{Op: op,
 			L: &plan.BCol{Ordinal: 5, Ty: col.DATE, Name: "d"},

@@ -115,6 +115,9 @@ func (c *compiler) compilePred(e plan.BoundExpr) (pred, bool) {
 		}
 		return &isNullPred{x: v, not: x.Not, slot: c.selSlot()}, true
 
+	case *plan.BIn:
+		return c.compileIn(x)
+
 	case *plan.BCol:
 		v, ok := c.compileVal(x)
 		if !ok || v.typ() != col.BOOL {
@@ -202,6 +205,71 @@ func (c *compiler) cmpScalarNode(op cmpOp, v valExpr, k col.Value) (pred, bool) 
 		return &cmpScalar{op: op, x: v, k: k, slot: c.selSlot()}, true
 	}
 	return nil, false
+}
+
+// compileIn builds the IN-list membership kernel. The binder guarantees a
+// literal list with comparison-compatible item types; compile specializes
+// the list by the input expression's type — same-type items become a hash
+// set (or native compare), cross-numeric items widen to float exactly as
+// the interpreter's per-row col.Value.Equal does, and items Equal can
+// never match (cross-type, non-numeric) are dropped. NOT IN is the same
+// kernel behind a notPred swap: under three-valued logic the TRUE and
+// FALSE sets just trade places while NULL stays NULL.
+func (c *compiler) compileIn(x *plan.BIn) (pred, bool) {
+	v, ok := c.compileVal(x.X)
+	if !ok {
+		return nil, false
+	}
+	p := &inPred{x: v, slot: c.selSlot()}
+	t := v.typ()
+	for _, lv := range x.List {
+		if lv.Null {
+			p.hasNull = true
+			continue
+		}
+		switch {
+		case lv.Type == t:
+			switch t {
+			case col.INT64, col.DATE, col.TIMESTAMP:
+				if p.ints == nil {
+					p.ints = make(map[int64]struct{}, len(x.List))
+				}
+				p.ints[lv.I] = struct{}{}
+			case col.FLOAT64:
+				// Slice, not map: float membership must follow ==, and a
+				// linear scan over a literal list sidesteps NaN/±0 hashing
+				// questions entirely.
+				p.floats = append(p.floats, lv.F)
+			case col.STRING:
+				if p.strs == nil {
+					p.strs = make(map[string]struct{}, len(x.List))
+				}
+				p.strs[lv.S] = struct{}{}
+			case col.BOOL:
+				if lv.B {
+					p.hasTrue = true
+				} else {
+					p.hasFalse = true
+				}
+			default:
+				return nil, false
+			}
+		case lv.Type.Numeric() && t.Numeric():
+			// Cross-numeric item: Equal compares AsFloat() ==.
+			p.floats = append(p.floats, lv.AsFloat())
+		default:
+			// Equal is constantly false for this item; drop it.
+		}
+	}
+	switch t {
+	case col.INT64, col.DATE, col.TIMESTAMP, col.FLOAT64, col.STRING, col.BOOL:
+	default:
+		return nil, false
+	}
+	if x.Not {
+		return &notPred{x: p}, true
+	}
+	return p, true
 }
 
 // compileLike handles LIKE patterns that reduce to equality (no wildcards)
@@ -757,6 +825,101 @@ func (p *constPred) selFalse(ctx *evalCtx, sel []int) []int {
 		return sel
 	}
 	return sel[:0]
+}
+
+// inPred is x IN (literal list), specialized by input type at compile
+// time. The three-valued truth table matches the interpreter's evalIn:
+// NULL input is NULL; a match is TRUE; a non-match is FALSE unless the
+// list carries a NULL literal, in which case it is unknown (NULL).
+type inPred struct {
+	x                 valExpr
+	hasNull           bool // list contains a NULL literal: non-matches are unknown
+	ints              map[int64]struct{}
+	floats            []float64
+	strs              map[string]struct{}
+	hasTrue, hasFalse bool // BOOL-input membership
+	slot              int
+}
+
+func (p *inPred) selTrue(ctx *evalCtx, sel []int) []int  { return p.run(ctx, sel, true) }
+func (p *inPred) selFalse(ctx *evalCtx, sel []int) []int { return p.run(ctx, sel, false) }
+
+func (p *inPred) matchInt(v int64) bool {
+	if p.ints != nil {
+		if _, ok := p.ints[v]; ok {
+			return true
+		}
+	}
+	if len(p.floats) > 0 {
+		f := float64(v)
+		for _, k := range p.floats {
+			if f == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *inPred) matchFloat(v float64) bool {
+	for _, k := range p.floats {
+		if v == k { // native ==: NaN never matches, mirroring Value.Equal
+			return true
+		}
+	}
+	return false
+}
+
+func (p *inPred) run(ctx *evalCtx, sel []int, want bool) []int {
+	if !want && p.hasNull {
+		// A NULL-bearing list has no FALSE rows: matches are TRUE and
+		// non-matches are unknown.
+		return ctx.s.putSel(p.slot, ctx.s.selBuf(p.slot))
+	}
+	v := p.x.eval(ctx)
+	out := ctx.s.selBuf(p.slot)
+	valid := v.Valid
+	switch v.Type {
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			if p.matchInt(v.Ints[i]) == want {
+				out = append(out, i)
+			}
+		}
+	case col.FLOAT64:
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			if p.matchFloat(v.Floats[i]) == want {
+				out = append(out, i)
+			}
+		}
+	case col.STRING:
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			_, m := p.strs[v.Strs[i]]
+			if m == want {
+				out = append(out, i)
+			}
+		}
+	case col.BOOL:
+		for _, i := range sel {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			m := (v.Bools[i] && p.hasTrue) || (!v.Bools[i] && p.hasFalse)
+			if m == want {
+				out = append(out, i)
+			}
+		}
+	}
+	return ctx.s.putSel(p.slot, out)
 }
 
 // likePred is string LIKE with an equality or prefix pattern.

@@ -11,9 +11,10 @@
 // has to be total. Supported kernels: comparisons (=, <>, <, <=, >, >=)
 // over int64/float64/string/bool/date/timestamp columns, arithmetic
 // (+ - * / %) with scalar specializations, three-valued AND/OR/NOT,
-// IS [NOT] NULL, and LIKE patterns that reduce to an equality or prefix
-// match. Everything is null-mask aware and produces results bit-identical
-// to the interpreter.
+// IS [NOT] NULL, [NOT] IN over literal lists (hash-set membership with the
+// interpreter's NULL-bearing-list semantics), and LIKE patterns that
+// reduce to an equality or prefix match. Everything is null-mask aware and
+// produces results bit-identical to the interpreter.
 //
 // Predicates evaluate under SQL three-valued logic by computing *two*
 // selection sets per node — the rows where the node is TRUE and the rows

@@ -167,9 +167,40 @@ func TestBoolPredAndConst(t *testing.T) {
 	wantSel(t, runProg(t, lit(col.Value{Type: col.BOOL, Null: true}), b), []int{})
 }
 
+func TestInKernels(t *testing.T) {
+	// x: [5, 1, NULL, 3, 9]
+	b := col.NewBatch(intsVec([]int64{5, 1, 0, 3, 9}, 2))
+	in := func(not bool, vals ...col.Value) *plan.BIn {
+		return &plan.BIn{X: icol(0), List: vals, Not: not}
+	}
+	wantSel(t, runProg(t, in(false, col.Int(1), col.Int(3)), b), []int{1, 3})
+	wantSel(t, runProg(t, in(true, col.Int(1), col.Int(3)), b), []int{0, 4})
+	// Cross-numeric items widen to float, like Value.Equal.
+	wantSel(t, runProg(t, in(false, col.Float(5.0), col.Float(3.5)), b), []int{0})
+	// A NULL in the list turns non-matches into NULL: matches still select,
+	// but NOT IN selects nothing (no row is definitely absent).
+	withNull := []col.Value{col.Int(1), col.NullValue(col.INT64)}
+	wantSel(t, runProg(t, in(false, withNull...), b), []int{1})
+	wantSel(t, runProg(t, in(true, withNull...), b), []int{})
+
+	// String membership; NULL row 1 never selects on either side.
+	sb := col.NewBatch(strsVec([]string{"alpha", "beta", "al"}, 1))
+	sin := &plan.BIn{X: scol(0), List: []col.Value{col.Str("al"), col.Str("alpha")}}
+	wantSel(t, runProg(t, sin, sb), []int{0, 2})
+	wantSel(t, runProg(t, &plan.BIn{X: scol(0), List: sin.List, Not: true}, sb), []int{})
+
+	// Float input: NaN matches nothing, even a NaN list item.
+	f := col.NewVector(col.FLOAT64, 3)
+	copy(f.Floats, []float64{1.5, math.NaN(), 2.5})
+	fb := col.NewBatch(f)
+	fc := &plan.BCol{Ordinal: 0, Ty: col.FLOAT64, Name: "f"}
+	fin := &plan.BIn{X: fc, List: []col.Value{col.Float(1.5), col.Float(math.NaN())}}
+	wantSel(t, runProg(t, fin, fb), []int{0})
+	wantSel(t, runProg(t, &plan.BIn{X: fc, List: fin.List, Not: true}, fb), []int{1, 2})
+}
+
 func TestCompileRejectsUnsupported(t *testing.T) {
 	cases := []plan.BoundExpr{
-		&plan.BIn{X: icol(0), List: []col.Value{col.Int(1)}},
 		&plan.BFunc{Name: "ABS", Args: []plan.BoundExpr{icol(0)}, Ty: col.INT64},
 		&plan.BCase{Whens: []plan.BWhen{{Cond: bcol(0), Result: lit(col.Int(1))}}, Ty: col.INT64},
 		cmp("=", scol(0), lit(col.Int(1))), // string vs int: interpreter errors, kernels refuse

@@ -34,6 +34,7 @@ import (
 	"repro/internal/nl2sql"
 	"repro/internal/objstore"
 	"repro/internal/objstore/cache"
+	"repro/internal/qcache"
 	"repro/internal/rover"
 	"repro/internal/server"
 	"repro/internal/sql"
@@ -127,6 +128,21 @@ type Options struct {
 	// Coalesce enables batch query optimization: identical in-flight
 	// queries share one execution.
 	Coalesce bool
+	// PlanCache enables the normalized plan cache (internal/qcache level
+	// 1): SELECT submissions are normalized (whitespace/case/keyword
+	// canonicalization, literals parameterized) and repeats reuse the
+	// cached bound plan, skipping parse+bind+plan. Plans are re-validated
+	// against catalog table generations on every hit, so DDL/INSERT
+	// invalidates immediately. Default off to preserve the paper's
+	// calibration.
+	PlanCache bool
+	// ResultCacheMB enables the result cache (internal/qcache level 2): a
+	// byte-budgeted LRU of materialized results keyed on plan fingerprint
+	// + referenced-table generations, consulted by the coordinator before
+	// any execution tier with single-flight fills. A hit returns stored
+	// rows without touching the object store and bills zero bytes
+	// scanned. 0 disables (the default).
+	ResultCacheMB int
 	// Admission enables service-level admission control in front of the
 	// Query Server: per-tier bounded queues, deadline-aware (EDF)
 	// dispatch with cross-tier priority, per-tier concurrency slots and
@@ -174,6 +190,7 @@ type DB struct {
 	adm     *admission.Controller
 	admScal *autoscale.Manager
 	xlator  nl2sql.Translator
+	qcache  *qcache.Cache // nil unless PlanCache or ResultCacheMB enabled
 }
 
 // Open builds the full system.
@@ -229,6 +246,24 @@ func Open(opts Options) (*DB, error) {
 	if opts.Prices != nil {
 		coreCfg.Prices = *opts.Prices
 	}
+	var qc *qcache.Cache
+	if opts.PlanCache || opts.ResultCacheMB > 0 {
+		planEntries := 0
+		if opts.PlanCache {
+			planEntries = 256
+		}
+		qc = qcache.New(qcache.Config{
+			Catalog:     cat,
+			Planner:     eng.PlanQuery,
+			PlanEntries: planEntries,
+			ResultBytes: int64(opts.ResultCacheMB) << 20,
+		})
+		// Assign through the concrete check: a typed-nil *ResultCache in
+		// the interface would read as "cache on" to the coordinator.
+		if rc := qc.Results(); rc != nil {
+			coreCfg.ResultCache = rc
+		}
+	}
 	var cfInvoker engine.WorkerInvoker
 	switch opts.CFExecution {
 	case "", "inprocess":
@@ -254,7 +289,7 @@ func Open(opts Options) (*DB, error) {
 
 	db := &DB{
 		opts: opts, clock: clk, store: store, cache: rcache, catalog: cat, engine: eng,
-		cluster: cluster, cf: cf, coord: coord, ledger: ledger, xlator: xlator,
+		cluster: cluster, cf: cf, coord: coord, ledger: ledger, xlator: xlator, qcache: qc,
 	}
 	if opts.AutoscaleInterval > 0 {
 		policy := &autoscale.TargetUtilization{
@@ -307,7 +342,20 @@ func (db *DB) Execute(ctx context.Context, database, sqlText string) (*Result, e
 }
 
 // Submit schedules a SELECT at a service level and returns its handle.
+// With PlanCache/ResultCacheMB enabled, planning goes through the
+// repeat-traffic cache: repeats of a normalized statement skip
+// parse+bind+plan, and the coordinator may answer from the result cache
+// without executing at all.
 func (db *DB) Submit(database, sqlText string, level Level) (*Query, error) {
+	if db.qcache != nil {
+		node, resultKey, err := db.qcache.Plan(database, sqlText, 0)
+		if err != nil {
+			return nil, err
+		}
+		// The normalized result key doubles as the coalesce key: two
+		// formattings of one query are the same in-flight execution.
+		return db.coord.SubmitKeyed(sqlText, level, core.PlanPayload{Node: node, ResultKey: resultKey}, resultKey), nil
+	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -388,6 +436,10 @@ func (db *DB) CFService() *cfsim.Service { return db.cf }
 // Options.Admission enabled it).
 func (db *DB) Admission() *admission.Controller { return db.adm }
 
+// QueryCache exposes the repeat-traffic cache (nil unless
+// Options.PlanCache or Options.ResultCacheMB enabled it).
+func (db *DB) QueryCache() *qcache.Cache { return db.qcache }
+
 // Handler returns the Query Server REST handler (mount it on any mux).
 func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 	s := &server.Server{
@@ -398,6 +450,7 @@ func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 		DefaultDB:  defaultDatabase,
 		Token:      token,
 		Admission:  db.adm,
+		QCache:     db.qcache,
 	}
 	return s.Handler()
 }
