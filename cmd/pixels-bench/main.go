@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pixels-bench                   # run everything
-//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a10)
+//	pixels-bench -exp e2           # run one experiment (e1..e9, a1..a11)
 //	pixels-bench -parallelism 8    # VM-side intra-query width for real-SQL experiments
 //	pixels-bench -cache-mb 64      # object-store read cache for real-SQL experiments
 package main
@@ -30,12 +30,13 @@ func main() {
 		bench.WorkerEnv = []string{"PIXELS_WORKER_PROCESS=1"}
 	}
 
-	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a10)")
+	var exp = flag.String("exp", "", "run a single experiment (e1..e9, a1..a11)")
 	var parallelism = flag.Int("parallelism", 0, "VM-side intra-query workers for real-SQL experiments, incl. merge-side joins/top-N (0 = one per CPU, 1 = serial)")
 	var cacheMB = flag.Int("cache-mb", 0, "object-store read cache for real-SQL experiments, in MiB (0 = off)")
 	var readAhead = flag.Int("readahead", 0, "cache read-ahead depth in blocks (0 = default, negative = off)")
 	var scanPrefetch = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = engine default, negative = synchronous)")
 	var scanBudget = flag.Int("scan-budget", 0, "process-wide cap on concurrent pipeline decode workers (0 = one per CPU, negative = unlimited)")
+	var parBudget = flag.Int("par-budget", 0, "process-wide cap on extra intra-query parallel workers across concurrent queries (0 = one per CPU, negative = unlimited)")
 	var vecOn = flag.Bool("vec", true, "vectorized expression kernels for real-SQL experiments; false = interpreted evaluation")
 	var planCache = flag.Bool("plan-cache", false, "normalized plan cache for repeat-traffic experiments")
 	var resultCacheMB = flag.Int("result-cache-mb", 0, "result cache budget in MiB for repeat-traffic experiments (0 = experiment default)")
@@ -45,6 +46,7 @@ func main() {
 	bench.ReadAhead = *readAhead
 	bench.ScanPrefetch = *scanPrefetch
 	bench.ScanBudget = *scanBudget
+	bench.ParallelBudget = *parBudget
 	bench.Interpreted = !*vecOn
 	bench.PlanCache = *planCache
 	bench.ResultCacheMB = *resultCacheMB

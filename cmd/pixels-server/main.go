@@ -93,6 +93,7 @@ func main() {
 		readAh   = flag.Int("readahead", 0, "read-ahead depth in blocks (0 = default, negative = off)")
 		scanPf   = flag.Int("scan-prefetch", 0, "row groups a draining scan decodes ahead (0 = default, negative = synchronous)")
 		scanBud  = flag.Int("scan-budget", 0, "process-wide cap on concurrent pipeline decode workers (0 = one per CPU, negative = unlimited)")
+		parBud   = flag.Int("par-budget", 0, "process-wide cap on extra intra-query parallel workers across concurrent queries (0 = one per CPU, negative = unlimited)")
 		vecOn    = flag.Bool("vec", true, "vectorized expression kernels (selection-vector filters + selection-aware decode); false = interpreted evaluation")
 		cfExec   = flag.String("cf-exec", "inprocess", "CF worker execution: inprocess (engine goroutines) or process (one pixels-worker OS process per task, store-based shuffle; requires -data)")
 		cfWorker = flag.String("cf-worker", "pixels-worker", "worker command for -cf-exec=process")
@@ -119,6 +120,7 @@ func main() {
 		CacheReadAhead:    *readAh,
 		ScanPrefetch:      *scanPf,
 		ScanBudget:        *scanBud,
+		ParallelBudget:    *parBud,
 		NoVectorize:       !*vecOn,
 		CFExecution:       *cfExec,
 		CFWorkerCmd:       []string{*cfWorker},

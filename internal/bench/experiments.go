@@ -43,7 +43,7 @@ func Registry() []Experiment {
 		{"A4", A4StorageAblation}, {"A5", A5IntraQueryParallel},
 		{"A6", A6MergeSideParallel}, {"A7", A7VectorizedEval},
 		{"A8", A8DistributedCF}, {"A9", A9ServingLoad},
-		{"A10", A10RepeatTraffic},
+		{"A10", A10RepeatTraffic}, {"A11", A11VectorizedV2},
 	}
 }
 

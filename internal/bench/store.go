@@ -26,6 +26,12 @@ var ScanPrefetch int
 // cmd/pixels-bench sets it from the -scan-budget flag.
 var ScanBudget int
 
+// ParallelBudget caps the process-wide extra intra-query parallel workers
+// across concurrent queries (0 = keep the process default of one token per
+// CPU, negative = unlimited). cmd/pixels-bench sets it from the
+// -par-budget flag.
+var ParallelBudget int
+
 // PlanCache enables the normalized plan cache for experiments that route
 // repeat traffic (A10). cmd/pixels-bench sets it from the -plan-cache
 // flag; A10 also toggles it internally for its on/off comparison.
@@ -63,6 +69,9 @@ func newRealEngine() *engine.Engine {
 	e.SetVectorized(!Interpreted)
 	if ScanBudget != 0 {
 		engine.SetPrefetchBudget(ScanBudget)
+	}
+	if ParallelBudget != 0 {
+		engine.SetParallelBudget(ParallelBudget)
 	}
 	return e
 }

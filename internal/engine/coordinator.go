@@ -340,8 +340,9 @@ func (e *Engine) mergeDistributed(ctx context.Context, split *CFSplit, interms [
 		}
 	}
 	op, err := exec.BuildWith(mergePlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, nil),
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
 	})
 	if err != nil {
 		return nil, err

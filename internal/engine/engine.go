@@ -27,6 +27,8 @@ type Engine struct {
 
 	prefetch int  // row groups a draining scan decodes ahead; 0 = synchronous
 	interp   bool // evaluate expressions with the interpreter only (no vec kernels)
+	dictOff  bool // disable dictionary-aware predicate evaluation (ablation knob)
+	fusedOff bool // disable fused aggregation kernels (ablation knob)
 
 	mu      sync.Mutex
 	fileSeq map[string]int // per-table file sequence for unique keys
@@ -256,8 +258,9 @@ func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	defer cancel()
 	stats := &Stats{}
 	op, err := exec.BuildWith(node, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, nil, pipelineEligible(node)),
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, nil, pipelineEligible(node)),
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, nil, pipelineEligible(node)),
 	})
 	if err != nil {
 		return nil, err

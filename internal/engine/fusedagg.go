@@ -1,0 +1,523 @@
+package engine
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/pixfile"
+	"repro/internal/plan"
+	"repro/internal/vec"
+)
+
+// fusedAggScan builds the hook exec.BuildWith consults when a group-free
+// AggNode sits directly on a ScanNode: instead of scan → batches →
+// HashAggOp, a single fused operator folds rows into typed accumulators as
+// chunks decode. On the synchronous path nothing is materialized at all —
+// payload chunks decode into reusable scratch and fold at the surviving
+// positions, so no survivor gather, no batch assembly, no per-row Value
+// boxing and no group table. Rows, stats and billed bytes are identical to
+// the unfused tree by construction; SetVectorized(false) or the fusedOff
+// ablation knob disable it.
+func (e *Engine) fusedAggScan(ctx context.Context, stats *Stats, overrides map[*plan.ScanNode]scanOverride, pipelined map[*plan.ScanNode]bool) func(*plan.AggNode, *plan.ScanNode) (exec.Operator, bool) {
+	return func(agg *plan.AggNode, scan *plan.ScanNode) (exec.Operator, bool) {
+		if e.interp || e.fusedOff || !fusableAgg(agg, scan) {
+			return nil, false
+		}
+		files := scan.Table.Files
+		interm := false
+		if ov, ok := overrides[scan]; ok {
+			if ov.iter != nil {
+				// Batches come from an in-process stream, not files — there
+				// is no decode to fuse into.
+				return nil, false
+			}
+			files = ov.files
+			interm = ov.interm
+		}
+		sc := e.newScanContext(ctx, scan, files, stats, interm)
+		depth := 0
+		if !interm && pipelined[scan] && e.prefetch > 0 {
+			depth = e.prefetch
+		}
+		return &fusedAggOp{node: agg, sc: sc, depth: depth}, true
+	}
+}
+
+// fusableAgg reports whether every aggregate of a group-free AggNode is a
+// plain COUNT/SUM/MIN/MAX/AVG over a bare scan column (or COUNT(*)) —
+// the shapes the typed fold kernels cover. Anything else (groups,
+// DISTINCT, expression arguments, MIN/MAX over BOOL) falls back to
+// HashAggOp.
+func fusableAgg(agg *plan.AggNode, scan *plan.ScanNode) bool {
+	if len(agg.GroupBy) != 0 {
+		return false
+	}
+	for i := range agg.Aggs {
+		s := &agg.Aggs[i]
+		if s.Distinct {
+			return false
+		}
+		switch s.Func {
+		case plan.AggCountStar:
+			continue
+		case plan.AggCount, plan.AggSum, plan.AggAvg, plan.AggMin, plan.AggMax:
+		default:
+			return false
+		}
+		c, ok := s.Arg.(*plan.BCol)
+		if !ok || c.Ordinal < 0 || c.Ordinal >= len(scan.Cols) {
+			return false
+		}
+		switch s.Func {
+		case plan.AggSum, plan.AggAvg:
+			if c.Ty != col.INT64 && c.Ty != col.FLOAT64 {
+				return false
+			}
+		case plan.AggMin, plan.AggMax:
+			switch c.Ty {
+			case col.INT64, col.FLOAT64, col.DATE, col.TIMESTAMP, col.STRING:
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fusedAggOp is the fused scan+aggregate operator. Open drains the scan —
+// folding during decode on the synchronous path, or folding the prefetch
+// pipeline's already-filtered batches when the scan qualifies for
+// overlapped decode — and Next emits the single result row.
+type fusedAggOp struct {
+	node  *plan.AggNode
+	sc    *scanContext
+	depth int // >0: fold over the prefetch pipeline's batches
+
+	out  *col.Batch
+	done bool
+}
+
+// Schema implements exec.Operator.
+func (o *fusedAggOp) Schema() *col.Schema { return o.node.Schema() }
+
+// Open implements exec.Operator: it runs the whole fused scan.
+func (o *fusedAggOp) Open() error {
+	fold := newAggFold(o.node)
+	if o.depth > 0 {
+		// Overlapped I/O and decode: the scan pipeline delivers compacted
+		// batches in row-group order to this goroutine, which folds them
+		// columnar — same fold order as the synchronous path, so float sums
+		// are bit-identical, and still no HashAggOp.
+		iter := o.sc.pipelined(o.depth)
+		for {
+			b, err := iter()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			fold.fold(b.Vecs, nil, fold.identity(b.N))
+		}
+	} else {
+		dec := newFoldDecoder(o.sc)
+		for _, meta := range o.sc.files {
+			if err := o.sc.ctx.Err(); err != nil {
+				return err
+			}
+			f, err := o.sc.openPixfile(meta, o.sc.stats)
+			if err != nil {
+				return err
+			}
+			for g := 0; g < f.NumRowGroups(); g++ {
+				if len(o.sc.node.ZonePreds) > 0 && f.PruneRowGroup(g, o.sc.node.ZonePreds) {
+					o.sc.stats.RowGroupsPruned++
+					continue
+				}
+				if err := dec.decodeFold(f, meta.Key, g, o.sc.stats, fold); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	o.out = fold.result(o.node)
+	return nil
+}
+
+// Next implements exec.Operator.
+func (o *fusedAggOp) Next() (*col.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return o.out, nil
+}
+
+// Close implements exec.Operator.
+func (o *fusedAggOp) Close() error {
+	o.out = nil
+	return nil
+}
+
+// newFoldDecoder is newRGDecoder with scratch guaranteed, since the fold
+// path reuses chunk scratch even for filterless scans.
+func newFoldDecoder(sc *scanContext) *rgDecoder {
+	d := newRGDecoder(sc)
+	if d.scratch == nil {
+		d.scratch = make([]*pixfile.ChunkScratch, len(sc.node.Cols))
+		for i := range d.scratch {
+			d.scratch[i] = &pixfile.ChunkScratch{}
+		}
+	}
+	return d
+}
+
+// decodeFold is decode()'s fused twin: same chunk fetches (same billed
+// bytes), same filter evaluation, same stats — but surviving rows fold
+// straight into the aggregate accumulators instead of materializing a
+// batch. Nothing decoded here escapes the decoder, so chunk scratch is
+// never detached and steady-state row groups decode with zero allocation.
+func (d *rgDecoder) decodeFold(f *pixfile.File, key string, g int, st *Stats, fold *aggFold) error {
+	if err := d.sc.ctx.Err(); err != nil {
+		return err
+	}
+	sc := d.sc
+	cols := sc.node.Cols
+	fetch := sc.chunkFetcher(key, st)
+	n := f.RowGroup(g).NumRows
+
+	if sc.node.Filter == nil {
+		vecs := make([]*col.Vector, len(cols))
+		for i, c := range cols {
+			v, err := f.ReadColumnChunkVia(fetch, g, c, d.scratch[i])
+			if err != nil {
+				return err
+			}
+			vecs[i] = v
+		}
+		st.RowsScanned += int64(n)
+		st.RowGroupsRead++
+		fold.fold(vecs, nil, fold.identity(n))
+		return nil
+	}
+
+	vecs, dicts, sel, err := d.filterRowGroup(f, fetch, g, n)
+	if err != nil {
+		return err
+	}
+	st.RowsScanned += int64(n)
+	st.RowGroupsRead++
+	st.RowsFiltered += int64(n - len(sel))
+	if len(sel) == 0 {
+		st.ColumnChunksSkipped += int64(len(sc.restPos))
+		return nil
+	}
+	for _, pos := range sc.restPos {
+		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
+		if err != nil {
+			return err
+		}
+		vecs[pos] = v
+	}
+	fold.fold(vecs, dicts, sel)
+	return nil
+}
+
+// aggFold holds the typed accumulators of one fused aggregation. Fold
+// order is row-group order on a single goroutine everywhere the operator
+// runs, so float accumulation is bit-identical across serial, pipelined,
+// parallel-worker and distributed-worker execution.
+type aggFold struct {
+	specs  []plan.AggSpec
+	argPos []int // batch position per spec; -1 for COUNT(*)
+	states []fusedState
+	all    []int // reusable identity selection
+}
+
+// fusedState mirrors exec's aggState for the fused subset: COUNT counts
+// non-null inputs (COUNT(*) counts rows), SUM/AVG accumulate both integer
+// and float sums for integer arguments, MIN/MAX track both extrema.
+type fusedState struct {
+	count      int64
+	sumI       int64
+	sumF       float64
+	hasMM      bool
+	minI, maxI int64
+	minF, maxF float64
+	minS, maxS string
+}
+
+func newAggFold(node *plan.AggNode) *aggFold {
+	a := &aggFold{
+		specs:  node.Aggs,
+		argPos: make([]int, len(node.Aggs)),
+		states: make([]fusedState, len(node.Aggs)),
+	}
+	for i := range node.Aggs {
+		a.argPos[i] = -1
+		if c, ok := node.Aggs[i].Arg.(*plan.BCol); ok {
+			a.argPos[i] = c.Ordinal
+		}
+	}
+	return a
+}
+
+// identity returns a reusable [0, n) selection.
+func (a *aggFold) identity(n int) []int {
+	if cap(a.all) < n {
+		a.all = make([]int, n)
+		for i := range a.all {
+			a.all[i] = i
+		}
+	}
+	return a.all[:n]
+}
+
+// fold accumulates the selected rows of one row group (or one compacted
+// batch, with sel the identity). A dictionary view in dicts substitutes
+// for its nil vector slot — string extrema translate through the
+// dictionary per surviving row.
+func (a *aggFold) fold(vecs []*col.Vector, dicts map[int]*vec.DictCol, sel []int) {
+	for i := range a.specs {
+		spec := &a.specs[i]
+		st := &a.states[i]
+		if spec.Func == plan.AggCountStar {
+			st.count += int64(len(sel)) // COUNT(*) counts NULLs too
+			continue
+		}
+		pos := a.argPos[i]
+		if dc := dicts[pos]; dc != nil {
+			foldDict(st, spec.Func, dc, sel)
+			continue
+		}
+		foldVector(st, spec.Func, vecs[pos], sel)
+	}
+}
+
+func foldVector(st *fusedState, fn plan.AggFunc, v *col.Vector, sel []int) {
+	if fn == plan.AggCount {
+		if v.Valid == nil {
+			st.count += int64(len(sel))
+			return
+		}
+		for _, r := range sel {
+			if v.Valid[r] {
+				st.count++
+			}
+		}
+		return
+	}
+	switch v.Type {
+	case col.INT64, col.DATE, col.TIMESTAMP:
+		foldInts(st, fn, v.Ints, v.Valid, sel)
+	case col.FLOAT64:
+		foldFloats(st, fn, v.Floats, v.Valid, sel)
+	case col.STRING:
+		foldStrs(st, v.Strs, v.Valid, sel)
+	}
+}
+
+func foldInts(st *fusedState, fn plan.AggFunc, vals []int64, valid []bool, sel []int) {
+	switch fn {
+	case plan.AggSum, plan.AggAvg:
+		if valid == nil {
+			for _, r := range sel {
+				x := vals[r]
+				st.count++
+				st.sumI += x
+				st.sumF += float64(x)
+			}
+			return
+		}
+		for _, r := range sel {
+			if !valid[r] {
+				continue
+			}
+			x := vals[r]
+			st.count++
+			st.sumI += x
+			st.sumF += float64(x)
+		}
+	case plan.AggMin, plan.AggMax:
+		for _, r := range sel {
+			if valid != nil && !valid[r] {
+				continue
+			}
+			x := vals[r]
+			if !st.hasMM {
+				st.minI, st.maxI, st.hasMM = x, x, true
+				continue
+			}
+			if x < st.minI {
+				st.minI = x
+			}
+			if x > st.maxI {
+				st.maxI = x
+			}
+		}
+	}
+}
+
+func foldFloats(st *fusedState, fn plan.AggFunc, vals []float64, valid []bool, sel []int) {
+	switch fn {
+	case plan.AggSum, plan.AggAvg:
+		for _, r := range sel {
+			if valid != nil && !valid[r] {
+				continue
+			}
+			st.count++
+			st.sumF += vals[r]
+		}
+	case plan.AggMin, plan.AggMax:
+		// Plain < and > mirror col.Value.Compare's float ordering exactly,
+		// NaN included: a NaN candidate never displaces the extremum, and a
+		// NaN first value is never displaced.
+		for _, r := range sel {
+			if valid != nil && !valid[r] {
+				continue
+			}
+			x := vals[r]
+			if !st.hasMM {
+				st.minF, st.maxF, st.hasMM = x, x, true
+				continue
+			}
+			if x < st.minF {
+				st.minF = x
+			}
+			if x > st.maxF {
+				st.maxF = x
+			}
+		}
+	}
+}
+
+// foldStrs tracks string extrema (MIN/MAX are the only string folds).
+// Retained strings are cloned exactly when the extremum changes — decoded
+// vectors alias reusable chunk scratch, which the next row group
+// overwrites.
+func foldStrs(st *fusedState, vals []string, valid []bool, sel []int) {
+	for _, r := range sel {
+		if valid != nil && !valid[r] {
+			continue
+		}
+		x := vals[r]
+		if !st.hasMM {
+			x = strings.Clone(x)
+			st.minS, st.maxS, st.hasMM = x, x, true
+			continue
+		}
+		if x < st.minS {
+			st.minS = strings.Clone(x)
+		}
+		if x > st.maxS {
+			st.maxS = strings.Clone(x)
+		}
+	}
+}
+
+// foldDict folds a string column that stayed at the code level: validity
+// from the view, row values translated through the dictionary only for
+// surviving rows.
+func foldDict(st *fusedState, fn plan.AggFunc, dc *vec.DictCol, sel []int) {
+	if fn == plan.AggCount {
+		if dc.Valid == nil {
+			st.count += int64(len(sel))
+			return
+		}
+		for _, r := range sel {
+			if dc.Valid[r] {
+				st.count++
+			}
+		}
+		return
+	}
+	for _, r := range sel {
+		if dc.Valid != nil && !dc.Valid[r] {
+			continue
+		}
+		x := dc.Dict[dc.Codes[r]]
+		if !st.hasMM {
+			x = strings.Clone(x)
+			st.minS, st.maxS, st.hasMM = x, x, true
+			continue
+		}
+		if x < st.minS {
+			st.minS = strings.Clone(x)
+		}
+		if x > st.maxS {
+			st.maxS = strings.Clone(x)
+		}
+	}
+}
+
+// result builds the one-row output batch, matching HashAggOp's results for
+// the same input exactly (COUNT never NULL, SUM/AVG NULL over zero
+// non-null inputs, MIN/MAX NULL over none).
+func (a *aggFold) result(node *plan.AggNode) *col.Batch {
+	schema := node.Schema()
+	vecs := make([]*col.Vector, schema.Len())
+	for i := range a.specs {
+		out := col.NewVector(schema.Fields[i].Type, 1)
+		if v, null := a.states[i].value(&a.specs[i]); null {
+			out.SetNull(0)
+		} else {
+			out.Set(0, v)
+		}
+		vecs[i] = out
+	}
+	return &col.Batch{Vecs: vecs, N: 1}
+}
+
+func (st *fusedState) value(spec *plan.AggSpec) (col.Value, bool) {
+	switch spec.Func {
+	case plan.AggCountStar, plan.AggCount:
+		return col.Int(st.count), false
+	case plan.AggSum:
+		if st.count == 0 {
+			return col.Value{}, true
+		}
+		if spec.Ty == col.INT64 {
+			return col.Int(st.sumI), false
+		}
+		return col.Float(st.sumF), false
+	case plan.AggAvg:
+		if st.count == 0 {
+			return col.Value{}, true
+		}
+		return col.Float(st.sumF / float64(st.count)), false
+	case plan.AggMin:
+		if !st.hasMM {
+			return col.Value{}, true
+		}
+		return st.extremum(spec.Ty, true), false
+	case plan.AggMax:
+		if !st.hasMM {
+			return col.Value{}, true
+		}
+		return st.extremum(spec.Ty, false), false
+	}
+	return col.Value{}, true
+}
+
+func (st *fusedState) extremum(ty col.Type, min bool) col.Value {
+	switch ty {
+	case col.FLOAT64:
+		if min {
+			return col.Float(st.minF)
+		}
+		return col.Float(st.maxF)
+	case col.STRING:
+		if min {
+			return col.Str(st.minS)
+		}
+		return col.Str(st.maxS)
+	default: // INT64, DATE, TIMESTAMP
+		v := st.minI
+		if !min {
+			v = st.maxI
+		}
+		return col.Value{Type: ty, I: v}
+	}
+}

@@ -45,6 +45,15 @@ func (e *Engine) RunPlanParallel(ctx context.Context, node plan.Node, parallelis
 	if parallelism <= 1 {
 		return e.RunPlan(ctx, node)
 	}
+	// Process-wide parallelism budget: the first worker is free, each
+	// additional one needs a token (non-blocking), so overlapping queries
+	// divide the host's worker pool instead of multiplying it. Narrower
+	// widths produce identical results — only the partition count changes.
+	parallelism, releaseWidth := acquireParallelWidth(parallelism)
+	defer releaseWidth()
+	if parallelism <= 1 {
+		return e.RunPlan(ctx, node)
+	}
 	split, err := e.SplitForCFOpts(node, "local", parallelism, SplitOptions{
 		SharedJoinBuild: true,
 		TopN:            true,
@@ -119,8 +128,9 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	var buildStats Stats
 	if split.buildJoin != nil {
 		rightOp, err := exec.BuildWith(split.buildJoin.Right, exec.BuildEnv{
-			ScanFactory: e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
-			Interpreted: e.interp,
+			ScanFactory:  e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
+			Interpreted:  e.interp,
+			FusedAggScan: e.fusedAggScan(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
 		})
 		if err != nil {
 			return nil, err
@@ -203,8 +213,9 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 		split.interm: {iter: iter},
 	}
 	op, err := exec.BuildWith(mergePlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, nil),
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
 	})
 	var out *col.Batch
 	if err == nil {
@@ -248,9 +259,10 @@ func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task in
 		split.partScan: {files: split.Tasks[task].Files},
 	}
 	op, err := exec.BuildWith(split.workerPlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
-		JoinBuilds:  joinBuilds,
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
+		JoinBuilds:   joinBuilds,
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallelism budget is a process-wide semaphore over intra-query
+// parallel workers — the RunPlanParallel counterpart of the scan-prefetch
+// budget. Without it, per-query width is fixed at request time and the
+// host's total worker count is the product of width × concurrent queries;
+// with it, at most `budget` extra workers exist at any instant across all
+// engines in the process, so overlapping queries divide the host instead
+// of oversubscribing it.
+//
+// Deadlock-freedom: the first worker of every query is exempt (a query
+// never blocks on the budget — acquisition is non-blocking and a failed
+// acquire just narrows the query), and tokens are held for the duration of
+// one query's parallel phase, released unconditionally when it ends.
+// Narrowing never changes results: partitions are contiguous file ranges
+// merged in task order, so any width produces the serial plan's output.
+
+// DefaultParallelBudget is the token count the process starts with: one
+// per CPU, the point past which extra concurrent workers only thrash.
+var DefaultParallelBudget = runtime.NumCPU()
+
+var parallelBudget = struct {
+	mu sync.RWMutex
+	ch chan struct{} // nil = unlimited
+
+	inUse     atomic.Int64
+	highWater atomic.Int64
+}{ch: make(chan struct{}, DefaultParallelBudget)}
+
+// SetParallelBudget resizes the process-wide parallelism budget: n > 0
+// sets the token count, 0 restores DefaultParallelBudget, negative removes
+// the bound entirely. Queries already running finish against the budget
+// they acquired under.
+func SetParallelBudget(n int) {
+	var ch chan struct{}
+	switch {
+	case n == 0:
+		ch = make(chan struct{}, DefaultParallelBudget)
+	case n > 0:
+		ch = make(chan struct{}, n)
+	}
+	parallelBudget.mu.Lock()
+	parallelBudget.ch = ch
+	parallelBudget.mu.Unlock()
+}
+
+// parallelBudgetCh snapshots the current semaphore; acquire and release
+// must use the same snapshot so a concurrent SetParallelBudget cannot
+// unbalance it.
+func parallelBudgetCh() chan struct{} {
+	parallelBudget.mu.RLock()
+	defer parallelBudget.mu.RUnlock()
+	return parallelBudget.ch
+}
+
+// acquireParallelWidth grants a query between 1 and want workers: the
+// first is free, each additional one costs a token, and acquisition never
+// blocks — when the pool is dry the query simply runs narrower. The
+// returned release frees exactly what was granted.
+func acquireParallelWidth(want int) (int, func()) {
+	ch := parallelBudgetCh()
+	if ch == nil || want <= 1 {
+		return want, func() {}
+	}
+	granted := 1
+	for granted < want {
+		select {
+		case ch <- struct{}{}:
+		default:
+			extra := granted - 1
+			return granted, func() { releaseParallelTokens(ch, extra) }
+		}
+		v := parallelBudget.inUse.Add(1)
+		for {
+			hw := parallelBudget.highWater.Load()
+			if v <= hw || parallelBudget.highWater.CompareAndSwap(hw, v) {
+				break
+			}
+		}
+		granted++
+	}
+	extra := granted - 1
+	return granted, func() { releaseParallelTokens(ch, extra) }
+}
+
+func releaseParallelTokens(ch chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		parallelBudget.inUse.Add(-1)
+		<-ch
+	}
+}
+
+// ParallelBudgetHighWater reports the maximum number of simultaneously
+// held parallelism tokens since the last reset. Test hook.
+func ParallelBudgetHighWater() int64 { return parallelBudget.highWater.Load() }
+
+// ResetParallelBudgetStats clears the high-water mark. Test hook.
+func ResetParallelBudgetStats() { parallelBudget.highWater.Store(0) }

@@ -202,34 +202,9 @@ func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.
 		return &col.Batch{Vecs: vecs, N: n}, nil
 	}
 
-	// Late materialization: predicate columns first. The filter is
-	// evaluated over a sparse batch — only the predicate positions are
-	// populated, which is safe because the expression references exactly
-	// those ordinals.
-	vecs := make([]*col.Vector, len(cols))
-	for _, pos := range sc.predPos {
-		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
-		if err != nil {
-			return nil, err
-		}
-		vecs[pos] = v
-	}
-	predBatch := &col.Batch{Vecs: vecs, N: n}
-	var sel []int
-	kernelRan := false
-	if sc.prog != nil {
-		// A nil selection with ok=true is a legitimate zero-match result
-		// (distinct from the ok=false layout-mismatch fallback signal), so
-		// branch on ok — re-evaluating through the interpreter would pay
-		// the full per-row walk on exactly the zero-match row groups the
-		// kernels are fastest on.
-		sel, kernelRan = sc.prog.Run(predBatch, &d.vs)
-	}
-	if !kernelRan {
-		var err error
-		if sel, err = d.ev.EvalBool(sc.node.Filter, predBatch); err != nil {
-			return nil, err
-		}
+	vecs, dicts, sel, err := d.filterRowGroup(f, fetch, g, n)
+	if err != nil {
+		return nil, err
 	}
 	st.RowsScanned += int64(n)
 	st.RowGroupsRead++
@@ -255,6 +230,12 @@ func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.
 			d.scratch[pos].Detach()
 		}
 		for _, pos := range sc.predPos {
+			if dc, ok := dicts[pos]; ok {
+				// Survivors translate straight through the dictionary —
+				// fresh allocations, nothing aliases decoder scratch.
+				vecs[pos] = gatherDict(dc, sel)
+				continue
+			}
 			vecs[pos] = vecs[pos].Gather(sel)
 		}
 		return &col.Batch{Vecs: vecs, N: len(sel)}, nil
@@ -267,9 +248,17 @@ func (d *rgDecoder) decode(f *pixfile.File, key string, g int, st *Stats) (*col.
 		vecs[pos] = v
 	}
 	if len(sel) == n {
+		for pos, dc := range dicts {
+			vecs[pos] = materializeDict(dc)
+		}
 		// The whole row group survives: the batch escapes downstream still
-		// aliasing the scratch buffers, so detach them.
-		for _, s := range d.scratch {
+		// aliasing the scratch buffers, so detach them. Code-level chunks
+		// were copied out above; their scratch (codes, validity) never
+		// escapes and stays reusable.
+		for pos, s := range d.scratch {
+			if _, ok := dicts[pos]; ok {
+				continue
+			}
 			s.Detach()
 		}
 		return &col.Batch{Vecs: vecs, N: n}, nil
@@ -467,6 +456,121 @@ func (sc *scanContext) pipelined(depth int) exec.BatchIterator {
 			return j.batch, nil
 		}
 	}
+}
+
+// filterRowGroup decodes row group g's predicate columns and evaluates the
+// pushed-down filter, returning the sparse column array (predicate
+// positions populated), any code-level dictionary views keyed by position,
+// and the surviving selection. The filter is evaluated over a sparse batch
+// — only the predicate positions are populated, which is safe because the
+// expression references exactly those ordinals. A string column the
+// compiled program can judge entirely through dictionary-capable leaves
+// stays at the code level: the chunk's dictionary and per-row codes are
+// decoded (same fetch, same billed bytes), but no row string is
+// materialized until the selection says which rows deserve one.
+func (d *rgDecoder) filterRowGroup(f *pixfile.File, fetch pixfile.RangeReader, g, n int) ([]*col.Vector, map[int]*vec.DictCol, []int, error) {
+	sc := d.sc
+	cols := sc.node.Cols
+	vecs := make([]*col.Vector, len(cols))
+	var dicts map[int]*vec.DictCol
+	useDict := sc.prog != nil && !sc.e.dictOff
+	for _, pos := range sc.predPos {
+		if useDict && sc.prog.DictEligible(pos) {
+			v, dc, err := f.ReadColumnChunkDictVia(fetch, g, cols[pos], d.scratch[pos])
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if dc != nil {
+				if dicts == nil {
+					dicts = make(map[int]*vec.DictCol, 1)
+				}
+				dicts[pos] = &vec.DictCol{Dict: dc.Dict, Codes: dc.Codes, Valid: dc.Valid, N: dc.N}
+				continue
+			}
+			// The chunk wasn't DICT-encoded after all; it decoded normally.
+			vecs[pos] = v
+			continue
+		}
+		v, err := f.ReadColumnChunkVia(fetch, g, cols[pos], d.scratch[pos])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		vecs[pos] = v
+	}
+	predBatch := &col.Batch{Vecs: vecs, N: n}
+	var sel []int
+	kernelRan := false
+	if sc.prog != nil {
+		// A nil selection with ok=true is a legitimate zero-match result
+		// (distinct from the ok=false layout-mismatch fallback signal), so
+		// branch on ok — re-evaluating through the interpreter would pay
+		// the full per-row walk on exactly the zero-match row groups the
+		// kernels are fastest on.
+		if len(dicts) > 0 {
+			sel, kernelRan = sc.prog.RunDict(predBatch, dicts, &d.vs)
+		} else {
+			sel, kernelRan = sc.prog.Run(predBatch, &d.vs)
+		}
+	}
+	if !kernelRan {
+		// Interpreter fallback needs real strings: materialize any
+		// code-level chunks in full first.
+		for pos, dc := range dicts {
+			vecs[pos] = materializeDict(dc)
+		}
+		dicts = nil
+		var err error
+		if sel, err = d.ev.EvalBool(sc.node.Filter, predBatch); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return vecs, dicts, sel, nil
+}
+
+// materializeDict turns a code-level dictionary chunk into the string
+// vector the full decode would have produced: Valid present exactly when
+// the chunk had nulls, null rows left at the zero value. All allocations
+// are fresh — nothing aliases decoder scratch.
+func materializeDict(dc *vec.DictCol) *col.Vector {
+	v := col.NewVector(col.STRING, dc.N)
+	if dc.Valid == nil {
+		for i, c := range dc.Codes {
+			v.Strs[i] = dc.Dict[c]
+		}
+		return v
+	}
+	v.Valid = append([]bool(nil), dc.Valid...)
+	for i, c := range dc.Codes {
+		if dc.Valid[i] {
+			v.Strs[i] = dc.Dict[c]
+		}
+	}
+	return v
+}
+
+// gatherDict materializes only the surviving rows of a dictionary chunk,
+// matching Vector.Gather over the full decode bit for bit: the validity
+// mask appears only when a selected row is null.
+func gatherDict(dc *vec.DictCol, sel []int) *col.Vector {
+	out := col.NewVector(col.STRING, len(sel))
+	anyNull := false
+	for i, j := range sel {
+		if dc.Valid != nil && !dc.Valid[j] {
+			if !anyNull {
+				out.Valid = make([]bool, len(sel))
+				for k := 0; k < i; k++ {
+					out.Valid[k] = true
+				}
+				anyNull = true
+			}
+			continue
+		}
+		if anyNull {
+			out.Valid[i] = true
+		}
+		out.Strs[i] = dc.Dict[dc.Codes[j]]
+	}
+	return out
 }
 
 // pipelineEligible returns the scans of the plan that are guaranteed to be

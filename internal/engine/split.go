@@ -561,8 +561,9 @@ func (e *Engine) MergeResults(ctx context.Context, split *CFSplit, interms []cat
 		split.interm: {files: interms, interm: true},
 	}
 	op, err := exec.BuildWith(split.mergePlan, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, nil),
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
 	})
 	if err != nil {
 		return nil, err

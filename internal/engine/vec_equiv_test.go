@@ -61,8 +61,11 @@ func newNullHeavyEngine(t testing.TB) *Engine {
 }
 
 // vecEquivAtoms are WHERE building blocks spanning the kernel set (arith,
-// comparisons, IS NULL, prefix LIKE) and deliberate fallbacks (IN,
-// non-prefix LIKE), plus zero-match and all-match shapes.
+// comparisons, IS NULL, IN, every LIKE shape, CASE, scalar functions) and a
+// deliberate fallback (CAST compiles to no kernel), plus zero-match and
+// all-match shapes. String atoms mix dictionary-eligible forms (only the
+// string column itself under compare/LIKE/IN) with ones that force full
+// decode (functions over the string column).
 var vecEquivAtoms = []string{
 	"n_a % 3 = 1",
 	"(n_key + n_a) % 5 < 2",
@@ -70,13 +73,24 @@ var vecEquivAtoms = []string{
 	"n_key / 3 > 500",
 	"n_s LIKE 'wo%'",
 	"n_s LIKE '%-3'",
+	"n_s LIKE '%or%'",
+	"n_s LIKE 'w_rd-_'",
 	"n_s = 'word-1'",
+	"n_s IN ('word-1', 'wo-4', '')",
 	"n_a IS NULL",
 	"n_b IS NOT NULL",
 	"n_a IN (1, 2)",
 	"n_key < 0",
 	"n_key >= 0",
 	"-n_a > 2",
+	"CASE WHEN n_a > 0 THEN n_b ELSE -n_b END > 0.5",
+	"CASE WHEN n_flag THEN 1 ELSE 0 END = 1",
+	"LENGTH(n_s) > 5",
+	"LOWER(n_s) = 'word-1'",
+	"SUBSTR(n_s, 1, 2) = 'wo'",
+	"ABS(n_a) = 2",
+	"COALESCE(n_a, 0) >= 0",
+	"CAST(n_a AS VARCHAR) = '1'",
 }
 
 func randPredicate(r *rand.Rand) string {
@@ -188,6 +202,14 @@ func TestVectorizedEquivalenceRowOutput(t *testing.T) {
 		"SELECT n_key + 1, n_a * 2, n_b / 4 FROM nh WHERE n_key % 97 = 0 ORDER BY n_key",
 		// NULL-dominated predicate.
 		"SELECT n_key FROM nh WHERE n_a IS NULL AND n_s LIKE 'wo%' ORDER BY n_key",
+		// CASE and scalar functions through the value kernels, over a
+		// dictionary-eligible string predicate.
+		`SELECT CASE WHEN n_a > 0 THEN 'pos' WHEN n_a < 0 THEN 'neg' ELSE 'zero' END,
+			UPPER(n_s), LENGTH(n_s), COALESCE(n_a, -99)
+			FROM nh WHERE n_s LIKE '%or%' ORDER BY n_key`,
+		// Nested functions + ROUND over floats.
+		`SELECT SUBSTR(CONCAT(n_s, '!'), 2, 3), ROUND(n_b), ABS(n_a)
+			FROM nh WHERE n_key % 53 = 0 ORDER BY n_key`,
 	}
 	ctx := context.Background()
 	for _, q := range queries {

@@ -119,8 +119,9 @@ func (e *Engine) executeFragment(ctx context.Context, node plan.Node, scan *plan
 		scan: {files: files},
 	}
 	op, err := exec.BuildWith(node, exec.BuildEnv{
-		ScanFactory: e.scanFactory(ctx, stats, overrides, pipelineEligible(node)),
-		Interpreted: e.interp,
+		ScanFactory:  e.scanFactory(ctx, stats, overrides, pipelineEligible(node)),
+		Interpreted:  e.interp,
+		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, pipelineEligible(node)),
 	})
 	if err != nil {
 		return catalog.FileMeta{}, Stats{}, err

@@ -6,13 +6,13 @@ package exec
 import (
 	"fmt"
 	"math"
-	"regexp"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/col"
+	"repro/internal/like"
 	"repro/internal/plan"
 )
 
@@ -21,7 +21,7 @@ import (
 // full, an evaluator falls back to a private overflow map so repeated
 // patterns still amortize within the operator's lifetime.
 type Evaluator struct {
-	likeOverflow map[string]*regexp.Regexp
+	likeOverflow map[string]like.Matcher
 }
 
 // NewEvaluator returns an empty evaluator.
@@ -35,13 +35,15 @@ func NewEvaluator() *Evaluator {
 // map beats a private compile per operator. The size cap bounds the
 // process's memory when patterns come from data values (col LIKE col) or
 // an adversarial query stream: once full, unseen patterns compile without
-// being retained.
+// being retained. The cached values are like.Matchers, so the interpreter
+// gets exactly the equality/prefix/suffix/contains fast paths the
+// internal/vec LIKE kernel uses.
 const likeCacheMax = 1024
 
 var likeCache = struct {
 	sync.RWMutex
-	m map[string]*regexp.Regexp
-}{m: make(map[string]*regexp.Regexp)}
+	m map[string]like.Matcher
+}{m: make(map[string]like.Matcher)}
 
 // Eval computes e over b, returning a vector of b.N rows.
 func (ev *Evaluator) Eval(e plan.BoundExpr, b *col.Batch) (*col.Vector, error) {
@@ -438,59 +440,48 @@ func (ev *Evaluator) evalLike(l, r *col.Vector) (*col.Vector, error) {
 			out.SetNull(i)
 			continue
 		}
-		re, err := ev.likePattern(r.Strs[i])
+		m, err := ev.likePattern(r.Strs[i])
 		if err != nil {
 			return nil, err
 		}
-		out.Bools[i] = re.MatchString(l.Strs[i])
+		out.Bools[i] = m.Match(l.Strs[i])
 	}
 	return out, nil
 }
 
 // likePattern compiles a SQL LIKE pattern ('%' any run, '_' any single
-// character) into an anchored regexp, consulting the process-wide cache.
-func (ev *Evaluator) likePattern(pat string) (*regexp.Regexp, error) {
+// character) into a like.Matcher — equality, prefix, suffix and contains
+// patterns specialize away from the regexp — consulting the process-wide
+// cache.
+func (ev *Evaluator) likePattern(pat string) (like.Matcher, error) {
 	likeCache.RLock()
-	re, ok := likeCache.m[pat]
+	m, ok := likeCache.m[pat]
 	likeCache.RUnlock()
 	if ok {
-		return re, nil
+		return m, nil
 	}
-	if re, ok := ev.likeOverflow[pat]; ok {
-		return re, nil
+	if m, ok := ev.likeOverflow[pat]; ok {
+		return m, nil
 	}
-	var sb strings.Builder
-	sb.WriteString("(?s)^")
-	for _, r := range pat {
-		switch r {
-		case '%':
-			sb.WriteString(".*")
-		case '_':
-			sb.WriteString(".")
-		default:
-			sb.WriteString(regexp.QuoteMeta(string(r)))
-		}
-	}
-	sb.WriteString("$")
-	re, err := regexp.Compile(sb.String())
+	m, err := like.Compile(pat)
 	if err != nil {
-		return nil, fmt.Errorf("exec: bad LIKE pattern %q: %w", pat, err)
+		return like.Matcher{}, fmt.Errorf("exec: bad LIKE pattern %q: %w", pat, err)
 	}
 	likeCache.Lock()
 	cached := len(likeCache.m) < likeCacheMax
 	if cached {
-		likeCache.m[pat] = re
+		likeCache.m[pat] = m
 	}
 	likeCache.Unlock()
 	if !cached {
 		// Global cache full: remember the pattern privately so this
 		// operator still pays one compile per pattern, not one per row.
 		if ev.likeOverflow == nil {
-			ev.likeOverflow = make(map[string]*regexp.Regexp)
+			ev.likeOverflow = make(map[string]like.Matcher)
 		}
-		ev.likeOverflow[pat] = re
+		ev.likeOverflow[pat] = m
 	}
-	return re, nil
+	return m, nil
 }
 
 func (ev *Evaluator) evalCase(x *plan.BCase, b *col.Batch) (*col.Vector, error) {

@@ -729,6 +729,12 @@ type BuildEnv struct {
 	// the flag exists for the interpreted-vs-vectorized ablation and as an
 	// escape hatch.
 	Interpreted bool
+	// FusedAggScan, when set, may replace a group-free AggNode sitting
+	// directly on a ScanNode with a single fused scan+aggregate operator
+	// that folds rows during chunk decode instead of materializing batches
+	// for HashAggOp. Returning ok=false keeps the normal HashAggOp-over-
+	// scan tree; rows, stats and billed bytes are identical either way.
+	FusedAggScan func(*plan.AggNode, *plan.ScanNode) (Operator, bool)
 }
 
 // Build constructs the operator tree for a plan. scanFactory supplies the
@@ -768,6 +774,13 @@ func BuildWith(n plan.Node, env BuildEnv) (Operator, error) {
 		}
 		return NewHashJoinOp(x, left, right), nil
 	case *plan.AggNode:
+		if env.FusedAggScan != nil {
+			if scan, ok := x.Child.(*plan.ScanNode); ok {
+				if op, ok := env.FusedAggScan(x, scan); ok {
+					return op, nil
+				}
+			}
+		}
 		child, err := BuildWith(x.Child, env)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,95 @@
+package like_test
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/like"
+)
+
+// naive is the unspecialized reference: the same regexp conversion the
+// interpreter used before the matcher fast paths existed.
+func naive(t *testing.T, pat string) *regexp.Regexp {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("(?s)^")
+	for _, r := range pat {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		t.Fatalf("reference regexp for %q: %v", pat, err)
+	}
+	return re
+}
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		pat  string
+		kind like.Kind
+	}{
+		{"abc", like.Exact},
+		{"", like.Exact},
+		{"abc%", like.Prefix},
+		{"abc%%", like.Prefix},
+		{"%abc", like.Suffix},
+		{"%%abc", like.Suffix},
+		{"%", like.Suffix},
+		{"%%", like.Suffix},
+		{"%abc%", like.Contains},
+		{"%%abc%%", like.Contains},
+		{"a_c", like.Regex},
+		{"a%c", like.Regex},
+		{"%a%c%", like.Regex},
+		{"_%", like.Regex},
+		{"%a_", like.Regex},
+	}
+	for _, c := range cases {
+		m, err := like.Compile(c.pat)
+		if err != nil {
+			t.Fatalf("%q: %v", c.pat, err)
+		}
+		if m.Kind() != c.kind {
+			t.Errorf("%q: kind %d, want %d", c.pat, m.Kind(), c.kind)
+		}
+	}
+}
+
+// TestMatchEquivalence: every specialization must agree with the anchored
+// regexp it replaces, over random patterns (including newline-bearing and
+// regex-metacharacter inputs) and random subjects.
+func TestMatchEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	alphabet := []rune("ab%_.c*\n(")
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteRune(alphabet[r.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 2000; trial++ {
+		pat := randStr(r.Intn(8))
+		m, err := like.Compile(pat)
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		re := naive(t, pat)
+		for probe := 0; probe < 8; probe++ {
+			s := randStr(r.Intn(10))
+			if got, want := m.Match(s), re.MatchString(s); got != want {
+				t.Fatalf("pattern %q (kind %d) on %q: %v, want %v", pat, m.Kind(), s, got, want)
+			}
+		}
+	}
+}

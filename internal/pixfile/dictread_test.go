@@ -1,0 +1,95 @@
+package pixfile
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDictReadMatchesFullDecode: translating every code through the
+// dictionary (honoring Valid) must reproduce the full string decode
+// exactly, with and without nulls.
+func TestDictReadMatchesFullDecode(t *testing.T) {
+	for _, withNulls := range []bool{false, true} {
+		t.Run(fmt.Sprintf("nulls=%v", withNulls), func(t *testing.T) {
+			const rows = 400
+			f, _ := buildSelFixture(t, rows, withNulls)
+			const dictCol = 5
+			if enc := f.RowGroup(0).Chunks[dictCol].Encoding; enc != EncDict {
+				t.Fatalf("fixture column encoded %s, want DICT", enc)
+			}
+			full, err := f.ReadColumnChunkVia(f.fetch, 0, dictCol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vec, dc, err := f.ReadColumnChunkDictVia(f.fetch, 0, dictCol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vec != nil || dc == nil {
+				t.Fatalf("DICT chunk: got (vec=%v, dc=%v), want code-level result", vec != nil, dc != nil)
+			}
+			if dc.N != rows || len(dc.Codes) != rows {
+				t.Fatalf("view shape N=%d codes=%d, want %d", dc.N, len(dc.Codes), rows)
+			}
+			if withNulls == (dc.Valid == nil) {
+				t.Fatalf("validity mask presence %v, want %v", dc.Valid != nil, withNulls)
+			}
+			for i := 0; i < rows; i++ {
+				null := dc.Valid != nil && !dc.Valid[i]
+				if null != full.IsNull(i) {
+					t.Fatalf("row %d: null %v, full decode %v", i, null, full.IsNull(i))
+				}
+				if !null && dc.Dict[dc.Codes[i]] != full.Strs[i] {
+					t.Fatalf("row %d: %q via dict, %q full", i, dc.Dict[dc.Codes[i]], full.Strs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDictReadFallsBackForOtherChunks: a non-DICT chunk (plain strings,
+// ints) decodes normally through the same entry point.
+func TestDictReadFallsBackForOtherChunks(t *testing.T) {
+	f, want := buildSelFixture(t, 300, true)
+	for _, c := range []int{0, 6} { // RLE ints, PLAIN strings
+		vec, dc, err := f.ReadColumnChunkDictVia(f.fetch, 0, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc != nil || vec == nil {
+			t.Fatalf("col %d: expected vector fallback, got dc=%v", c, dc != nil)
+		}
+		for i := 0; i < vec.N; i++ {
+			gv, wv := vec.Value(i), want.Vecs[c].Value(i)
+			if gv.Null != wv.Null || (!gv.Null && !gv.Equal(wv)) {
+				t.Fatalf("col %d row %d: %v want %v", c, i, gv, wv)
+			}
+		}
+	}
+}
+
+// TestDictReadScratchReuse: the codes buffer is scratch-owned and survives
+// Detach, so repeated dict reads through one scratch must stay correct.
+func TestDictReadScratchReuse(t *testing.T) {
+	f, _ := buildSelFixture(t, 200, true)
+	full, err := f.ReadColumnChunkVia(f.fetch, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := &ChunkScratch{}
+	for round := 0; round < 3; round++ {
+		_, dc, err := f.ReadColumnChunkDictVia(f.fetch, 0, 5, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < dc.N; i++ {
+			if dc.Valid != nil && !dc.Valid[i] {
+				continue
+			}
+			if dc.Dict[dc.Codes[i]] != full.Strs[i] {
+				t.Fatalf("round %d row %d: %q want %q", round, i, dc.Dict[dc.Codes[i]], full.Strs[i])
+			}
+		}
+		scratch.Detach()
+	}
+}

@@ -371,13 +371,14 @@ type ChunkScratch struct {
 	strs   []string
 	bools  []bool
 	valid  []bool
-	offs   []int // selection-decode string offsets (never escapes)
+	offs   []int    // selection-decode string offsets (never escapes)
+	codes  []uint32 // dict-decode code stream (never escapes)
 }
 
 // Detach disowns the buffers so the previously decoded vector keeps them.
-// offs survives: it never escapes into decoded vectors, so it stays
-// reusable across detaches.
-func (s *ChunkScratch) Detach() { *s = ChunkScratch{offs: s.offs} }
+// offs and codes survive: they never escape into decoded vectors, so they
+// stay reusable across detaches.
+func (s *ChunkScratch) Detach() { *s = ChunkScratch{offs: s.offs, codes: s.codes} }
 
 // decodeVector decodes a chunk payload back into a vector of n rows. A
 // non-nil scratch donates reusable backing slices (see ChunkScratch).

@@ -79,8 +79,87 @@ func benchInterp(b *testing.B, e plan.BoundExpr, batch *col.Batch) {
 	}
 }
 
+// caseExpr is a branchy CASE predicate: CASE WHEN a % 3 = 0 THEN a ELSE -a
+// END > 100, the v2 expression-coverage shape.
+func caseExpr() plan.BoundExpr {
+	a := &plan.BCol{Ordinal: 0, Ty: col.INT64, Name: "a"}
+	return &plan.BBinary{Op: ">",
+		L: &plan.BCase{
+			Whens: []plan.BWhen{{
+				Cond: &plan.BBinary{Op: "=",
+					L:  &plan.BBinary{Op: "%", L: a, R: &plan.BLit{Val: col.Int(3)}, Ty: col.INT64},
+					R:  &plan.BLit{Val: col.Int(0)},
+					Ty: col.BOOL},
+				Result: a,
+			}},
+			Else: &plan.BUnary{Op: "-", X: a, Ty: col.INT64},
+			Ty:   col.INT64,
+		},
+		R:  &plan.BLit{Val: col.Int(100)},
+		Ty: col.BOOL}
+}
+
+// funcExpr is a scalar-function predicate: LENGTH(s) > 5.
+func funcExpr() plan.BoundExpr {
+	return &plan.BBinary{Op: ">",
+		L: &plan.BFunc{Name: "LENGTH",
+			Args: []plan.BoundExpr{&plan.BCol{Ordinal: 1, Ty: col.STRING, Name: "s"}},
+			Ty:   col.INT64},
+		R:  &plan.BLit{Val: col.Int(5)},
+		Ty: col.BOOL}
+}
+
+// containsExpr is a non-prefix LIKE: s LIKE '%arli%'.
+func containsExpr() plan.BoundExpr {
+	return &plan.BBinary{Op: "LIKE",
+		L:  &plan.BCol{Ordinal: 1, Ty: col.STRING, Name: "s"},
+		R:  &plan.BLit{Val: col.Str("%arli%")},
+		Ty: col.BOOL}
+}
+
+// benchDictKernel runs a dictionary-eligible predicate at code level: the
+// string column arrives as 3 dictionary entries plus codes, so the LIKE
+// evaluates |dict| times instead of |rows| times and no string is touched
+// per row.
+func benchDictKernel(b *testing.B, e plan.BoundExpr) {
+	prog, ok := vec.Compile(e)
+	if !ok {
+		b.Fatal("expression did not compile")
+	}
+	if !prog.DictEligible(1) {
+		b.Fatal("predicate not dictionary-eligible")
+	}
+	full := benchBatch(false)
+	words := []string{"alpha", "bravo", "charlie"}
+	dc := &vec.DictCol{Dict: words, Codes: make([]uint32, benchRows), N: benchRows}
+	for i := range dc.Codes {
+		dc.Codes[i] = uint32(i % len(words))
+	}
+	batch := &col.Batch{Vecs: []*col.Vector{full.Vecs[0], nil}, N: benchRows}
+	dicts := map[int]*vec.DictCol{1: dc}
+	var s vec.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := prog.RunDict(batch, dicts, &s); !ok {
+			b.Fatal("run rejected")
+		}
+	}
+}
+
 func BenchmarkModCmpKernel(b *testing.B) { benchKernel(b, modCmpExpr(), benchBatch(false)) }
 func BenchmarkModCmpInterp(b *testing.B) { benchInterp(b, modCmpExpr(), benchBatch(false)) }
 
 func BenchmarkNullConjKernel(b *testing.B) { benchKernel(b, conjExpr(), benchBatch(true)) }
 func BenchmarkNullConjInterp(b *testing.B) { benchInterp(b, conjExpr(), benchBatch(true)) }
+
+func BenchmarkCaseKernel(b *testing.B) { benchKernel(b, caseExpr(), benchBatch(true)) }
+func BenchmarkCaseInterp(b *testing.B) { benchInterp(b, caseExpr(), benchBatch(true)) }
+
+func BenchmarkFuncLengthKernel(b *testing.B) { benchKernel(b, funcExpr(), benchBatch(false)) }
+func BenchmarkFuncLengthInterp(b *testing.B) { benchInterp(b, funcExpr(), benchBatch(false)) }
+
+func BenchmarkContainsLikeKernel(b *testing.B) { benchKernel(b, containsExpr(), benchBatch(false)) }
+func BenchmarkContainsLikeInterp(b *testing.B) { benchInterp(b, containsExpr(), benchBatch(false)) }
+
+func BenchmarkContainsLikeDictKernel(b *testing.B) { benchDictKernel(b, containsExpr()) }

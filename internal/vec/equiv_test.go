@@ -16,13 +16,34 @@ import (
 // kernel program must produce exactly the interpreter's result — the same
 // selection for predicates, the same values and null masks for value
 // programs — over NULL-heavy data of every type. Expressions are generated
-// randomly from the binder's well-typed shapes; the generator deliberately
-// also produces nodes outside the kernel set (non-prefix LIKE patterns) to
-// exercise the compile-reject path.
+// randomly from the binder's well-typed shapes, covering the whole kernel
+// set (arithmetic, comparisons, every LIKE shape, IN, CASE WHEN, the scalar
+// functions); the generator deliberately also produces nodes outside the
+// kernel set (column-valued LIKE patterns, string casts) to exercise the
+// compile-reject path.
 
 type exprGen struct {
 	r      *rand.Rand
 	schema []col.Type
+}
+
+// caseOf builds a CASE WHEN of result type ty: predicate conditions, typed
+// results, and an ELSE that is sometimes absent and sometimes a NULL
+// literal.
+func (g *exprGen) caseOf(ty col.Type, result func(int) plan.BoundExpr, depth int) plan.BoundExpr {
+	n := 1 + g.r.Intn(2)
+	cs := &plan.BCase{Ty: ty}
+	for i := 0; i < n; i++ {
+		cs.Whens = append(cs.Whens, plan.BWhen{Cond: g.pred(depth - 1), Result: result(depth - 1)})
+	}
+	switch g.r.Intn(3) {
+	case 0: // no ELSE: undecided rows are NULL
+	case 1:
+		cs.Else = &plan.BLit{Val: col.NullValue(ty)}
+	default:
+		cs.Else = result(depth - 1)
+	}
+	return cs
 }
 
 func (g *exprGen) intExpr(depth int) plan.BoundExpr {
@@ -32,9 +53,19 @@ func (g *exprGen) intExpr(depth int) plan.BoundExpr {
 		}
 		return &plan.BLit{Val: col.Int(int64(g.r.Intn(21) - 10))}
 	}
-	switch g.r.Intn(5) {
+	switch g.r.Intn(8) {
 	case 0:
 		return &plan.BUnary{Op: "-", X: g.intExpr(depth - 1), Ty: col.INT64}
+	case 1:
+		return &plan.BFunc{Name: "ABS", Args: []plan.BoundExpr{g.intExpr(depth - 1)}, Ty: col.INT64}
+	case 2:
+		return &plan.BFunc{Name: "LENGTH", Args: []plan.BoundExpr{g.strExpr(depth - 1)}, Ty: col.INT64}
+	case 3:
+		fns := []string{"YEAR", "MONTH", "DAY"}
+		return &plan.BFunc{Name: fns[g.r.Intn(len(fns))],
+			Args: []plan.BoundExpr{&plan.BCol{Ordinal: 5, Ty: col.DATE, Name: "d"}}, Ty: col.INT64}
+	case 4:
+		return g.caseOf(col.INT64, func(d int) plan.BoundExpr { return g.intExpr(d) }, depth)
 	default:
 		ops := []string{"+", "-", "*", "%"}
 		return &plan.BBinary{Op: ops[g.r.Intn(len(ops))], L: g.intExpr(depth - 1), R: g.intExpr(depth - 1), Ty: col.INT64}
@@ -60,8 +91,65 @@ func (g *exprGen) floatExpr(depth int) plan.BoundExpr {
 		}
 		return g.floatExpr(depth - 1)
 	}
-	ops := []string{"+", "-", "*", "/"}
-	return &plan.BBinary{Op: ops[g.r.Intn(len(ops))], L: side(), R: side(), Ty: col.FLOAT64}
+	switch g.r.Intn(8) {
+	case 0:
+		return &plan.BFunc{Name: "ABS", Args: []plan.BoundExpr{g.floatExpr(depth - 1)}, Ty: col.FLOAT64}
+	case 1:
+		fns := []string{"FLOOR", "CEIL"}
+		return &plan.BFunc{Name: fns[g.r.Intn(len(fns))], Args: []plan.BoundExpr{side()}, Ty: col.FLOAT64}
+	case 2:
+		args := []plan.BoundExpr{side()}
+		if g.r.Intn(2) == 0 {
+			args = append(args, &plan.BLit{Val: col.Int(int64(g.r.Intn(4) - 1))})
+		}
+		return &plan.BFunc{Name: "ROUND", Args: args, Ty: col.FLOAT64}
+	case 3:
+		// CASE with FLOAT64 type and occasionally INT64-typed results, to
+		// exercise the setCoerced widening.
+		return g.caseOf(col.FLOAT64, func(d int) plan.BoundExpr {
+			if g.r.Intn(3) == 0 {
+				return g.intExpr(d)
+			}
+			return g.floatExpr(d)
+		}, depth)
+	default:
+		ops := []string{"+", "-", "*", "/"}
+		return &plan.BBinary{Op: ops[g.r.Intn(len(ops))], L: side(), R: side(), Ty: col.FLOAT64}
+	}
+}
+
+func (g *exprGen) strExpr(depth int) plan.BoundExpr {
+	scol := func() plan.BoundExpr { return &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"} }
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return scol()
+		}
+		words := []string{"", "alpha", "Beta", "gam"}
+		return &plan.BLit{Val: col.Str(words[g.r.Intn(len(words))])}
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		fns := []string{"LOWER", "UPPER"}
+		return &plan.BFunc{Name: fns[g.r.Intn(len(fns))], Args: []plan.BoundExpr{g.strExpr(depth - 1)}, Ty: col.STRING}
+	case 1:
+		args := []plan.BoundExpr{g.strExpr(depth - 1), &plan.BLit{Val: col.Int(int64(g.r.Intn(7) - 2))}}
+		if g.r.Intn(2) == 0 {
+			args = append(args, &plan.BLit{Val: col.Int(int64(g.r.Intn(5) - 1))})
+		}
+		return &plan.BFunc{Name: "SUBSTR", Args: args, Ty: col.STRING}
+	case 2:
+		n := 2 + g.r.Intn(2)
+		args := make([]plan.BoundExpr, n)
+		for i := range args {
+			args[i] = g.strExpr(depth - 1)
+		}
+		return &plan.BFunc{Name: "CONCAT", Args: args, Ty: col.STRING}
+	case 3:
+		return &plan.BFunc{Name: "COALESCE",
+			Args: []plan.BoundExpr{g.strExpr(depth - 1), g.strExpr(depth - 1)}, Ty: col.STRING}
+	default:
+		return g.caseOf(col.STRING, func(d int) plan.BoundExpr { return g.strExpr(d) }, depth)
+	}
 }
 
 func (g *exprGen) pred(depth int) plan.BoundExpr {
@@ -83,6 +171,23 @@ func (g *exprGen) pred(depth int) plan.BoundExpr {
 func (g *exprGen) leafPred(depth int) plan.BoundExpr {
 	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
 	op := cmps[g.r.Intn(len(cmps))]
+	switch g.r.Intn(10) {
+	case 8: // computed string compare: funcs/CASE feed the comparison
+		words := []string{"", "alpha", "beta", "ALPHA", "gam"}
+		return &plan.BBinary{Op: op, L: g.strExpr(depth),
+			R: &plan.BLit{Val: col.Str(words[g.r.Intn(len(words))])}, Ty: col.BOOL}
+	case 9: // deliberately unsupported: column-valued LIKE pattern or a
+		// string cast — the interpreter handles both, the compiler must
+		// reject and force the fallback.
+		if g.r.Intn(2) == 0 {
+			return &plan.BBinary{Op: "LIKE",
+				L: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
+				R: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"}, Ty: col.BOOL}
+		}
+		return &plan.BBinary{Op: op,
+			L: &plan.BCast{X: g.intExpr(depth - 1), To: col.STRING},
+			R: &plan.BLit{Val: col.Str("1")}, Ty: col.BOOL}
+	}
 	switch g.r.Intn(8) {
 	case 0: // int compare (col/arith vs col/arith/literal)
 		return &plan.BBinary{Op: op, L: g.intExpr(depth), R: g.intExpr(depth), Ty: col.BOOL}
@@ -101,8 +206,8 @@ func (g *exprGen) leafPred(depth int) plan.BoundExpr {
 			return c
 		}
 		return &plan.BBinary{Op: op, L: c, R: &plan.BLit{Val: col.Bool(g.r.Intn(2) == 0)}, Ty: col.BOOL}
-	case 5: // LIKE: prefix forms compile, the rest must fall back
-		pats := []string{"al%", "be", "%", "a_pha", "%eta", "a%a"}
+	case 5: // LIKE: every literal pattern shape compiles now
+		pats := []string{"al%", "be", "%", "a_pha", "%eta", "a%a", "%et%", "%a", "_l%", "%m_a"}
 		return &plan.BBinary{Op: "LIKE",
 			L: &plan.BCol{Ordinal: 3, Ty: col.STRING, Name: "s"},
 			R: &plan.BLit{Val: col.Str(pats[g.r.Intn(len(pats))])}, Ty: col.BOOL}
@@ -210,10 +315,13 @@ func TestValueEquivalenceProperty(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		g := &exprGen{r: r}
 		var e plan.BoundExpr
-		if trial%2 == 0 {
+		switch trial % 3 {
+		case 0:
 			e = g.intExpr(3)
-		} else {
+		case 1:
 			e = g.floatExpr(3)
+		default:
+			e = g.strExpr(3)
 		}
 		prog, ok := vec.CompileValue(e)
 		if !ok {
@@ -249,6 +357,10 @@ func TestValueEquivalenceProperty(t *testing.T) {
 				gv, wv := got.Floats[i], want.Floats[i]
 				if math.Float64bits(gv) != math.Float64bits(wv) {
 					t.Fatalf("trial %d: %s row %d: %v vs %v (bits differ)", trial, e, i, gv, wv)
+				}
+			case col.STRING:
+				if got.Strs[i] != want.Strs[i] {
+					t.Fatalf("trial %d: %s row %d: %q vs %q", trial, e, i, got.Strs[i], want.Strs[i])
 				}
 			}
 		}

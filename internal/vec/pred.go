@@ -1,9 +1,8 @@
 package vec
 
 import (
-	"strings"
-
 	"repro/internal/col"
+	"repro/internal/like"
 	"repro/internal/plan"
 )
 
@@ -113,13 +112,13 @@ func (c *compiler) compilePred(e plan.BoundExpr) (pred, bool) {
 		if !ok {
 			return nil, false
 		}
-		return &isNullPred{x: v, not: x.Not, slot: c.selSlot()}, true
+		return &isNullPred{x: v, not: x.Not, slot: c.selSlot(), dictOrd: c.dictOrdOf(v)}, true
 
 	case *plan.BIn:
 		return c.compileIn(x)
 
-	case *plan.BCol:
-		v, ok := c.compileVal(x)
+	case *plan.BCol, *plan.BCase, *plan.BFunc:
+		v, ok := c.compileVal(e)
 		if !ok || v.typ() != col.BOOL {
 			return nil, false
 		}
@@ -202,7 +201,13 @@ func (c *compiler) cmpScalarNode(op cmpOp, v valExpr, k col.Value) (pred, bool) 
 	}
 	switch t {
 	case col.BOOL, col.INT64, col.FLOAT64, col.STRING, col.DATE, col.TIMESTAMP:
-		return &cmpScalar{op: op, x: v, k: k, slot: c.selSlot()}, true
+		p := &cmpScalar{op: op, x: v, k: k, slot: c.selSlot(), dictOrd: -1}
+		if t == col.STRING {
+			if p.dictOrd = c.dictOrdOf(v); p.dictOrd >= 0 {
+				p.accSlot = c.accSlot()
+			}
+		}
+		return p, true
 	}
 	return nil, false
 }
@@ -220,8 +225,13 @@ func (c *compiler) compileIn(x *plan.BIn) (pred, bool) {
 	if !ok {
 		return nil, false
 	}
-	p := &inPred{x: v, slot: c.selSlot()}
+	p := &inPred{x: v, slot: c.selSlot(), dictOrd: -1}
 	t := v.typ()
+	if t == col.STRING {
+		if p.dictOrd = c.dictOrdOf(v); p.dictOrd >= 0 {
+			p.accSlot = c.accSlot()
+		}
+	}
 	for _, lv := range x.List {
 		if lv.Null {
 			p.hasNull = true
@@ -272,9 +282,11 @@ func (c *compiler) compileIn(x *plan.BIn) (pred, bool) {
 	return p, true
 }
 
-// compileLike handles LIKE patterns that reduce to equality (no wildcards)
-// or a prefix match (a trailing run of '%' and nothing else); everything
-// else falls back to the interpreter's compiled-regexp path.
+// compileLike handles every LIKE with a literal pattern: internal/like
+// specializes equality/prefix/suffix/contains shapes and compiles the rest
+// to the same anchored regexp the interpreter uses, so kernel and fallback
+// agree bit-for-bit. Only a non-literal pattern (or non-string input) is
+// rejected.
 func (c *compiler) compileLike(x *plan.BBinary) (pred, bool) {
 	pat, ok := litScalar(x.R)
 	if !ok || pat.Type != col.STRING {
@@ -284,26 +296,15 @@ func (c *compiler) compileLike(x *plan.BBinary) (pred, bool) {
 	if !ok || v.typ() != col.STRING {
 		return nil, false
 	}
-	prefix, exact, ok := likePrefixPattern(pat.S)
-	if !ok {
+	m, err := like.Compile(pat.S)
+	if err != nil {
 		return nil, false
 	}
-	return &likePred{x: v, prefix: prefix, exact: exact, slot: c.selSlot()}, true
-}
-
-// likePrefixPattern splits a LIKE pattern into (prefix, exact): exact when
-// the pattern has no wildcards at all, prefix-match when its only wildcards
-// are a trailing run of '%'. ok is false for any other pattern.
-func likePrefixPattern(pat string) (prefix string, exact, ok bool) {
-	i := len(pat)
-	for i > 0 && pat[i-1] == '%' {
-		i--
+	p := &likePred{x: v, m: m, slot: c.selSlot(), dictOrd: c.dictOrdOf(v)}
+	if p.dictOrd >= 0 {
+		p.accSlot = c.accSlot()
 	}
-	prefix = pat[:i]
-	if strings.ContainsAny(prefix, "%_") {
-		return "", false, false
-	}
-	return prefix, i == len(pat), true
+	return p, true
 }
 
 // ordered are the types compared with the native <.
@@ -632,12 +633,16 @@ func selCmpBoolVV(op cmpOp, a, b []bool, av, bv []bool, sel, out []int) []int {
 }
 
 // cmpScalar is expression-vs-literal; the literal is pre-coerced to the
-// expression's type at compile time.
+// expression's type at compile time. String compares over a bare column are
+// dictionary-capable: dictOrd holds the ordinal (or -1) and accSlot the
+// accept-set scratch slot.
 type cmpScalar struct {
-	op   cmpOp
-	x    valExpr
-	k    col.Value
-	slot int
+	op      cmpOp
+	x       valExpr
+	k       col.Value
+	slot    int
+	dictOrd int
+	accSlot int
 }
 
 func (p *cmpScalar) selTrue(ctx *evalCtx, sel []int) []int {
@@ -649,6 +654,39 @@ func (p *cmpScalar) selFalse(ctx *evalCtx, sel []int) []int {
 }
 
 func (p *cmpScalar) run(ctx *evalCtx, sel []int, op cmpOp) []int {
+	if p.dictOrd >= 0 {
+		if dc := ctx.dict(p.dictOrd); dc != nil {
+			accept := ctx.s.acceptBuf(p.accSlot, len(dc.Dict))
+			k := p.k.S
+			switch op {
+			case cmpEQ:
+				for j, e := range dc.Dict {
+					accept[j] = e == k
+				}
+			case cmpNE:
+				for j, e := range dc.Dict {
+					accept[j] = e != k
+				}
+			case cmpLT:
+				for j, e := range dc.Dict {
+					accept[j] = e < k
+				}
+			case cmpLE:
+				for j, e := range dc.Dict {
+					accept[j] = e <= k
+				}
+			case cmpGT:
+				for j, e := range dc.Dict {
+					accept[j] = e > k
+				}
+			case cmpGE:
+				for j, e := range dc.Dict {
+					accept[j] = e >= k
+				}
+			}
+			return selDict(ctx, p.slot, dc, accept, sel)
+		}
+	}
 	v := p.x.eval(ctx)
 	out := ctx.s.selBuf(p.slot)
 	switch v.Type {
@@ -739,11 +777,14 @@ type notPred struct {
 func (p *notPred) selTrue(ctx *evalCtx, sel []int) []int  { return p.x.selFalse(ctx, sel) }
 func (p *notPred) selFalse(ctx *evalCtx, sel []int) []int { return p.x.selTrue(ctx, sel) }
 
-// isNullPred is x IS [NOT] NULL.
+// isNullPred is x IS [NOT] NULL. A bare string column is dictionary-capable
+// (it only needs the view's validity mask), so IS NULL tests do not cost a
+// string column its dictionary eligibility.
 type isNullPred struct {
-	x    valExpr
-	not  bool
-	slot int
+	x       valExpr
+	not     bool
+	slot    int
+	dictOrd int
 }
 
 func (p *isNullPred) selTrue(ctx *evalCtx, sel []int) []int {
@@ -755,6 +796,23 @@ func (p *isNullPred) selFalse(ctx *evalCtx, sel []int) []int {
 }
 
 func (p *isNullPred) run(ctx *evalCtx, sel []int, wantNull bool) []int {
+	if p.dictOrd >= 0 {
+		if dc := ctx.dict(p.dictOrd); dc != nil {
+			if dc.Valid == nil {
+				if wantNull {
+					return ctx.s.selBuf(p.slot)
+				}
+				return sel
+			}
+			out := ctx.s.selBuf(p.slot)
+			for _, i := range sel {
+				if dc.Valid[i] != wantNull {
+					out = append(out, i)
+				}
+			}
+			return ctx.s.putSel(p.slot, out)
+		}
+	}
 	v := p.x.eval(ctx)
 	if v.Valid == nil {
 		if wantNull {
@@ -839,6 +897,8 @@ type inPred struct {
 	strs              map[string]struct{}
 	hasTrue, hasFalse bool // BOOL-input membership
 	slot              int
+	dictOrd           int
+	accSlot           int
 }
 
 func (p *inPred) selTrue(ctx *evalCtx, sel []int) []int  { return p.run(ctx, sel, true) }
@@ -875,6 +935,16 @@ func (p *inPred) run(ctx *evalCtx, sel []int, want bool) []int {
 		// A NULL-bearing list has no FALSE rows: matches are TRUE and
 		// non-matches are unknown.
 		return ctx.s.putSel(p.slot, ctx.s.selBuf(p.slot))
+	}
+	if p.dictOrd >= 0 {
+		if dc := ctx.dict(p.dictOrd); dc != nil {
+			accept := ctx.s.acceptBuf(p.accSlot, len(dc.Dict))
+			for j, e := range dc.Dict {
+				_, m := p.strs[e]
+				accept[j] = m == want
+			}
+			return selDict(ctx, p.slot, dc, accept, sel)
+		}
 	}
 	v := p.x.eval(ctx)
 	out := ctx.s.selBuf(p.slot)
@@ -922,38 +992,40 @@ func (p *inPred) run(ctx *evalCtx, sel []int, want bool) []int {
 	return ctx.s.putSel(p.slot, out)
 }
 
-// likePred is string LIKE with an equality or prefix pattern.
+// likePred is string LIKE with any literal pattern; the matcher carries the
+// shared specialization (exact/prefix/suffix/contains/regexp). Under a
+// dictionary it matches each distinct entry once — which is where
+// regexp-shaped patterns win biggest, |dict| regexp runs instead of |rows|.
 type likePred struct {
-	x      valExpr
-	prefix string
-	exact  bool
-	slot   int
+	x       valExpr
+	m       like.Matcher
+	slot    int
+	dictOrd int
+	accSlot int
 }
 
 func (p *likePred) selTrue(ctx *evalCtx, sel []int) []int  { return p.run(ctx, sel, true) }
 func (p *likePred) selFalse(ctx *evalCtx, sel []int) []int { return p.run(ctx, sel, false) }
 
 func (p *likePred) run(ctx *evalCtx, sel []int, want bool) []int {
+	if p.dictOrd >= 0 {
+		if dc := ctx.dict(p.dictOrd); dc != nil {
+			accept := ctx.s.acceptBuf(p.accSlot, len(dc.Dict))
+			for j, e := range dc.Dict {
+				accept[j] = p.m.Match(e) == want
+			}
+			return selDict(ctx, p.slot, dc, accept, sel)
+		}
+	}
 	v := p.x.eval(ctx)
 	out := ctx.s.selBuf(p.slot)
 	vals, valid := v.Strs, v.Valid
-	if p.exact {
-		for _, i := range sel {
-			if valid != nil && !valid[i] {
-				continue
-			}
-			if (vals[i] == p.prefix) == want {
-				out = append(out, i)
-			}
+	for _, i := range sel {
+		if valid != nil && !valid[i] {
+			continue
 		}
-	} else {
-		for _, i := range sel {
-			if valid != nil && !valid[i] {
-				continue
-			}
-			if strings.HasPrefix(vals[i], p.prefix) == want {
-				out = append(out, i)
-			}
+		if p.m.Match(vals[i]) == want {
+			out = append(out, i)
 		}
 	}
 	return ctx.s.putSel(p.slot, out)

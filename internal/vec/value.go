@@ -12,9 +12,21 @@ func (c *compiler) compileVal(e plan.BoundExpr) (valExpr, bool) {
 		switch x.Ty {
 		case col.BOOL, col.INT64, col.FLOAT64, col.STRING, col.DATE, col.TIMESTAMP:
 			c.ref(x.Ordinal, x.Ty)
+			if x.Ty == col.STRING {
+				c.strUse(x.Ordinal)
+			}
 			return &colRef{ord: x.Ordinal, ty: x.Ty}, true
 		}
 		return nil, false
+
+	case *plan.BLit:
+		return c.compileLit(x)
+
+	case *plan.BCase:
+		return c.compileCase(x)
+
+	case *plan.BFunc:
+		return c.compileFunc(x)
 
 	case *plan.BUnary:
 		if x.Op != "-" {

@@ -12,9 +12,13 @@
 // over int64/float64/string/bool/date/timestamp columns, arithmetic
 // (+ - * / %) with scalar specializations, three-valued AND/OR/NOT,
 // IS [NOT] NULL, [NOT] IN over literal lists (hash-set membership with the
-// interpreter's NULL-bearing-list semantics), and LIKE patterns that
-// reduce to an equality or prefix match. Everything is null-mask aware and
-// produces results bit-identical to the interpreter.
+// interpreter's NULL-bearing-list semantics), every LIKE pattern (equality,
+// prefix, suffix and contains patterns specialize via internal/like; the
+// rest run the same anchored regexp the interpreter compiles), literals,
+// CASE WHEN, and the scalar functions of the SQL layer (ABS, LOWER, UPPER,
+// LENGTH, SUBSTR, CONCAT, COALESCE, YEAR, MONTH, DAY, ROUND, FLOOR, CEIL).
+// Everything is null-mask aware and produces results bit-identical to the
+// interpreter.
 //
 // Predicates evaluate under SQL three-valued logic by computing *two*
 // selection sets per node — the rows where the node is TRUE and the rows
@@ -23,6 +27,16 @@
 // A Program is immutable and safe for concurrent use; all per-run state
 // lives in a caller-owned Scratch, so one compiled filter can be shared by
 // every decode worker of a scan pipeline.
+//
+// String predicates can additionally evaluate against a dictionary instead
+// of materialized row values: when every use of a string column is a
+// dictionary-capable leaf (compare-with-literal, LIKE, [NOT] IN,
+// IS [NOT] NULL over the bare column — see Program.DictEligible), RunDict
+// accepts a DictCol view (dictionary + per-row codes) for that column and
+// each leaf decides the predicate once per distinct dictionary entry,
+// O(|dict|) instead of O(rows), then translates row codes through the
+// accept set. Decoders hand the codes straight from a DICT-encoded chunk,
+// so non-surviving rows never materialize a string at all.
 package vec
 
 import (
@@ -37,13 +51,14 @@ import (
 // and interior value vectors returned by a run alias the scratch and are
 // valid only until the next run with the same Scratch.
 type Scratch struct {
-	sels  [][]int
-	vecs  []*col.Vector
-	masks [][]bool
-	all   []int
+	sels    [][]int
+	vecs    []*col.Vector
+	masks   [][]bool
+	accepts [][]bool
+	all     []int
 }
 
-func (s *Scratch) ensure(nSel, nVec int) {
+func (s *Scratch) ensure(nSel, nVec, nAcc int) {
 	if len(s.sels) < nSel {
 		s.sels = append(s.sels, make([][]int, nSel-len(s.sels))...)
 	}
@@ -51,6 +66,17 @@ func (s *Scratch) ensure(nSel, nVec int) {
 		s.vecs = append(s.vecs, make([]*col.Vector, nVec-len(s.vecs))...)
 		s.masks = append(s.masks, make([][]bool, nVec-len(s.masks))...)
 	}
+	if len(s.accepts) < nAcc {
+		s.accepts = append(s.accepts, make([][]bool, nAcc-len(s.accepts))...)
+	}
+}
+
+// acceptBuf returns slot's dictionary accept-set buffer resized to n
+// (contents undefined).
+func (s *Scratch) acceptBuf(slot, n int) []bool {
+	m := resize(s.accepts[slot], n)
+	s.accepts[slot] = m
+	return m
 }
 
 // selBuf returns slot's selection buffer, emptied.
@@ -124,10 +150,23 @@ func resize[T any](s []T, n int) []T {
 	return make([]T, n)
 }
 
-// evalCtx is the per-run evaluation context.
+// evalCtx is the per-run evaluation context. dicts, set only by RunDict,
+// maps batch ordinals to dictionary views; leaves compiled as
+// dictionary-capable consult it before touching the batch vector (which may
+// be nil for a dictionary-provided column).
 type evalCtx struct {
-	b *col.Batch
-	s *Scratch
+	b     *col.Batch
+	s     *Scratch
+	dicts map[int]*DictCol
+}
+
+// dict returns the dictionary view for ord, or nil when the column is
+// materialized in the batch.
+func (ctx *evalCtx) dict(ord int) *DictCol {
+	if ctx.dicts == nil {
+		return nil
+	}
+	return ctx.dicts[ord]
 }
 
 // pred is a compiled predicate node. selTrue returns the subset of sel
@@ -156,10 +195,12 @@ type colRefCheck struct {
 // Program is a compiled predicate. It is immutable and safe for concurrent
 // use with distinct Scratches.
 type Program struct {
-	root pred
-	refs []colRefCheck
-	nSel int
-	nVec int
+	root   pred
+	refs   []colRefCheck
+	nSel   int
+	nVec   int
+	nAcc   int
+	dictOK map[int]bool
 }
 
 // Compile compiles a bound predicate into a kernel program. ok is false
@@ -171,8 +212,19 @@ func Compile(e plan.BoundExpr) (*Program, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &Program{root: root, refs: c.refs, nSel: c.nSel, nVec: c.nVec}, true
+	return &Program{
+		root: root, refs: c.refs,
+		nSel: c.nSel, nVec: c.nVec, nAcc: c.nAcc,
+		dictOK: c.dictEligible(),
+	}, true
 }
+
+// DictEligible reports whether batch ordinal ord may be supplied to RunDict
+// as a DictCol instead of a materialized string vector: the program
+// references it, and every reference sits under a dictionary-capable leaf
+// (compare-with-literal, LIKE, [NOT] IN, IS [NOT] NULL over the bare
+// column).
+func (p *Program) DictEligible(ord int) bool { return p.dictOK[ord] }
 
 // validate checks the batch matches the compiled column references. A
 // mismatch (short batch, missing or retyped vector) reports false and the
@@ -199,16 +251,57 @@ func (p *Program) Run(b *col.Batch, s *Scratch) ([]int, bool) {
 	if !validate(p.refs, b) {
 		return nil, false
 	}
-	s.ensure(p.nSel, p.nVec)
+	s.ensure(p.nSel, p.nVec, p.nAcc)
 	ctx := &evalCtx{b: b, s: s}
 	return p.root.selTrue(ctx, s.identity(b.N)), true
 }
 
-// ValueProgram is a compiled scalar expression.
+// RunDict evaluates the predicate like Run, but columns present in dicts
+// are read as dictionary views (the batch slot for such an ordinal may be
+// nil): each dictionary-capable leaf decides the predicate once per
+// distinct dictionary entry and translates row codes through the accept
+// set, so the selection is computed without materializing a single string.
+// Every ordinal in dicts must satisfy DictEligible and carry exactly b.N
+// codes; ok is false (and nothing is evaluated) otherwise. The result is
+// bit-identical to Run over the materialized equivalent.
+func (p *Program) RunDict(b *col.Batch, dicts map[int]*DictCol, s *Scratch) ([]int, bool) {
+	if len(dicts) == 0 {
+		return p.Run(b, s)
+	}
+	for ord, dc := range dicts {
+		if dc == nil || !p.DictEligible(ord) || dc.N != b.N || len(dc.Codes) != b.N {
+			return nil, false
+		}
+	}
+	for _, r := range p.refs {
+		if dicts[r.ord] != nil {
+			if r.ty != col.STRING {
+				return nil, false
+			}
+			continue
+		}
+		if r.ord < 0 || r.ord >= len(b.Vecs) {
+			return nil, false
+		}
+		v := b.Vecs[r.ord]
+		if v == nil || v.Type != r.ty || v.N != b.N {
+			return nil, false
+		}
+	}
+	s.ensure(p.nSel, p.nVec, p.nAcc)
+	ctx := &evalCtx{b: b, s: s, dicts: dicts}
+	return p.root.selTrue(ctx, s.identity(b.N)), true
+}
+
+// ValueProgram is a compiled scalar expression. CASE WHEN conditions embed
+// predicate trees, so a value program owns selection (and accept-set)
+// slots too.
 type ValueProgram struct {
 	root valExpr
 	refs []colRefCheck
+	nSel int
 	nVec int
+	nAcc int
 }
 
 // CompileValue compiles a bound scalar expression into a value program
@@ -223,7 +316,7 @@ func CompileValue(e plan.BoundExpr) (*ValueProgram, bool) {
 	// The root vector escapes to the caller: mark it fresh so it never
 	// aliases the reusable scratch slots (interior nodes still do).
 	markFresh(root)
-	return &ValueProgram{root: root, refs: c.refs, nVec: c.nVec}, true
+	return &ValueProgram{root: root, refs: c.refs, nSel: c.nSel, nVec: c.nVec, nAcc: c.nAcc}, true
 }
 
 // Eval computes the expression over b. The result is freshly allocated
@@ -234,17 +327,22 @@ func (p *ValueProgram) Eval(b *col.Batch, s *Scratch) (*col.Vector, bool) {
 	if !validate(p.refs, b) {
 		return nil, false
 	}
-	s.ensure(0, p.nVec)
+	s.ensure(p.nSel, p.nVec, p.nAcc)
 	ctx := &evalCtx{b: b, s: s}
 	return p.root.eval(ctx), true
 }
 
 // compiler assigns scratch slots and records column references while
-// translating the bound tree.
+// translating the bound tree. strUses counts compiled references to each
+// string ordinal; dictUses counts the subset owned by dictionary-capable
+// leaves — an ordinal is dictionary-eligible when the two agree.
 type compiler struct {
-	nSel int
-	nVec int
-	refs []colRefCheck
+	nSel     int
+	nVec     int
+	nAcc     int
+	refs     []colRefCheck
+	strUses  map[int]int
+	dictUses map[int]int
 }
 
 func (c *compiler) selSlot() int {
@@ -257,8 +355,52 @@ func (c *compiler) vecSlot() int {
 	return c.nVec - 1
 }
 
+func (c *compiler) accSlot() int {
+	c.nAcc++
+	return c.nAcc - 1
+}
+
 func (c *compiler) ref(ord int, ty col.Type) {
 	c.refs = append(c.refs, colRefCheck{ord: ord, ty: ty})
+}
+
+// strUse records a compiled reference to a string column.
+func (c *compiler) strUse(ord int) {
+	if c.strUses == nil {
+		c.strUses = make(map[int]int)
+	}
+	c.strUses[ord]++
+}
+
+// dictOrdOf reports the batch ordinal when v is a bare string column
+// reference — the shape dictionary-capable leaves can evaluate at the
+// dictionary level — and records the dictionary-owned use. Any other shape
+// returns -1.
+func (c *compiler) dictOrdOf(v valExpr) int {
+	cr, ok := v.(*colRef)
+	if !ok || cr.ty != col.STRING {
+		return -1
+	}
+	if c.dictUses == nil {
+		c.dictUses = make(map[int]int)
+	}
+	c.dictUses[cr.ord]++
+	return cr.ord
+}
+
+// dictEligible computes the per-ordinal eligibility map: every compiled use
+// of the string column is owned by a dictionary-capable leaf.
+func (c *compiler) dictEligible() map[int]bool {
+	if len(c.strUses) == 0 {
+		return nil
+	}
+	ok := make(map[int]bool, len(c.strUses))
+	for ord, n := range c.strUses {
+		if n > 0 && c.dictUses[ord] == n {
+			ok[ord] = true
+		}
+	}
+	return ok
 }
 
 // unionInto merges two ascending selections into buf (deduplicating), the

@@ -149,11 +149,16 @@ func TestLikeKernels(t *testing.T) {
 	wantSel(t, runProg(t, like("al%"), b), []int{0, 2})
 	wantSel(t, runProg(t, like("al"), b), []int{2})
 	wantSel(t, runProg(t, like("%"), b), []int{0, 2, 3})
-	// Patterns outside the prefix form must fall back.
-	for _, pat := range []string{"a_pha", "%pha", "a%a"} {
-		if _, ok := Compile(like(pat)); ok {
-			t.Errorf("pattern %q unexpectedly compiled", pat)
-		}
+	// Suffix, contains, and regexp shapes compile too (NULL row 1 never
+	// selects).
+	wantSel(t, runProg(t, like("%pha"), b), []int{0})
+	wantSel(t, runProg(t, like("%l%"), b), []int{0, 2})
+	wantSel(t, runProg(t, like("a_pha"), b), []int{0})
+	wantSel(t, runProg(t, like("a%a"), b), []int{0})
+	// Only a non-literal pattern forces the fallback now.
+	colPat := &plan.BBinary{Op: "LIKE", L: scol(0), R: scol(0), Ty: col.BOOL}
+	if _, ok := Compile(colPat); ok {
+		t.Error("column-valued LIKE pattern unexpectedly compiled")
 	}
 }
 
@@ -274,26 +279,30 @@ func TestUnionInto(t *testing.T) {
 	}
 }
 
-func TestLikePrefixPattern(t *testing.T) {
+func TestLikeKernelShapes(t *testing.T) {
+	// Every literal pattern shape compiles now — exact, prefix, suffix,
+	// contains, and the regexp remainder — and each selects the same rows
+	// the interpreter would.
+	sv := col.NewVector(col.STRING, 4)
+	copy(sv.Strs, []string{"alpha", "beta", "gamma", "alp"})
+	b := col.NewBatch(sv)
+	sc := func() *plan.BCol { return &plan.BCol{Ordinal: 0, Ty: col.STRING, Name: "s"} }
 	cases := []struct {
-		pat, prefix string
-		exact, ok   bool
+		pat  string
+		want []int
 	}{
-		{"abc", "abc", true, true},
-		{"abc%", "abc", false, true},
-		{"abc%%", "abc", false, true},
-		{"%", "", false, true},
-		{"", "", true, true},
-		{"a_c", "", false, false},
-		{"a%c", "", false, false},
-		{"%abc", "", false, false},
+		{"alpha", []int{0}},      // exact
+		{"al%", []int{0, 3}},     // prefix
+		{"%a", []int{0, 1, 2}},   // suffix
+		{"%et%", []int{1}},       // contains
+		{"%", []int{0, 1, 2, 3}}, // match-all
+		{"a___a", []int{0}},      // regexp
+		{"%m_a", []int{2}},       // regexp
+		{"_l%", []int{0, 3}},     // regexp
 	}
 	for _, c := range cases {
-		prefix, exact, ok := likePrefixPattern(c.pat)
-		if ok != c.ok || (ok && (prefix != c.prefix || exact != c.exact)) {
-			t.Errorf("likePrefixPattern(%q) = (%q,%v,%v), want (%q,%v,%v)",
-				c.pat, prefix, exact, ok, c.prefix, c.exact, c.ok)
-		}
+		e := &plan.BBinary{Op: "LIKE", L: sc(), R: lit(col.Str(c.pat)), Ty: col.BOOL}
+		wantSel(t, runProg(t, e, b), c.want)
 	}
 }
 

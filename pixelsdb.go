@@ -102,6 +102,16 @@ type Options struct {
 	// removes the bound. The budget is process-wide state shared by every
 	// DB in the process.
 	ScanBudget int
+	// ParallelBudget bounds the process-wide intra-query parallelism: at
+	// most this many extra workers (beyond one guaranteed worker per query)
+	// run at once across every concurrent query, so overlapping parallel
+	// queries divide the host instead of multiplying Parallelism by the
+	// query count. Acquisition never blocks — a query that finds the pool
+	// dry just runs narrower, with identical results and billed bytes. 0
+	// keeps the current process setting (default: one token per CPU);
+	// negative removes the bound. Process-wide state shared by every DB in
+	// the process.
+	ParallelBudget int
 	// CFExecution selects how cloud-function worker fragments execute when
 	// the scheduler routes a query to the CF tier:
 	//
@@ -238,6 +248,9 @@ func Open(opts Options) (*DB, error) {
 	eng.SetVectorized(!opts.NoVectorize)
 	if opts.ScanBudget != 0 {
 		engine.SetPrefetchBudget(opts.ScanBudget)
+	}
+	if opts.ParallelBudget != 0 {
+		engine.SetParallelBudget(opts.ParallelBudget)
 	}
 	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
 	cf := cfsim.NewService(clk, opts.CF)
