@@ -151,6 +151,59 @@ func BenchmarkA10RepeatTraffic(b *testing.B) {
 	runExperiment(b, "A10")
 }
 
+// BenchmarkRepeatQueryTracing re-runs the warm-repeat fast path (plan +
+// result cache) with per-query span tracing off and on. The pair is the
+// observability overhead budget: tracing must stay within a few percent
+// of the untraced path, because it is sold as cheap enough to leave on.
+// TestTracingOverheadRepeatQuery asserts the <5% bound when the CI
+// bench-smoke job sets PIXELS_OVERHEAD_GATE=1.
+func BenchmarkRepeatQueryTracing(b *testing.B) {
+	const stmt = "SELECT o_orderpriority, COUNT(*) FROM orders " +
+		"GROUP BY o_orderpriority ORDER BY o_orderpriority"
+	for _, cfg := range []struct {
+		name    string
+		tracing bool
+	}{
+		{"tracing-off", false},
+		{"tracing-on", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, err := Open(Options{PlanCache: true, ResultCacheMB: 8, Tracing: cfg.tracing})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.LoadSampleData("tpch", 0.01); err != nil {
+				b.Fatal(err)
+			}
+			var lastID string
+			submit := func() {
+				q, err := db.Submit("tpch", stmt, Immediate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-q.Done()
+				if q.Err() != nil {
+					b.Fatal(q.Err())
+				}
+				lastID = q.ID
+			}
+			submit() // cold fill: every timed iteration below is a warm repeat
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submit()
+			}
+			b.StopTimer()
+			// Sanity: the traced variant must actually record traces and
+			// the untraced one must not, or the pair measures nothing.
+			if got := db.QueryTrace(lastID) != nil; got != cfg.tracing {
+				b.Fatalf("trace recorded = %v with tracing = %v", got, cfg.tracing)
+			}
+		})
+	}
+}
+
 // BenchmarkRepeatQuery measures one warm repeat submission of an analytic
 // query through the full coordinator path under the three cache
 // configurations: no caches (parse + bind + optimize + scan per repeat),

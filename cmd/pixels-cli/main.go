@@ -15,6 +15,7 @@
 //	status <query-id>               show a query's status block
 //	cancel <query-id>               cancel a pending query
 //	result <query-id>               show a query's result block
+//	trace <query-id>                show a query's span waterfall (server needs -trace)
 //	report                          per-level summary + recent queries
 //	prices                          show the service-level price table
 package main
@@ -24,9 +25,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rover"
 )
 
@@ -98,6 +101,15 @@ func main() {
 		fmt.Printf("-- scanned %d bytes (cache %d hit / %d miss), list price $%.9f, resource cost $%.9f\n",
 			res.BytesScanned, res.CacheHits, res.CacheMisses, res.ListPrice, res.ResourceCost)
 
+	case "trace":
+		need(args, 2, "trace <query-id>")
+		tr, err := c.TraceV1(args[1])
+		check(err)
+		if tr.Root == nil {
+			log.Fatalf("query %s has no trace", args[1])
+		}
+		printSpan(tr.Root, tr.Root.StartUnix, 0)
+
 	case "report":
 		sum, err := c.ReportSummary()
 		check(err)
@@ -139,6 +151,40 @@ func runAndPrint(c *rover.Client, db, level, sqlText string, timeout time.Durati
 	printResult(res.Columns, res.Rows)
 	fmt.Printf("-- pending %dms, exec %dms, scanned %d bytes, list price $%.9f\n",
 		res.PendingMs, res.ExecMs, res.BytesScanned, res.ListPrice)
+}
+
+// printSpan renders one span of the trace waterfall: indentation shows
+// nesting, the +offset column is the span's start relative to the query
+// root, and events (retries, speculation, cache hits) print as bullet
+// lines under their span.
+func printSpan(s *obs.SpanData, rootStart int64, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%s", indent, s.Name)
+	fmt.Printf("%-44s +%9.3fms %10.3fms%s\n", line,
+		float64(s.StartUnix-rootStart)/1000, float64(s.DurationUs)/1000, attrSummary(s.Attrs))
+	for _, ev := range s.Events {
+		fmt.Printf("%s  • %s @+%.3fms%s\n", indent, ev.Name, float64(ev.AtUs)/1000, attrSummary(ev.Attr))
+	}
+	for _, c := range s.Children {
+		printSpan(c, rootStart, depth+1)
+	}
+}
+
+// attrSummary renders span attributes as "  k=v k=v" in sorted key order.
+func attrSummary(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, attrs[k])
+	}
+	return " " + b.String()
 }
 
 func printResult(columns []string, rows [][]string) {

@@ -99,6 +99,10 @@ func main() {
 		cfWorker = flag.String("cf-worker", "pixels-worker", "worker command for -cf-exec=process")
 		planCh   = flag.Bool("plan-cache", false, "cache bound optimized plans keyed on normalized SQL (repeat-traffic fast path, level 1)")
 		resCh    = flag.Int("result-cache-mb", 0, "result cache budget in MiB: serve repeat queries from cached rows, billing zero bytes scanned (0 = off)")
+		traceOn  = flag.Bool("trace", false, "per-query span tracing: GET /v1/query/{id}/trace and pixels-cli trace (results and bills identical either way)")
+		metrics  = flag.Bool("metrics", true, "Prometheus text metrics at GET /metrics")
+		slowMs   = flag.Int64("slow-query-ms", 0, "log queries whose submit-to-finish time is at least this many milliseconds (0 = off)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		admOn       = flag.Bool("admission", true, "service-level admission control: per-tier bounded queues, EDF dispatch, load shedding (false = direct submit)")
 		admSlots    = flag.String("adm-slots", "", "per-tier concurrency slots, e.g. immediate=4,relaxed=4,best=2 (empty = defaults)")
@@ -111,21 +115,25 @@ func main() {
 	flag.Parse()
 
 	opts := pixelsdb.Options{
-		DataDir:           *dataDir,
-		InitialVMs:        *vms,
-		GracePeriod:       *grace,
-		AutoscaleInterval: *scaleInt,
-		Parallelism:       *par,
-		CacheSize:         int64(*cacheMB) << 20,
-		CacheReadAhead:    *readAh,
-		ScanPrefetch:      *scanPf,
-		ScanBudget:        *scanBud,
-		ParallelBudget:    *parBud,
-		NoVectorize:       !*vecOn,
-		CFExecution:       *cfExec,
-		CFWorkerCmd:       []string{*cfWorker},
-		PlanCache:         *planCh,
-		ResultCacheMB:     *resCh,
+		DataDir:            *dataDir,
+		InitialVMs:         *vms,
+		GracePeriod:        *grace,
+		AutoscaleInterval:  *scaleInt,
+		Parallelism:        *par,
+		CacheSize:          int64(*cacheMB) << 20,
+		CacheReadAhead:     *readAh,
+		ScanPrefetch:       *scanPf,
+		ScanBudget:         *scanBud,
+		ParallelBudget:     *parBud,
+		NoVectorize:        !*vecOn,
+		CFExecution:        *cfExec,
+		CFWorkerCmd:        []string{*cfWorker},
+		PlanCache:          *planCh,
+		ResultCacheMB:      *resCh,
+		Tracing:            *traceOn,
+		Metrics:            *metrics,
+		SlowQueryThreshold: time.Duration(*slowMs) * time.Millisecond,
+		Pprof:              *pprofOn,
 	}
 	if *admOn {
 		opts.Admission = &admission.Config{
@@ -165,6 +173,12 @@ func main() {
 		snap := db.Admission().Snapshot()
 		fmt.Printf("admission control: %d slots, %s priority (API: /v1, deprecated alias: /api)\n",
 			snap.TotalSlots, *admPriority)
+	}
+	if *traceOn {
+		fmt.Println("tracing: per-query span trees at GET /v1/query/{id}/trace")
+	}
+	if *metrics {
+		fmt.Println("metrics: Prometheus text at GET /metrics")
 	}
 	fmt.Printf("service levels: immediate $%.2f/TB | relaxed $%.2f/TB (grace %s) | best-of-effort $%.2f/TB\n",
 		p.ScanPricePerTBAt(pixelsdb.Immediate), p.ScanPricePerTBAt(pixelsdb.Relaxed),

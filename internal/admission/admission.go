@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/billing"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -471,6 +472,7 @@ func (c *Controller) shedLocked(t *Ticket, reason string, _ time.Time) {
 	t.retry = c.retryAfterLocked(t.Level)
 	t.finished = c.clock.Now()
 	c.stats[t.Level].shedByReason[reason]++
+	obs.AdmissionShedTotal.Inc(t.Level.String(), reason)
 }
 
 // Submit runs the admission decision for one request: run now when the
@@ -514,6 +516,7 @@ func (c *Controller) Submit(req Request) (*Ticket, Decision) {
 		t.started = now
 		c.used[req.Level]++
 		c.stats[req.Level].admitted++
+		obs.AdmissionQueueWaitSeconds.Observe(0, req.Level.String())
 		runNow = true
 	case q.Len() >= c.queueCap(req.Level):
 		c.shedLocked(t, ShedQueueFull, now)
@@ -637,6 +640,7 @@ func (c *Controller) dispatch() {
 		t.started = c.clock.Now()
 		c.used[t.Level]++
 		c.stats[t.Level].admitted++
+		obs.AdmissionQueueWaitSeconds.Observe(t.started.Sub(t.submitted).Seconds(), t.Level.String())
 		start := t.start
 		c.mu.Unlock()
 

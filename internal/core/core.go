@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/billing"
 	"repro/internal/cfsim"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vmsim"
 )
@@ -174,6 +176,14 @@ type Config struct {
 	// (single-flight), and successful fills populate it. A hit bills zero
 	// bytes scanned — nothing was scanned.
 	ResultCache ResultCache
+	// SlowQueryThreshold, when positive, logs every query whose total
+	// latency (submit to finish) reaches it — tier, phase timings, bytes
+	// scanned and the SQL text.
+	SlowQueryThreshold time.Duration
+	// TraceStore, when set, retains finished queries' span trees (for
+	// queries submitted with a trace) so the server can serve
+	// GET /v1/query/{id}/trace after the fact.
+	TraceStore *obs.TraceStore
 	// Prices is the billing book.
 	Prices billing.PriceBook
 }
@@ -360,6 +370,7 @@ func (c *Coordinator) dispatch(q *Query) {
 			if res, ok := rc.Get(pp.ResultKey); ok {
 				c.cacheHits++
 				c.mu.Unlock()
+				pp.Trace.Root().Event("result-cache-hit", nil)
 				q.mu.Lock()
 				q.cacheHit = true
 				q.mu.Unlock()
@@ -697,6 +708,7 @@ func (c *Coordinator) finalize(q *Query, out Outcome) {
 	if c.ledger != nil {
 		c.ledger.Append(bill)
 	}
+	c.observeFinished(q, bill)
 	close(q.done)
 
 	// Settle coalesced followers with the shared outcome, and — for a
@@ -746,6 +758,48 @@ func (c *Coordinator) finalize(q *Query, out Outcome) {
 			c.finalize(w, hitOut)
 		}
 	}
+}
+
+// observeFinished records a finished (or failed) query into the process
+// metrics, closes out its trace, and emits the threshold-gated slow-query
+// log line. Called once per query, right before its done channel closes.
+func (c *Coordinator) observeFinished(q *Query, bill billing.QueryBill) {
+	tier := q.Level.String()
+	execSec := bill.EndTime.Sub(bill.StartTime).Seconds()
+	pendSec := bill.StartTime.Sub(bill.SubmitTime).Seconds()
+	obs.QueriesTotal.Inc(tier, bill.Status)
+	obs.QueryExecSeconds.Observe(execSec, tier)
+	obs.QueryPendingSeconds.Observe(pendSec, tier)
+	obs.BilledBytesTotal.Add(bill.BytesScanned, tier)
+
+	if tr := queryTrace(q); tr != nil {
+		root := tr.Root()
+		root.SetAttr("query_id", q.ID)
+		root.SetAttr("tier", tier)
+		root.SetAttr("status", bill.Status)
+		root.SetAttr("used_cf", bill.UsedCF)
+		root.SetAttr("cache_hit", bill.CacheHit)
+		root.SetAttr("bytes_scanned", bill.BytesScanned)
+		root.SetAttr("rows_returned", bill.RowsReturned)
+		root.End()
+		c.cfg.TraceStore.Put(q.ID, tr.Data())
+	}
+
+	if th := c.cfg.SlowQueryThreshold; th > 0 {
+		if total := bill.EndTime.Sub(bill.SubmitTime); total >= th {
+			log.Printf("pixels: slow query %s [%s] total=%v pending=%.3fs exec=%.3fs scanned=%dB status=%s sql=%q",
+				q.ID, tier, total.Round(time.Millisecond), pendSec, execSec,
+				bill.BytesScanned, bill.Status, q.SQL)
+		}
+	}
+}
+
+// queryTrace extracts the trace a submission carried, if any.
+func queryTrace(q *Query) *obs.Trace {
+	if pp, ok := q.Payload.(PlanPayload); ok {
+		return pp.Trace
+	}
+	return nil
 }
 
 // cachedView wraps a just-filled result the way a cache hit reads: rows
@@ -809,6 +863,7 @@ func (c *Coordinator) finalizeFollower(f *Query, out Outcome) {
 	if c.ledger != nil {
 		c.ledger.Append(bill)
 	}
+	c.observeFinished(f, bill)
 	close(f.done)
 }
 

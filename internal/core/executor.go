@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sql"
 )
@@ -100,6 +101,7 @@ type realCFJob struct {
 	engine  *engine.Engine
 	split   *engine.CFSplit
 	invoker engine.WorkerInvoker // nil = run tasks as engine goroutines
+	trace   *obs.Trace           // nil = tracing off
 
 	mu       sync.Mutex
 	attempts []int // RunTask calls per task: the scheduler's retries
@@ -115,7 +117,13 @@ func (j *realCFJob) NumTasks() int { return len(j.split.Tasks) }
 func (j *realCFJob) RunTask(i int, done func(TaskOutcome)) {
 	go func() {
 		if j.invoker == nil {
-			meta, stats, err := j.engine.RunWorker(context.Background(), j.split, i)
+			span := j.trace.Root().StartChild(fmt.Sprintf("cf-task:%d", i))
+			ctx := obs.ContextWithSpan(context.Background(), span)
+			meta, stats, err := j.engine.RunWorker(ctx, j.split, i)
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
 			if err == nil {
 				j.mu.Lock()
 				j.interms[i] = meta
@@ -128,20 +136,28 @@ func (j *realCFJob) RunTask(i int, done func(TaskOutcome)) {
 		attempt := j.attempts[i]
 		j.attempts[i]++
 		j.mu.Unlock()
+		if attempt > 0 {
+			obs.DistTaskRetriesTotal.Inc()
+		}
 		req, err := engine.NewWorkerRequest(j.split, i, attempt)
 		if err != nil {
 			done(TaskOutcome{Err: err})
 			return
 		}
+		req.Trace = j.trace != nil
+		span := j.trace.Root().StartChild(fmt.Sprintf("cf-task:%d.a%d", i, attempt))
 		resp, err := j.invoker.Invoke(context.Background(), req)
+		if err == nil && resp.Error != "" {
+			err = errors.New(resp.Error)
+		}
 		if err != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
 			done(TaskOutcome{Err: err})
 			return
 		}
-		if resp.Error != "" {
-			done(TaskOutcome{Err: errors.New(resp.Error)})
-			return
-		}
+		span.Adopt(resp.Spans)
+		span.End()
 		j.mu.Lock()
 		j.interms[i] = resp.Interm
 		j.mu.Unlock()
@@ -155,7 +171,10 @@ func (j *realCFJob) Merge(done func(Outcome)) {
 		j.mu.Lock()
 		interms := append([]catalog.FileMeta(nil), j.interms...)
 		j.mu.Unlock()
-		res, err := j.engine.MergeResults(context.Background(), j.split, interms)
+		span := j.trace.Root().StartChild("merge")
+		defer span.End()
+		ctx := obs.ContextWithSpan(context.Background(), span)
+		res, err := j.engine.MergeResults(ctx, j.split, interms)
 		if j.invoker != nil {
 			// Retried tasks leave failed attempts' intermediates behind;
 			// MergeResults only deletes the winners. Sweep the query's
@@ -182,6 +201,11 @@ type PlanPayload struct {
 	// (plan fingerprint + referenced-table generations, computed by
 	// internal/qcache). Empty means the query bypasses the result cache.
 	ResultKey string
+	// Trace, when set, collects this query's span tree: the executor
+	// carries it into the engine via context, CF tasks record per-attempt
+	// spans, and the coordinator ends the root at finalize. Nil = tracing
+	// off, with zero overhead past a nil check.
+	Trace *obs.Trace
 }
 
 // PlannedExecutor is a RealExecutor variant for pre-bound plans.
@@ -202,7 +226,8 @@ func (r *PlannedExecutor) VMRun(q *Query, done func(Outcome)) {
 		return
 	}
 	go func() {
-		res, err := r.Engine.RunPlanParallel(context.Background(), payload.Node, r.Parallelism)
+		ctx := obs.ContextWithTrace(context.Background(), payload.Trace)
+		res, err := r.Engine.RunPlanParallel(ctx, payload.Node, r.Parallelism)
 		if err != nil {
 			done(Outcome{Err: err})
 			return
@@ -221,7 +246,9 @@ func (r *PlannedExecutor) CFPlan(q *Query, maxParts int) (CFJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newRealCFJob(r.Engine, split, r.CFInvoker), nil
+	job := newRealCFJob(r.Engine, split, r.CFInvoker)
+	job.trace = payload.Trace
+	return job, nil
 }
 
 var _ Executor = (*PlannedExecutor)(nil)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -180,6 +181,9 @@ func (e *Engine) RunPlanDistributed(ctx context.Context, node plan.Node, queryID
 
 // runSplitDistributed drives one split through the invoker and merges.
 func (e *Engine) runSplitDistributed(ctx context.Context, split *CFSplit, opts DistOptions) (*Result, error) {
+	ctx, dspan := obs.StartSpan(ctx, "exec:distributed")
+	defer dspan.End()
+	dspan.SetAttr("parts", len(split.Tasks))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -193,7 +197,9 @@ func (e *Engine) runSplitDistributed(ctx context.Context, split *CFSplit, opts D
 		go func(task int) {
 			defer wg.Done()
 			defer distLive.Add(-1)
-			resps[task], errs[task] = e.runTaskAttempts(wctx, split, task, opts)
+			tspan := dspan.StartChild(fmt.Sprintf("task:%d", task))
+			resps[task], errs[task] = e.runTaskAttempts(obs.ContextWithSpan(wctx, tspan), split, task, opts)
+			tspan.End()
 			if errs[task] != nil {
 				cancel() // abort sibling tasks
 			}
@@ -242,10 +248,12 @@ func (e *Engine) runSplitDistributed(ctx context.Context, split *CFSplit, opts D
 func (e *Engine) runTaskAttempts(ctx context.Context, split *CFSplit, task int, opts DistOptions) (*WorkerResponse, error) {
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel() // tears down the loser of a speculative race
+	tspan := obs.SpanFrom(ctx)
 
 	type attemptResult struct {
 		resp *WorkerResponse
 		err  error
+		span *obs.Span
 	}
 	// Buffered for the worst case (all retries plus the speculative
 	// duplicate), so late finishers never block after we've returned.
@@ -257,15 +265,24 @@ func (e *Engine) runTaskAttempts(ctx context.Context, split *CFSplit, task int, 
 			return err
 		}
 		req.Interpreted = e.interp
+		req.Trace = tspan != nil
 		attempts++
 		distLive.Add(1)
+		// Attempt spans start detached: only attempts that report back are
+		// attached to the task span, so a cancelled straggler's span can
+		// never dangle open past its parent.
+		aspan := tspan.Detached(fmt.Sprintf("attempt:%d", req.Attempt))
 		go func() {
 			defer distLive.Add(-1)
 			resp, err := opts.Invoker.Invoke(tctx, req)
 			if err == nil && resp.Error != "" {
 				err = fmt.Errorf("engine: worker %d attempt %d: %s", req.Task, req.Attempt, resp.Error)
 			}
-			ch <- attemptResult{resp, err}
+			if err != nil {
+				aspan.SetAttr("error", err.Error())
+			}
+			aspan.End()
+			ch <- attemptResult{resp, err, aspan}
 		}()
 		return nil
 	}
@@ -289,21 +306,47 @@ func (e *Engine) runTaskAttempts(ctx context.Context, split *CFSplit, task int, 
 			// Duplicate the straggler; does not consume retry budget.
 			if err := launch(); err == nil {
 				outstanding++
+				obs.DistTaskSpeculativeTotal.Inc()
+				tspan.Event("speculate", map[string]any{"attempt": attempts - 1})
 			}
 		case r := <-ch:
 			outstanding--
+			tspan.Attach(r.span)
 			if r.err == nil {
+				// Winner: its fragment spans (possibly shipped across a
+				// process boundary) graft under the winning attempt.
+				r.span.Adopt(r.resp.Spans)
+				r.resp.Spans = nil
 				return r.resp, nil
 			}
 			lastErr = r.err
 			if budget > 0 && ctx.Err() == nil {
 				budget--
+				obs.DistTaskRetriesTotal.Inc()
+				tspan.Event("retry", map[string]any{
+					"attempt": attempts,
+					"error":   r.err.Error(),
+				})
 				if err := launch(); err != nil {
 					return nil, err
 				}
 				outstanding++
 			} else if outstanding == 0 {
-				return nil, lastErr
+				// Retry budget exhausted: every attempt's intermediate key
+				// is about to be swept by the caller's DeletePrefix — name
+				// them in the error and the trace instead of failing
+				// silently with only the last attempt's message.
+				swept := make([]string, attempts)
+				for a := range swept {
+					swept[a] = intermAttemptKey(split.QueryID, task, a)
+				}
+				obs.DistTaskSweptKeysTotal.Add(int64(len(swept)))
+				tspan.Event("retries-exhausted", map[string]any{
+					"attempts":   attempts,
+					"swept_keys": swept,
+				})
+				return nil, fmt.Errorf("engine: task %d failed after %d attempt(s), sweeping intermediates %v: %w",
+					task, attempts, swept, lastErr)
 			}
 		}
 	}
@@ -316,6 +359,8 @@ func (e *Engine) mergeDistributed(ctx context.Context, split *CFSplit, interms [
 	defer func() {
 		_, _ = objstore.DeletePrefix(e.store, objstore.IntermediatePrefix(split.QueryID))
 	}()
+	ctx, mspan := obs.StartSpan(ctx, "merge")
+	defer mspan.End()
 
 	stats := &Stats{}
 	mergePlan := split.mergePlan
@@ -343,6 +388,7 @@ func (e *Engine) mergeDistributed(ctx context.Context, split *CFSplit, interms [
 		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
+		Span:         mspan,
 	})
 	if err != nil {
 		return nil, err

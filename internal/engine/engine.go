@@ -14,6 +14,7 @@ import (
 	"repro/internal/col"
 	"repro/internal/exec"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/pixfile"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -256,11 +257,14 @@ func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	// cancel releases any prefetch goroutines still in flight.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	ctx, span := obs.StartSpan(ctx, "exec:serial")
+	defer span.End()
 	stats := &Stats{}
 	op, err := exec.BuildWith(node, exec.BuildEnv{
 		ScanFactory:  e.scanFactory(ctx, stats, nil, pipelineEligible(node)),
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, nil, pipelineEligible(node)),
+		Span:         span,
 	})
 	if err != nil {
 		return nil, err
@@ -269,6 +273,8 @@ func (e *Engine) RunPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("rows_scanned", stats.RowsScanned)
+	span.SetAttr("bytes_scanned", stats.BytesScanned)
 	return resultFromBatch(node.Schema(), out, *stats), nil
 }
 

@@ -3,11 +3,13 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/col"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -118,6 +120,9 @@ func pathTo(n plan.Node, target *plan.ScanNode) []plan.Node {
 // runSplitParallel fans the split's tasks out over goroutines and merges
 // their streamed outputs.
 func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result, error) {
+	ctx, pspan := obs.StartSpan(ctx, "exec:parallel")
+	defer pspan.End()
+	pspan.SetAttr("parts", len(split.Tasks))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -127,15 +132,19 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	var joinBuilds map[*plan.JoinNode]*exec.JoinBuild
 	var buildStats Stats
 	if split.buildJoin != nil {
+		bspan := pspan.StartChild("join-build")
 		rightOp, err := exec.BuildWith(split.buildJoin.Right, exec.BuildEnv{
 			ScanFactory:  e.scanFactory(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
 			Interpreted:  e.interp,
 			FusedAggScan: e.fusedAggScan(wctx, &buildStats, nil, pipelineEligible(split.buildJoin.Right)),
+			Span:         bspan,
 		})
 		if err != nil {
+			bspan.End()
 			return nil, err
 		}
 		jb, err := exec.PrepareJoinBuild(split.buildJoin, rightOp)
+		bspan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +165,10 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 		go func(i int) {
 			defer wg.Done()
 			defer close(chans[i])
-			workerErrs[i] = e.runWorkerStreaming(wctx, split, i, joinBuilds, &workerStats[i], chans[i])
+			wspan := pspan.StartChild(fmt.Sprintf("worker:%d", i))
+			workerErrs[i] = e.runWorkerStreaming(obs.ContextWithSpan(wctx, wspan), split, i, joinBuilds, &workerStats[i], chans[i])
+			wspan.SetAttr("rows_scanned", workerStats[i].RowsScanned)
+			wspan.End()
 			if workerErrs[i] != nil {
 				cancel() // abort sibling workers
 			}
@@ -212,15 +224,18 @@ func (e *Engine) runSplitParallel(ctx context.Context, split *CFSplit) (*Result,
 	overrides := map[*plan.ScanNode]scanOverride{
 		split.interm: {iter: iter},
 	}
+	mspan := pspan.StartChild("merge")
 	op, err := exec.BuildWith(mergePlan, exec.BuildEnv{
 		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
+		Span:         mspan,
 	})
 	var out *col.Batch
 	if err == nil {
 		out, err = exec.Collect(op)
 	}
+	mspan.End()
 
 	// Unblock any worker still producing, then wait for all of them so the
 	// per-worker stats reads below cannot race.
@@ -263,6 +278,7 @@ func (e *Engine) runWorkerStreaming(ctx context.Context, split *CFSplit, task in
 		JoinBuilds:   joinBuilds,
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, pipelineEligible(split.workerPlan)),
+		Span:         obs.SpanFrom(ctx),
 	})
 	if err != nil {
 		return err

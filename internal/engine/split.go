@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/col"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -564,6 +565,7 @@ func (e *Engine) MergeResults(ctx context.Context, split *CFSplit, interms []cat
 		ScanFactory:  e.scanFactory(ctx, stats, overrides, nil),
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, nil),
+		Span:         obs.SpanFrom(ctx),
 	})
 	if err != nil {
 		return nil, err

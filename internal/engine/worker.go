@@ -13,6 +13,7 @@ import (
 	"repro/internal/col"
 	"repro/internal/exec"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/pixfile"
 	"repro/internal/plan"
 )
@@ -43,6 +44,10 @@ type WorkerRequest struct {
 	// Interpreted disables the vectorized kernels, mirroring the
 	// coordinator engine's setting so both sides evaluate identically.
 	Interpreted bool `json:"interpreted,omitempty"`
+	// Trace asks the worker to record per-operator spans for its fragment
+	// and ship them back in WorkerResponse.Spans. Execution, stats and
+	// billed bytes are identical either way.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // WorkerResponse is what a worker reports back: the intermediate it wrote
@@ -53,6 +58,10 @@ type WorkerResponse struct {
 	Interm catalog.FileMeta `json:"interm"`
 	Stats  Stats            `json:"stats"`
 	Error  string           `json:"error,omitempty"`
+	// Spans is the fragment's span tree when the request set Trace. The
+	// coordinator grafts it under the winning attempt's span, so under
+	// speculation only the winner's spans appear in the query trace.
+	Spans *obs.SpanData `json:"spans,omitempty"`
 }
 
 // NewWorkerRequest serializes one task of a split into a self-contained
@@ -122,6 +131,7 @@ func (e *Engine) executeFragment(ctx context.Context, node plan.Node, scan *plan
 		ScanFactory:  e.scanFactory(ctx, stats, overrides, pipelineEligible(node)),
 		Interpreted:  e.interp,
 		FusedAggScan: e.fusedAggScan(ctx, stats, overrides, pipelineEligible(node)),
+		Span:         obs.SpanFrom(ctx),
 	})
 	if err != nil {
 		return catalog.FileMeta{}, Stats{}, err
@@ -150,6 +160,14 @@ func (e *Engine) executeFragment(ctx context.Context, node plan.Node, scan *plan
 // process (WorkerMain) and the in-process LocalInvoker, so both exercise
 // the same serialization round trip.
 func (e *Engine) ExecuteWorkerRequest(ctx context.Context, req *WorkerRequest) *WorkerResponse {
+	// A traced request records the fragment under a worker-local trace;
+	// its snapshot ships back in the response and the coordinator grafts
+	// it under the winning attempt's span.
+	var wtr *obs.Trace
+	if req.Trace {
+		wtr = obs.NewTrace(req.QueryID, fmt.Sprintf("fragment:t%d.a%d", req.Task, req.Attempt))
+		ctx = obs.ContextWithTrace(ctx, wtr)
+	}
 	node, scan, err := decodeWorkerPlan(req.Plan)
 	if err != nil {
 		return &WorkerResponse{Error: err.Error()}
@@ -158,7 +176,15 @@ func (e *Engine) ExecuteWorkerRequest(ctx context.Context, req *WorkerRequest) *
 	if err != nil {
 		return &WorkerResponse{Error: err.Error()}
 	}
-	return &WorkerResponse{Interm: meta, Stats: stats}
+	resp := &WorkerResponse{Interm: meta, Stats: stats}
+	if wtr != nil {
+		root := wtr.Root()
+		root.SetAttr("out_rows", meta.Rows)
+		root.SetAttr("out_bytes", meta.Size)
+		root.End()
+		resp.Spans = wtr.Data()
+	}
+	return resp
 }
 
 // WorkerMain is the entry point of a CF worker process: it reads one JSON

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/col"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/vec"
 )
@@ -735,6 +736,15 @@ type BuildEnv struct {
 	// for HashAggOp. Returning ok=false keeps the normal HashAggOp-over-
 	// scan tree; rows, stats and billed bytes are identical either way.
 	FusedAggScan func(*plan.AggNode, *plan.ScanNode) (Operator, bool)
+	// Span, when non-nil, wraps every built operator in a timing decorator
+	// recording one child span per operator (opened at Open, closed at
+	// Close, rows emitted as an attr), nested to mirror the operator tree.
+	// Rows, stats and billed bytes are unaffected.
+	Span *obs.Span
+
+	// parentHolder threads the enclosing operator's span holder through
+	// recursive traced builds so operator spans nest; nil at the root.
+	parentHolder *opSpanHolder
 }
 
 // Build constructs the operator tree for a plan. scanFactory supplies the
@@ -743,8 +753,30 @@ func Build(n plan.Node, scanFactory func(*plan.ScanNode) func() (ScanStream, err
 	return BuildWith(n, BuildEnv{ScanFactory: scanFactory})
 }
 
-// BuildWith is Build with an explicit environment.
+// BuildWith is Build with an explicit environment. When env.Span is set
+// every operator is wrapped in a span decorator; otherwise the tree is
+// built bare with zero tracing overhead.
 func BuildWith(n plan.Node, env BuildEnv) (Operator, error) {
+	if env.Span == nil {
+		return buildOp(n, env)
+	}
+	parent := env.parentHolder
+	if parent == nil {
+		parent = &opSpanHolder{s: env.Span}
+	}
+	self := &opSpanHolder{}
+	childEnv := env
+	childEnv.parentHolder = self
+	inner, err := buildOp(n, childEnv)
+	if err != nil {
+		return nil, err
+	}
+	return &spanOp{inner: inner, name: opSpanName(n), parent: parent, self: self}, nil
+}
+
+// buildOp constructs one operator, recursing through BuildWith so traced
+// builds wrap every level.
+func buildOp(n plan.Node, env BuildEnv) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.ScanNode:
 		return newScanOp(x, env.ScanFactory(x), env.Interpreted), nil

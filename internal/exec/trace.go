@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+
+	"repro/internal/col"
+)
+
+// opSpanHolder carries the span an operator opens at Open so its
+// children's decorators (built before any span exists) can nest under
+// it. Open cascades parent-to-child in one goroutine, so the field is
+// written before any child reads it.
+type opSpanHolder struct{ s *obs.Span }
+
+// spanOp wraps an operator with a trace span: opened at Open, closed at
+// Close, rows emitted recorded as an attribute. Execution semantics are
+// untouched — every call delegates to the inner operator.
+type spanOp struct {
+	inner  Operator
+	name   string
+	parent *opSpanHolder
+	self   *opSpanHolder
+
+	span    *obs.Span
+	rows    int64
+	batches int64
+}
+
+func (o *spanOp) Schema() *col.Schema { return o.inner.Schema() }
+
+func (o *spanOp) Open() error {
+	// A nil parent span (parent never opened, or tracing raced off)
+	// degrades to a nil span: every later call no-ops.
+	o.span = o.parent.s.StartChild(o.name)
+	o.self.s = o.span
+	err := o.inner.Open()
+	if err != nil {
+		o.span.SetAttr("error", err.Error())
+	}
+	return err
+}
+
+func (o *spanOp) Next() (*col.Batch, error) {
+	b, err := o.inner.Next()
+	if b != nil {
+		o.rows += int64(b.N)
+		o.batches++
+	}
+	return b, err
+}
+
+func (o *spanOp) Close() error {
+	err := o.inner.Close()
+	if o.span != nil {
+		o.span.SetAttr("rows", o.rows)
+		o.span.SetAttr("batches", o.batches)
+		o.span.End()
+	}
+	return err
+}
+
+// opSpanName labels an operator span after its plan node; scans carry
+// the table binding so waterfalls read like the query.
+func opSpanName(n plan.Node) string {
+	switch x := n.(type) {
+	case *plan.ScanNode:
+		name := x.Binding
+		if name == "" && x.Table != nil {
+			name = x.Table.Name
+		}
+		return "op:scan " + name
+	case *plan.FilterNode:
+		return "op:filter"
+	case *plan.ProjectNode:
+		return "op:project"
+	case *plan.JoinNode:
+		return "op:join"
+	case *plan.AggNode:
+		return "op:agg"
+	case *plan.SortNode:
+		return "op:sort"
+	case *plan.TopNNode:
+		return "op:topn"
+	case *plan.LimitNode:
+		return "op:limit"
+	default:
+		return fmt.Sprintf("op:%T", n)
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var s *Span
+	// None of these may panic or allocate a trace.
+	s2 := s.StartChild("x")
+	if s2 != nil {
+		t.Fatal("nil span StartChild must return nil")
+	}
+	s.End()
+	s.SetAttr("k", 1)
+	s.Event("e", nil)
+	s.Adopt(&SpanData{Name: "w"})
+	if s.Data() != nil {
+		t.Fatal("nil span Data must return nil")
+	}
+	if tr.Root() != nil || tr.Data() != nil {
+		t.Fatal("nil trace accessors must return nil")
+	}
+
+	ctx := context.Background()
+	if got := ContextWithTrace(ctx, nil); got != ctx {
+		t.Fatal("ContextWithTrace(nil) must return ctx unchanged")
+	}
+	ctx2, sp := StartSpan(ctx, "op")
+	if ctx2 != ctx || sp != nil {
+		t.Fatal("StartSpan without trace must be a no-op")
+	}
+}
+
+func TestSpanTreeAndContext(t *testing.T) {
+	tr := NewTrace("q-1", "query")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	if SpanFrom(ctx) != tr.Root() {
+		t.Fatal("current span should start as root")
+	}
+	ctx, plan := StartSpan(ctx, "plan")
+	plan.SetAttr("cached", false)
+	ctx2, bind := StartSpan(ctx, "bind")
+	bind.End()
+	_ = ctx2
+	plan.End()
+	tr.Root().End()
+
+	d := tr.Data()
+	if d.Name != "query" || len(d.Children) != 1 {
+		t.Fatalf("bad tree root: %+v", d)
+	}
+	p := d.Children[0]
+	if p.Name != "plan" || len(p.Children) != 1 || p.Children[0].Name != "bind" {
+		t.Fatalf("bad plan subtree: %+v", p)
+	}
+	if p.Attrs["cached"] != false {
+		t.Fatalf("attr lost: %+v", p.Attrs)
+	}
+	if err := CheckWellFormed(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsRecordOffsets(t *testing.T) {
+	tr := NewTrace("q", "root")
+	s := tr.Root().StartChild("task")
+	s.Event("retry", map[string]any{"attempt": 1})
+	time.Sleep(2 * time.Millisecond)
+	s.Event("retry", map[string]any{"attempt": 2})
+	s.End()
+	d := s.Data()
+	if len(d.Events) != 2 {
+		t.Fatalf("want 2 events, got %d", len(d.Events))
+	}
+	if d.Events[1].AtUs < d.Events[0].AtUs {
+		t.Fatalf("event offsets not monotonic: %+v", d.Events)
+	}
+	if d.Events[0].Attr["attempt"] != 1 {
+		t.Fatalf("event attrs lost: %+v", d.Events[0])
+	}
+}
+
+func TestAdoptRoundTripsThroughJSON(t *testing.T) {
+	// Simulate a worker: build a subtree, snapshot, marshal across the
+	// "process boundary", unmarshal, and graft it into the coordinator.
+	workerTr := NewTrace("q", "worker")
+	op := workerTr.Root().StartChild("scan")
+	op.SetAttr("rows", 42)
+	op.End()
+	workerTr.Root().End()
+	wire, err := json.Marshal(workerTr.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shipped SpanData
+	if err := json.Unmarshal(wire, &shipped); err != nil {
+		t.Fatal(err)
+	}
+	coord := NewTrace("q", "query")
+	attempt := coord.Root().StartChild("attempt")
+	attempt.Adopt(&shipped)
+	attempt.End()
+	coord.Root().End()
+
+	d := coord.Data()
+	if len(d.Children) != 1 || len(d.Children[0].Children) != 1 {
+		t.Fatalf("graft lost: %+v", d)
+	}
+	w := d.Children[0].Children[0]
+	if w.Name != "worker" || len(w.Children) != 1 || w.Children[0].Name != "scan" {
+		t.Fatalf("bad grafted subtree: %+v", w)
+	}
+	// JSON numbers decode as float64; the attr must survive in some form.
+	if fmt.Sprint(w.Children[0].Attrs["rows"]) != "42" {
+		t.Fatalf("worker attr lost: %+v", w.Children[0].Attrs)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTrace("q", "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Root().StartChild(fmt.Sprintf("worker-%d", i))
+			s.SetAttr("i", i)
+			s.Event("tick", nil)
+			s.End()
+		}(i)
+	}
+	// Snapshot while children are being added — must not race.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			_ = tr.Data()
+		}
+	}()
+	wg.Wait()
+	tr.Root().End()
+	d := tr.Data()
+	if len(d.Children) != 16 {
+		t.Fatalf("want 16 children, got %d", len(d.Children))
+	}
+	if err := CheckWellFormed(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceStoreLRU(t *testing.T) {
+	ts := NewTraceStore(2)
+	ts.Put("a", &SpanData{Name: "a"})
+	ts.Put("b", &SpanData{Name: "b"})
+	ts.Get("a") // refresh a
+	ts.Put("c", &SpanData{Name: "c"})
+	if ts.Get("b") != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if ts.Get("a") == nil || ts.Get("c") == nil {
+		t.Fatal("a and c should survive")
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ts.Len())
+	}
+	// Replacement of an existing ID keeps the count.
+	ts.Put("a", &SpanData{Name: "a2"})
+	if ts.Len() != 2 || ts.Get("a").Name != "a2" {
+		t.Fatal("replace failed")
+	}
+	// Nil store is safe.
+	var nilStore *TraceStore
+	nilStore.Put("x", &SpanData{})
+	if nilStore.Get("x") != nil || nilStore.Len() != 0 {
+		t.Fatal("nil store must be inert")
+	}
+}
+
+func TestCheckWellFormedRejectsBadTrees(t *testing.T) {
+	if err := CheckWellFormed(nil); err == nil {
+		t.Fatal("nil tree must be rejected")
+	}
+	parent := &SpanData{Name: "p", StartUnix: 1000, DurationUs: 10_000}
+	parent.Children = []*SpanData{{Name: "c", StartUnix: 1000, DurationUs: 50_000}}
+	if err := CheckWellFormed(parent); err == nil {
+		t.Fatal("child longer than parent must be rejected")
+	}
+}

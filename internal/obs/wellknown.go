@@ -1,0 +1,63 @@
+package obs
+
+// Well-known instruments on the Default registry. Layers record into
+// these directly; the server's /metrics handler additionally sets
+// point-in-time gauges from component snapshots at scrape time.
+var (
+	// Query lifecycle (recorded by core at finalize).
+	QueriesTotal = Default.NewCounter("pixels_queries_total",
+		"Queries finished, by service tier and terminal status.", "tier", "status")
+	QueryExecSeconds = Default.NewHistogram("pixels_query_exec_seconds",
+		"Wall-clock execution time per query (excludes queue wait).", nil, "tier")
+	QueryPendingSeconds = Default.NewHistogram("pixels_query_pending_seconds",
+		"Time from submission to execution start per query.", nil, "tier")
+	BilledBytesTotal = Default.NewCounter("pixels_billed_bytes_total",
+		"Bytes billed as scanned, by service tier.", "tier")
+
+	// Admission control (events recorded by the admission controller;
+	// depth/slot gauges are snapshot-sourced at scrape time).
+	AdmissionShedTotal = Default.NewCounter("pixels_admission_shed_total",
+		"Submissions shed by admission control, by tier and reason.", "tier", "reason")
+	AdmissionQueueWaitSeconds = Default.NewHistogram("pixels_admission_queue_wait_seconds",
+		"Time admitted queries spent queued before dispatch.", nil, "tier")
+	AdmissionQueueDepth = Default.NewGauge("pixels_admission_queue_depth",
+		"Queries currently queued, by tier.", "tier")
+	AdmissionRunning = Default.NewGauge("pixels_admission_running",
+		"Queries currently holding an admission slot, by tier.", "tier")
+	SlotPoolSize = Default.NewGauge("pixels_slot_pool_size",
+		"Admission slots provisioned across tiers.")
+	SlotPoolBusy = Default.NewGauge("pixels_slot_pool_busy",
+		"Admission slots currently executing queries.")
+
+	// Query cache (snapshot-sourced gauges).
+	PlanCacheHits = Default.NewGauge("pixels_plan_cache_hits_total",
+		"Plan cache hits since process start.")
+	PlanCacheMisses = Default.NewGauge("pixels_plan_cache_misses_total",
+		"Plan cache misses since process start.")
+	ResultCacheHits = Default.NewGauge("pixels_result_cache_hits_total",
+		"Result cache hits since process start.")
+	ResultCacheMisses = Default.NewGauge("pixels_result_cache_misses_total",
+		"Result cache misses since process start.")
+	ResultCacheEvictions = Default.NewGauge("pixels_result_cache_evictions_total",
+		"Result cache evictions since process start.")
+	ResultCacheBytes = Default.NewGauge("pixels_result_cache_bytes",
+		"Bytes currently held by the result cache.")
+
+	// Object-store read cache (snapshot-sourced gauges).
+	ObjstoreCacheHitRatio = Default.NewGauge("pixels_objstore_cache_hit_ratio",
+		"Object-store read cache hit ratio since process start.")
+	ObjstoreCacheHits = Default.NewGauge("pixels_objstore_cache_hits_total",
+		"Object-store read cache block hits since process start.")
+	ObjstoreCacheMisses = Default.NewGauge("pixels_objstore_cache_misses_total",
+		"Object-store read cache block misses since process start.")
+	ObjstoreCacheServedBytes = Default.NewGauge("pixels_objstore_cache_served_bytes",
+		"Bytes served from the object-store read cache since process start.")
+
+	// Distributed execution (recorded by the engine coordinator).
+	DistTaskRetriesTotal = Default.NewCounter("pixels_dist_task_retries_total",
+		"Distributed worker task attempts retried after failure.")
+	DistTaskSpeculativeTotal = Default.NewCounter("pixels_dist_task_speculative_total",
+		"Speculative duplicate attempts launched for straggling tasks.")
+	DistTaskSweptKeysTotal = Default.NewCounter("pixels_dist_task_swept_keys_total",
+		"Intermediate attempt keys swept after failed or losing attempts.")
+)

@@ -247,6 +247,15 @@ func (c *Client) CancelV1(id string) error {
 	return c.do(http.MethodDelete, "/v1/query/"+id, nil, nil)
 }
 
+// TraceV1 fetches a finished query's span tree. The server answers 404
+// with code "tracing_disabled" when it runs without -trace, and 409
+// while the query is still pending or running.
+func (c *Client) TraceV1(id string) (server.TracePayloadV1, error) {
+	var out server.TracePayloadV1
+	err := c.do(http.MethodGet, "/v1/query/"+id+"/trace", nil, &out)
+	return out, err
+}
+
 // AdmissionSnapshot fetches the /v1/admission observability block.
 func (c *Client) AdmissionSnapshot() (server.AdmissionPayload, error) {
 	var out server.AdmissionPayload

@@ -1,0 +1,132 @@
+// The observability surface: per-query trace creation at submit, the
+// GET /v1/query/{id}/trace endpoint, the Prometheus GET /metrics
+// exporter, correlation headers (X-Query-Id, Server-Timing), and the
+// opt-in net/http/pprof mount. Tracing is off unless Server.Tracing is
+// set; every span call below is nil-safe, so the disabled path costs two
+// context lookups at most.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// startTrace begins a query trace when tracing is enabled (nil
+// otherwise; the nil trace no-ops through every layer).
+func (s *Server) startTrace() *obs.Trace {
+	if !s.Tracing {
+		return nil
+	}
+	return obs.NewTrace("", "query")
+}
+
+// tracedParse wraps parseSubmit in the trace's "plan" span — the
+// normalized-plan-cache lookup or the parse+bind+optimize pipeline —
+// and measures plan wall time for the Server-Timing header (measured
+// whether or not tracing is on; the header is always served).
+func (s *Server) tracedParse(database, sqlText, levelStr string, rowLimit int, deadlineMs int64) (*parsedSubmit, time.Duration, error) {
+	tr := s.startTrace()
+	pspan := tr.Root().StartChild("plan")
+	t0 := time.Now()
+	p, err := s.parseSubmit(database, sqlText, levelStr, rowLimit, deadlineMs)
+	planDur := time.Since(t0)
+	pspan.End()
+	if err != nil {
+		return nil, planDur, err
+	}
+	p.trace = tr
+	p.payload.Trace = tr
+	return p, planDur, nil
+}
+
+// planTiming renders the submit-side Server-Timing header value.
+func planTiming(planDur time.Duration) string {
+	return fmt.Sprintf("plan;dur=%.3f", float64(planDur.Microseconds())/1000)
+}
+
+// resultTiming builds the result-side Server-Timing value: queue
+// (admission wait), plan (from the stored trace, when tracing kept one)
+// and exec, all in milliseconds.
+func (s *Server) resultTiming(id string, queueWaitMs, execMs int64) string {
+	parts := []string{fmt.Sprintf("queue;dur=%d", queueWaitMs)}
+	if root := s.TraceStore.Get(id); root != nil {
+		if plans := obs.FindSpans(root, "plan"); len(plans) > 0 {
+			parts = append(parts, fmt.Sprintf("plan;dur=%.3f", float64(plans[0].DurationUs)/1000))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("exec;dur=%d", execMs))
+	return strings.Join(parts, ", ")
+}
+
+// TracePayloadV1 is the GET /v1/query/{id}/trace response: the query's
+// span tree, rooted at the "query" span that opened at HTTP submit.
+type TracePayloadV1 struct {
+	QueryID string        `json:"query_id"`
+	Root    *obs.SpanData `json:"root"`
+}
+
+func (s *Server) handleQueryTraceV1(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	if s.TraceStore == nil {
+		return &httpError{code: http.StatusNotFound, apiCode: "tracing_disabled",
+			msg: "tracing is disabled; start the server with tracing enabled (-trace)"}
+	}
+	if root := s.TraceStore.Get(id); root != nil {
+		writeJSON(w, http.StatusOK, TracePayloadV1{QueryID: id, Root: root})
+		return nil
+	}
+	// No stored trace: distinguish "not done yet" from "never traced".
+	if q, t, ok := s.lookupQuery(id); ok {
+		if q != nil {
+			switch q.Status() {
+			case core.StatusPending, core.StatusRunning:
+				return errConflict("query is %s; the trace is stored when it finishes", q.Status())
+			}
+		} else {
+			return errConflict("query is %s; it never executed, so it has no trace", t.State())
+		}
+	}
+	return errNotFound("no trace for query %q", id)
+}
+
+// handleMetrics serves the Prometheus text exposition. Event-sourced
+// instruments (counters, latency histograms) are already current; the
+// point-in-time gauges are refreshed here from component snapshots so a
+// scrape always sees live depths and cache occupancy.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.Admission != nil {
+		snap := s.Admission.Snapshot()
+		obs.SlotPoolSize.Set(float64(snap.TotalSlots))
+		obs.SlotPoolBusy.Set(float64(snap.UsedSlots))
+		for _, t := range snap.Tiers {
+			obs.AdmissionQueueDepth.Set(float64(t.Queued), t.Level)
+			obs.AdmissionRunning.Set(float64(t.Running), t.Level)
+		}
+	}
+	if s.QCache != nil {
+		snap := s.QCache.Snapshot()
+		obs.PlanCacheHits.Set(float64(snap.Plan.Hits))
+		obs.PlanCacheMisses.Set(float64(snap.Plan.Misses))
+		obs.ResultCacheHits.Set(float64(snap.Result.Hits))
+		obs.ResultCacheMisses.Set(float64(snap.Result.Misses))
+		obs.ResultCacheEvictions.Set(float64(snap.Result.Evictions))
+		obs.ResultCacheBytes.Set(float64(snap.Result.Bytes))
+	}
+	if s.CacheStats != nil {
+		if st, ok := s.CacheStats(); ok {
+			if total := st.Hits + st.Misses; total > 0 {
+				obs.ObjstoreCacheHitRatio.Set(float64(st.Hits) / float64(total))
+			}
+			obs.ObjstoreCacheHits.Set(float64(st.Hits))
+			obs.ObjstoreCacheMisses.Set(float64(st.Misses))
+			obs.ObjstoreCacheServedBytes.Set(float64(st.BytesFromCache))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}

@@ -21,9 +21,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/nl2sql"
+	"repro/internal/objstore/cache"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/sql"
 	"repro/internal/vclock"
+
+	httppprof "net/http/pprof"
 )
 
 // Server wires the engine, coordinator and translator behind HTTP.
@@ -45,6 +49,23 @@ type Server struct {
 	// payload carries a result-cache key the coordinator answers from
 	// when possible. Nil plans every submission from scratch.
 	QCache *qcache.Cache
+	// Tracing, when true, opens an obs.Trace for every submission; the
+	// span tree follows the query through admission, planning and
+	// execution and is retained in TraceStore at finalize.
+	Tracing bool
+	// TraceStore backs GET /v1/query/{id}/trace. It must be the same
+	// store the coordinator's Config.TraceStore writes to. Nil answers
+	// the trace route with "tracing disabled".
+	TraceStore *obs.TraceStore
+	// Metrics, when true, mounts GET /metrics (Prometheus text format).
+	// The endpoint is served without bearer auth so scrapers need no
+	// credential plumbing.
+	Metrics bool
+	// Pprof, when true, mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// CacheStats, when set, reports object-store read-cache counters for
+	// /metrics (ok=false means the cache is disabled).
+	CacheStats func() (cache.Stats, bool)
 }
 
 // Handler builds the route table: the versioned /v1 contract
@@ -65,6 +86,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/pricebook", s.v1(s.handlePriceBook))
 	mux.HandleFunc("GET /v1/admission", s.v1(s.handleAdmissionSnapshot))
 	mux.HandleFunc("GET /v1/cache", s.v1(s.handleCacheSnapshot))
+	mux.HandleFunc("GET /v1/query/{id}/trace", s.v1(s.handleQueryTraceV1))
+	if s.Metrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 
 	mux.HandleFunc("GET /api/health", s.legacy(s.handleHealth))
 	mux.HandleFunc("GET /api/schemas", s.legacy(s.handleSchemas))
@@ -291,6 +323,7 @@ type parsedSubmit struct {
 	payload   core.PlanPayload
 	key       string
 	deadline  time.Duration // client-requested completion deadline (0 = tier default)
+	trace     *obs.Trace    // nil unless Server.Tracing is on
 }
 
 // submitOutcome is what a submission produced, in admission vocabulary.
@@ -375,6 +408,9 @@ func (s *Server) submit(p *parsedSubmit) submitOutcome {
 	out := submitOutcome{level: p.level, defaulted: p.defaulted}
 	if s.Admission == nil {
 		q := s.Coord.SubmitKeyed(p.sqlText, p.level, p.payload, p.key)
+		if p.trace != nil {
+			p.trace.QueryID = q.ID
+		}
 		out.id, out.q = q.ID, q
 		switch q.Status() {
 		case core.StatusPending:
@@ -387,12 +423,20 @@ func (s *Server) submit(p *parsedSubmit) submitOutcome {
 		return out
 	}
 	id := s.Coord.ReserveID()
+	if p.trace != nil {
+		p.trace.QueryID = id
+	}
+	// The queue span covers submission-to-dispatch; a direct admit ends
+	// it immediately (Start runs synchronously), and a shed submission
+	// leaves it open on a trace that is discarded with the query.
+	qspan := p.trace.Root().StartChild("admission-queue")
 	t, dec := s.Admission.Submit(admission.Request{
 		ID:       id,
 		Level:    p.level,
 		Label:    p.sqlText,
 		Deadline: p.deadline,
 		Start: func() (any, <-chan struct{}) {
+			qspan.End()
 			q := s.Coord.SubmitReservedKeyed(id, p.sqlText, p.level, p.payload, p.key)
 			return q, q.Done()
 		},
@@ -414,7 +458,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err := readJSON(r, &req); err != nil {
 		return err
 	}
-	p, err := s.parseSubmit(req.Database, req.SQL, req.Level, req.RowLimit, 0)
+	p, _, err := s.tracedParse(req.Database, req.SQL, req.Level, req.RowLimit, 0)
 	if err != nil {
 		return err
 	}

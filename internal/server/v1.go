@@ -137,11 +137,13 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) error {
 	if err := readJSON(r, &req); err != nil {
 		return err
 	}
-	p, err := s.parseSubmit(req.Database, req.SQL, req.Level, req.RowLimit, req.DeadlineMs)
+	p, planDur, err := s.tracedParse(req.Database, req.SQL, req.Level, req.RowLimit, req.DeadlineMs)
 	if err != nil {
 		return err
 	}
 	out := s.submit(p)
+	w.Header().Set("X-Query-Id", out.id)
+	w.Header().Set("Server-Timing", planTiming(planDur))
 	if out.state == admission.StateShed {
 		if out.retryAfter > 0 {
 			w.Header().Set("Retry-After", retryAfterSeconds(out.retryAfter))
@@ -283,6 +285,8 @@ func (s *Server) handleQueryResultV1(w http.ResponseWriter, r *http.Request) err
 			}
 		}
 	}
+	w.Header().Set("X-Query-Id", q.ID)
+	w.Header().Set("Server-Timing", s.resultTiming(q.ID, payload.QueueWaitMs, payload.ExecMs))
 	writeJSON(w, http.StatusOK, payload)
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/nl2sql"
 	"repro/internal/objstore"
 	"repro/internal/objstore/cache"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/rover"
 	"repro/internal/server"
@@ -162,6 +163,29 @@ type Options struct {
 	// surface is gated — the embedded Submit still goes straight to the
 	// coordinator.
 	Admission *admission.Config
+	// Tracing enables per-query span tracing: every REST submission
+	// carries an obs.Trace from submit through admission, planning and
+	// execution (per-operator, per-worker and per-attempt spans), and
+	// finished traces are retained in an LRU served by
+	// GET /v1/query/{id}/trace. Off by default: the disabled path costs
+	// a nil check per instrumentation point, and results, stats and
+	// billed bytes are bit-identical either way.
+	Tracing bool
+	// TraceCapacity bounds the finished-trace LRU (0 = 256). Ignored
+	// unless Tracing is on.
+	TraceCapacity int
+	// SlowQueryThreshold logs any query whose submit-to-finish time
+	// meets the threshold (one line: id, tier, pending/exec split,
+	// bytes, SQL). 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// Metrics mounts GET /metrics (Prometheus text format) on the REST
+	// handler: query/latency/billing instruments, admission depths,
+	// cache counters. The registry records regardless; this only gates
+	// the scrape route.
+	Metrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the REST
+	// handler (opt-in; never on by default).
+	Pprof bool
 	// AdmissionAutoscaleInterval runs the scaling manager over the
 	// admission slot pool (the same target-utilization policy that sizes
 	// the VM fleet, driving serving concurrency instead); zero disables
@@ -200,7 +224,8 @@ type DB struct {
 	adm     *admission.Controller
 	admScal *autoscale.Manager
 	xlator  nl2sql.Translator
-	qcache  *qcache.Cache // nil unless PlanCache or ResultCacheMB enabled
+	qcache  *qcache.Cache   // nil unless PlanCache or ResultCacheMB enabled
+	traces  *obs.TraceStore // nil unless Tracing enabled
 }
 
 // Open builds the full system.
@@ -255,9 +280,18 @@ func Open(opts Options) (*DB, error) {
 	cluster := vmsim.NewCluster(clk, opts.VM, opts.InitialVMs)
 	cf := cfsim.NewService(clk, opts.CF)
 	ledger := billing.NewLedger()
-	coreCfg := core.Config{GracePeriod: opts.GracePeriod, CoalesceIdentical: opts.Coalesce}
+	coreCfg := core.Config{
+		GracePeriod:        opts.GracePeriod,
+		CoalesceIdentical:  opts.Coalesce,
+		SlowQueryThreshold: opts.SlowQueryThreshold,
+	}
 	if opts.Prices != nil {
 		coreCfg.Prices = *opts.Prices
+	}
+	var traces *obs.TraceStore
+	if opts.Tracing {
+		traces = obs.NewTraceStore(opts.TraceCapacity)
+		coreCfg.TraceStore = traces
 	}
 	var qc *qcache.Cache
 	if opts.PlanCache || opts.ResultCacheMB > 0 {
@@ -303,6 +337,7 @@ func Open(opts Options) (*DB, error) {
 	db := &DB{
 		opts: opts, clock: clk, store: store, cache: rcache, catalog: cat, engine: eng,
 		cluster: cluster, cf: cf, coord: coord, ledger: ledger, xlator: xlator, qcache: qc,
+		traces: traces,
 	}
 	if opts.AutoscaleInterval > 0 {
 		policy := &autoscale.TargetUtilization{
@@ -360,29 +395,49 @@ func (db *DB) Execute(ctx context.Context, database, sqlText string) (*Result, e
 // parse+bind+plan, and the coordinator may answer from the result cache
 // without executing at all.
 func (db *DB) Submit(database, sqlText string, level Level) (*Query, error) {
+	var tr *obs.Trace
+	if db.opts.Tracing {
+		tr = obs.NewTrace("", "query")
+	}
+	pspan := tr.Root().StartChild("plan")
+	payload, key, err := db.planForSubmit(database, sqlText)
+	pspan.End()
+	if err != nil {
+		return nil, err
+	}
+	payload.Trace = tr
+	q := db.coord.SubmitKeyed(sqlText, level, payload, key)
+	if tr != nil {
+		tr.QueryID = q.ID
+	}
+	return q, nil
+}
+
+// planForSubmit plans an embedded submission: through the repeat-traffic
+// cache when enabled, else parse+bind+plan from scratch.
+func (db *DB) planForSubmit(database, sqlText string) (core.PlanPayload, string, error) {
 	if db.qcache != nil {
 		node, resultKey, err := db.qcache.Plan(database, sqlText, 0)
 		if err != nil {
-			return nil, err
+			return core.PlanPayload{}, "", err
 		}
 		// The normalized result key doubles as the coalesce key: two
 		// formattings of one query are the same in-flight execution.
-		return db.coord.SubmitKeyed(sqlText, level, core.PlanPayload{Node: node, ResultKey: resultKey}, resultKey), nil
+		return core.PlanPayload{Node: node, ResultKey: resultKey}, resultKey, nil
 	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
-		return nil, err
+		return core.PlanPayload{}, "", err
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return nil, fmt.Errorf("pixelsdb: only SELECT can be scheduled, got %T", stmt)
+		return core.PlanPayload{}, "", fmt.Errorf("pixelsdb: only SELECT can be scheduled, got %T", stmt)
 	}
 	node, err := db.engine.PlanQuery(database, sel)
 	if err != nil {
-		return nil, err
+		return core.PlanPayload{}, "", err
 	}
-	key := database + "\x00" + sel.String()
-	return db.coord.SubmitKeyed(sqlText, level, core.PlanPayload{Node: node}, key), nil
+	return core.PlanPayload{Node: node}, database + "\x00" + sel.String(), nil
 }
 
 // Cancel aborts a pending query by ID.
@@ -453,6 +508,10 @@ func (db *DB) Admission() *admission.Controller { return db.adm }
 // Options.PlanCache or Options.ResultCacheMB enabled it).
 func (db *DB) QueryCache() *qcache.Cache { return db.qcache }
 
+// QueryTrace returns a finished query's retained span tree, or nil when
+// tracing is off, the query is not finished, or its trace was evicted.
+func (db *DB) QueryTrace(queryID string) *obs.SpanData { return db.traces.Get(queryID) }
+
 // Handler returns the Query Server REST handler (mount it on any mux).
 func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 	s := &server.Server{
@@ -464,6 +523,11 @@ func (db *DB) Handler(defaultDatabase, token string) http.Handler {
 		Token:      token,
 		Admission:  db.adm,
 		QCache:     db.qcache,
+		Tracing:    db.opts.Tracing,
+		TraceStore: db.traces,
+		Metrics:    db.opts.Metrics,
+		Pprof:      db.opts.Pprof,
+		CacheStats: db.CacheStats,
 	}
 	return s.Handler()
 }
